@@ -1,0 +1,88 @@
+"""Section 6.1.2: crawler detection with subnet aggregation.
+
+An address-distributed crawler (32 sources inside one /20, each under
+the per-IP threshold) runs inside the flagship capture.  The detector
+is swept over aggregation prefixes /32 -> /19:
+
+* /32 (per-IP): the distributed crawler evades;
+* /24 and /20: its sources fold into one key and it is caught, with
+  no organic false positives;
+* /19: legitimate multi-infection neighborhoods merge and false
+  positives appear (the paper saw 110).
+
+Threshold note: subnet keys accumulate the traffic of every infection
+they contain, and our sensor density is far above the live network's
+(EXPERIMENTS.md), so the aggregated sweep runs at t=25% where per-IP
+detection used 10%.
+"""
+
+import random
+
+from repro.core.detection import DetectionConfig, evaluate_detection
+from repro.net.address import subnet_key
+
+PREFIXES = (32, 24, 20, 19)
+THRESHOLD = 0.25
+
+
+def test_subnet_aggregation_sweep(benchmark, zeus_flagship, exhibit_writer):
+    dataset = zeus_flagship.dataset
+    distributed = zeus_flagship.distributed_ips
+    all_crawlers = zeus_flagship.all_crawler_ips
+
+    def sweep():
+        results = {}
+        for prefix in PREFIXES:
+            config = DetectionConfig(
+                group_bits=3, threshold=THRESHOLD, aggregation_prefix=prefix
+            )
+            results[prefix] = evaluate_detection(
+                dataset, all_crawlers, config, random.Random(1)
+            )
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    def distributed_caught(prefix):
+        return len(results[prefix].detected_crawlers & distributed) / len(distributed)
+
+    def organic_fps(prefix):
+        crawler_keys = {subnet_key(ip, prefix) for ip in all_crawlers}
+        return {
+            key
+            for key in results[prefix].false_positive_keys
+            if key not in crawler_keys
+        }
+
+    lines = ["Section 6.1.2: Address distribution vs subnet aggregation", ""]
+    lines.append(f"{'prefix':>8}{'distributed crawler':>22}{'organic FPs':>14}")
+    for prefix in PREFIXES:
+        rate = distributed_caught(prefix)
+        caught = "DETECTED" if rate > 0.9 else ("partial" if rate > 0 else "evaded")
+        lines.append(f"{'/' + str(prefix):>8}{caught:>22}{len(organic_fps(prefix)):>14}")
+    exhibit_writer("subnet_aggregation", "\n".join(lines))
+
+    # Per-IP detection: every distributed source stays under threshold.
+    assert distributed_caught(32) == 0.0
+    # /24 and /20 aggregation concentrate the sources into one key.
+    assert distributed_caught(24) == 1.0
+    assert distributed_caught(20) == 1.0
+    # /20 stays (essentially) clean; /19 merges legitimate
+    # multi-infection subnets and produces false positives
+    # (paper: 0 at /20, 110 at /19).
+    assert len(organic_fps(20)) <= 5
+    assert len(organic_fps(19)) >= len(organic_fps(20)) + 10
+
+    # Verify the paper's stated cause: each /19 false positive really
+    # folds several distinct infected source IPs together ("caused by
+    # multiple infections within the same subnet").
+    sources_by_key = {}
+    for participant in dataset.participants:
+        for _, ip in participant.requests:
+            if ip in all_crawlers:
+                continue
+            sources_by_key.setdefault(subnet_key(ip, 19), set()).add(ip)
+    multi_infection = [
+        key for key in organic_fps(19) if len(sources_by_key.get(key, ())) >= 2
+    ]
+    assert len(multi_infection) >= 0.8 * len(organic_fps(19))

@@ -1,0 +1,94 @@
+"""Table 3: defects found in GameOver Zeus crawlers.
+
+Replays the 21 in-the-wild Zeus crawler profiles against the flagship
+512-sensor capture and recovers the full defect matrix from the wire.
+"""
+
+from repro.analysis.tables import render_table3
+from repro.core.anomaly import ZeusAnomalyAnalyzer, ZeusThresholds
+from repro.workloads.crawler_profiles import ZEUS_CRAWLERS
+
+
+def test_table3_zeus_defect_matrix(benchmark, zeus_flagship, exhibit_writer):
+    scenario = zeus_flagship.scenario
+    # The paper studies crawlers covering >= 1% of the sensors "with
+    # the addition of one open-source Zeus crawler" below that bar --
+    # the analyzer floor is relaxed so that c21 (2% nominal coverage)
+    # is included the same way.
+    thresholds = ZeusThresholds(min_messages=10, min_coverage=0.004)
+
+    def analyze():
+        return ZeusAnomalyAnalyzer(thresholds).analyze(scenario.sensors)
+
+    findings = benchmark(analyze)
+    by_ip = {finding.ip: finding for finding in findings}
+
+    fleet = [c for c in scenario.crawlers if c.name != "distributed"]
+    assert len(fleet) == 21
+    # The weakest crawlers (the paper's 1-2%-coverage tail, which it
+    # observed over three weeks of passive logging) may not surface in
+    # a single 24-hour capture; tolerate their absence but nothing
+    # else's.
+    found = []
+    column_findings = []
+    names = []
+    for index, crawler in enumerate(fleet):
+        finding = by_ip.get(crawler.endpoint.ip)
+        if finding is None:
+            assert crawler.profile.coverage <= 0.05, (
+                f"{crawler.name} (coverage {crawler.profile.coverage}) "
+                "missing from findings"
+            )
+            continue
+        found.append(crawler)
+        column_findings.append(finding)
+        names.append(f"c{index + 1}")
+    assert len(found) >= 20
+
+    text = render_table3(column_findings, names)
+    exhibit_writer("table3_zeus_defects", text)
+
+    # Wire-recovered defect flags must match the injected profiles for
+    # the unambiguous defect classes.
+    exact_rows = (
+        "rnd_range", "ttl_range", "lop_range", "session_range",
+        "random_source", "source_entropy", "abnormal_lookup",
+        "protocol_logic", "encryption", "hard_hitter",
+    )
+    mismatches = []
+    for crawler, finding in zip(found, column_findings):
+        for defect in exact_rows:
+            injected = getattr(crawler.profile, defect)
+            if finding.has(defect) != injected:
+                mismatches.append((crawler.name, defect, injected))
+    assert not mismatches, mismatches
+
+    # Aggregate counts recovered from traffic must equal the injected
+    # aggregates over the observed columns.  (The injected fleet-wide
+    # aggregates themselves are locked to the Section 4.1 prose counts
+    # -- 14/10/10/11/3/5/7/17/9 -- by tests/workloads/test_profiles.py.)
+    counts = {}
+    for finding in column_findings:
+        for defect in finding.defects:
+            counts[defect] = counts.get(defect, 0) + 1
+    expected = {}
+    for crawler in found:
+        for defect in crawler.profile.defect_names():
+            expected[defect] = expected.get(defect, 0) + 1
+    for row in exact_rows:
+        assert counts.get(row, 0) == expected.get(row, 0), row
+
+    # Coverage row: the fleet reproduces the published spread (the
+    # measured value is contact fraction x sensor-discovery rate, so
+    # slightly below each profile's nominal coverage).
+    coverages = [finding.coverage for finding in column_findings]
+    assert max(coverages) >= 0.8
+    assert sum(1 for c in coverages if c >= 0.15) >= 16
+
+
+def test_zeus_sensor_fleet_saw_background_population(zeus_flagship):
+    """Sanity: the capture contains organic bot traffic, not only
+    crawlers -- otherwise FP analysis would be vacuous."""
+    dataset = zeus_flagship.dataset
+    non_crawler_ips = dataset.ips_seen() - zeus_flagship.fleet_ips - zeus_flagship.distributed_ips
+    assert len(non_crawler_ips) > 500

@@ -1,0 +1,81 @@
+"""Table 5: susceptibility of P2P botnets to Internet-wide scanning,
+plus a live sweep of a simulated ZeroAccess block."""
+
+import random
+
+import pytest
+
+from repro.analysis.tables import render_table5
+from repro.core.scanning import (
+    InternetScanner,
+    ProbeResponder,
+    ScanUnsupportedError,
+    susceptibility_report,
+)
+from repro.net.address import Subnet, parse_ip
+from repro.net.transport import Endpoint, Transport, TransportConfig
+from repro.sim.scheduler import Scheduler
+
+
+def test_table5_matrix(benchmark, exhibit_writer):
+    text = benchmark(render_table5)
+    exhibit_writer("table5_scanning", text)
+    rows = {row.family: row for row in susceptibility_report()}
+    # Paper Table 5: only ZeroAccess and Kelihos are susceptible.
+    assert {name for name, row in rows.items() if row.susceptible} == {
+        "ZeroAccess",
+        "Kelihos/Hlux",
+    }
+    # Zeus is the only family without a constructible probe.
+    assert {name for name, row in rows.items() if not row.probe_constructible} == {"Zeus"}
+
+
+def test_zeroaccess_sweep(benchmark):
+    """A ZMap-style sweep finds every planted ZeroAccess responder."""
+
+    def run():
+        scheduler = Scheduler()
+        transport = Transport(
+            scheduler, random.Random(0), config=TransportConfig(loss_rate=0.0)
+        )
+        block = Subnet.parse("80.0.0.0/23")
+        rng = random.Random(1)
+        infected = rng.sample(list(block), 40)
+        for ip in infected:
+            ProbeResponder(Endpoint(ip, 16471), transport)
+        scanner = InternetScanner(
+            endpoint=Endpoint(parse_ip("90.0.0.1"), 40000),
+            transport=transport,
+            scheduler=scheduler,
+            rng=random.Random(2),
+            probes_per_second=100_000,
+        )
+        return scanner.scan("ZeroAccess", [block]), set(infected)
+
+    result, infected = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.addresses_probed == 512
+    assert {e.ip for e in result.responders} == infected
+
+
+def test_zeus_and_sality_rejected(benchmark):
+    """Zeus (no probe) and Sality (port blowup) are unscannable."""
+
+    def run():
+        scheduler = Scheduler()
+        transport = Transport(scheduler, random.Random(0))
+        scanner = InternetScanner(
+            Endpoint(parse_ip("90.0.0.1"), 40000), transport, scheduler, random.Random(1)
+        )
+        outcomes = {}
+        for family in ("Zeus", "Sality", "Waledac", "Storm"):
+            try:
+                scanner.scan(family, [Subnet.parse("80.0.0.0/30")])
+                outcomes[family] = "scanned"
+            except ScanUnsupportedError as error:
+                outcomes[family] = str(error)
+        return outcomes
+
+    outcomes = benchmark(run)
+    assert "per-bot knowledge" in outcomes["Zeus"]
+    for family in ("Sality", "Waledac", "Storm"):
+        assert "candidate ports" in outcomes[family]

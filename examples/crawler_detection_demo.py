@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""The distributed crawler-detection algorithm, step by step
+(paper Section 4.3), including Byzantine leaders.
+
+Walks one detection round over a simulated Zeus botnet: signed round
+announcement, push-gossip propagation over the routable overlay,
+identifier-bit group partitioning, hard-hitter aggregation, leader
+voting -- then repeats the vote with adversarial leaders injected by
+the "analysts" to show the |A| < n x m tolerance boundary.
+
+Run:  python examples/crawler_detection_demo.py
+"""
+
+import random
+
+from repro.core.crawler import ZeusCrawler
+from repro.core.defects import ZeusDefectProfile
+from repro.core.detection import DetectionConfig, SensorLogDataset
+from repro.core.detection.coordinator import ParticipantReport, run_round
+from repro.core.detection.rounds import AnnouncementSigner, RoundAnnouncement, push_gossip
+from repro.core.detection.voting import LeaderBehavior
+from repro.core.stealth import StealthPolicy
+from repro.net.address import format_ip, parse_ip
+from repro.net.transport import Endpoint
+from repro.sim.clock import HOUR
+from repro.workloads.population import zeus_config
+from repro.workloads.scenarios import build_zeus_scenario
+
+
+def main() -> None:
+    print("=== distributed crawler detection (Section 4.3) ===")
+    scenario = build_zeus_scenario(
+        zeus_config("small", master_seed=11), sensor_count=64, announce_hours=2.0
+    )
+    net = scenario.net
+    crawler = ZeusCrawler(
+        name="target-crawler",
+        endpoint=Endpoint(parse_ip("99.0.0.1"), 7000),
+        transport=net.transport,
+        scheduler=net.scheduler,
+        rng=random.Random(1),
+        policy=StealthPolicy(per_target_interval=15.0, requests_per_target=3),
+        profile=ZeusDefectProfile(name="clean"),  # syntactically perfect!
+    )
+    crawler.start(net.bootstrap_sample(8, seed=3))
+    scenario.run_for(8 * HOUR)
+    print(f"crawler ran 8 sim-hours: {crawler.report.requests_sent} requests, "
+          f"{crawler.report.distinct_ips} IPs mapped, zero protocol defects")
+
+    print("\n--- step 1: signed round announcement via push gossip ---")
+    signer = AnnouncementSigner(b"botmaster-command-key")
+    announcement = signer.sign(
+        RoundAnnouncement(
+            round_id=1,
+            issued_at=net.scheduler.now,
+            bit_positions=(3, 48, 91),
+            leaders=(),
+        )
+    )
+    assert signer.verify(announcement, now=net.scheduler.now)
+    graph = net.connectivity_graph()
+    routable = {bot.node_id for bot in net.routable_bots}
+    origin = next(iter(routable))
+    stats = push_gossip(graph, routable, origin, random.Random(5), fanout=4)
+    print(f"gossip reached {len(stats.reached)}/{len(routable)} routable bots "
+          f"in {stats.hops} hops ({stats.messages_sent} messages)")
+
+    print("\n--- step 2: groups, aggregation, honest vote ---")
+    dataset = SensorLogDataset.from_zeus_sensors(
+        scenario.sensors, since=scenario.measurement_start
+    )
+    participants = list(dataset.participants)
+    config = DetectionConfig(group_bits=3, threshold=0.10)
+    result = run_round(participants, config, random.Random(7))
+    print(f"groups formed: {len(result.verdicts)} "
+          f"(sizes {sorted(result.group_sizes().values())})")
+    print(f"bit positions sampled: {result.bit_positions}")
+    for index, verdict in sorted(result.verdicts.items()):
+        flagged = ", ".join(format_ip(ip) for ip in sorted(verdict.suspicious)) or "-"
+        print(f"  group {index}: {verdict.group_size} members, "
+              f"needs {verdict.threshold_count} reporters, flagged: {flagged}")
+    print(f"majority-vote classification: "
+          f"{[format_ip(ip) for ip in sorted(result.classified)] or 'nothing'}")
+    assert crawler.endpoint.ip in result.classified
+
+    print("\n--- step 3: the analysts strike back (Byzantine leaders) ---")
+    print("suppression attack (adversarial leaders whitelist the crawler):")
+    for adversaries in (2, 3, 4, 5):
+        behaviors = {index: LeaderBehavior.SUPPRESS for index in range(adversaries)}
+        byz = run_round(
+            participants, config, random.Random(7), leader_behaviors=behaviors
+        )
+        caught = crawler.endpoint.ip in byz.classified
+        print(f"  {adversaries}/8 suppressing leaders: crawler "
+              f"{'still detected' if caught else 'WHITEWASHED'}")
+    innocent = parse_ip("25.99.0.1")
+    print("framing attack (adversarial leaders blacklist an innocent IP):")
+    for adversaries in (2, 4, 5):
+        behaviors = {index: LeaderBehavior.FRAME for index in range(adversaries)}
+        byz = run_round(
+            participants,
+            config,
+            random.Random(7),
+            leader_behaviors=behaviors,
+            framed_keys=[innocent],
+        )
+        framed = innocent in byz.classified
+        print(f"  {adversaries}/8 framing leaders: innocent "
+              f"{'FRAMED' if framed else 'safe'}")
+    print("\nA majority vote over 8 leaders needs 5 votes: up to 3 "
+          "suppressors or 4 framers\nare tolerated -- the |A| < n x m "
+          "reliability bound of Section 4.3.")
+
+
+if __name__ == "__main__":
+    main()

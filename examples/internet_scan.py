@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Internet-wide scanning as a recon alternative (paper Section 7).
+
+Prints the per-family susceptibility matrix (Table 5), then actually
+runs a ZMap-style sweep of a simulated address block: it finds the
+ZeroAccess population on its fixed port, refuses to scan GameOver Zeus
+(no universal probe exists under destination-keyed encryption), and
+shows the probe-count blowup that makes wide port ranges impractical.
+
+Run:  python examples/internet_scan.py
+"""
+
+import random
+
+from repro.analysis.tables import render_table5
+from repro.core.scanning import (
+    InternetScanner,
+    ProbeResponder,
+    ScanUnsupportedError,
+)
+from repro.net.address import Subnet, parse_ip
+from repro.net.transport import Endpoint, Transport, TransportConfig
+from repro.sim.scheduler import Scheduler
+
+
+def main() -> None:
+    print(render_table5())
+
+    print("\n=== live sweep: ZeroAccess on its fixed port ===")
+    scheduler = Scheduler()
+    transport = Transport(
+        scheduler, random.Random(0), config=TransportConfig(loss_rate=0.0)
+    )
+    block = Subnet.parse("80.0.0.0/24")
+    rng = random.Random(1)
+    infected = rng.sample(list(block), 30)
+    for ip in infected:
+        ProbeResponder(Endpoint(ip, 16471), transport)
+    scanner = InternetScanner(
+        endpoint=Endpoint(parse_ip("90.0.0.1"), 40000),
+        transport=transport,
+        scheduler=scheduler,
+        rng=random.Random(2),
+        probes_per_second=50_000,
+    )
+    result = scanner.scan("ZeroAccess", [block])
+    print(f"addresses probed: {result.addresses_probed}")
+    print(f"probes sent:      {result.probes_sent} (one port per host)")
+    print(f"infected hosts:   {result.hosts_found} / {len(infected)} planted")
+
+    print("\n=== GameOver Zeus: scanning is impossible ===")
+    try:
+        scanner.scan("Zeus", [block])
+    except ScanUnsupportedError as error:
+        print(f"refused: {error}")
+
+    print("\n=== Sality: the port-range blowup ===")
+    try:
+        scanner.scan("Sality", [block])
+    except ScanUnsupportedError as error:
+        print(f"refused: {error}")
+    forced = InternetScanner(
+        endpoint=Endpoint(parse_ip("90.0.0.2"), 40000),
+        transport=transport,
+        scheduler=scheduler,
+        rng=random.Random(3),
+        probes_per_second=10_000_000,
+    )
+    tiny = Subnet.parse("80.0.1.0/30")
+    result = forced.scan("Sality", [tiny], allow_wide_port_ranges=True)
+    print(f"forcing it anyway on just {tiny.size} hosts costs "
+          f"{result.probes_sent:,} probes -- {result.probes_sent // tiny.size:,} "
+          "ports per host")
+    print("\nScanning suits fixed-port families only, finds no NATed bots "
+          "and no edges,\nand should at most bootstrap a crawl (Section 8.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart: crawl a simulated GameOver Zeus botnet and detect the
+crawler from sensor logs.
+
+Builds a small Zeus network, injects a handful of full-protocol
+sensors, runs one (deliberately sloppy) crawler for a few simulated
+hours, then shows both sides of the paper:
+
+* the recon side -- what the crawler mapped;
+* the botmaster side -- the anomalies the crawler leaked and the
+  coverage-based detection verdict.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.core.anomaly import ZeusAnomalyAnalyzer
+from repro.core.crawler import ZeusCrawler
+from repro.core.defects import ZeusDefectProfile
+from repro.core.detection import DetectionConfig, SensorLogDataset, evaluate_detection
+from repro.core.stealth import StealthPolicy
+from repro.net.address import format_ip, parse_ip
+from repro.net.transport import Endpoint
+from repro.sim.clock import HOUR
+from repro.workloads.population import zeus_config
+from repro.workloads.scenarios import build_zeus_scenario
+
+
+def main() -> None:
+    print("=== building a simulated GameOver Zeus botnet ===")
+    scenario = build_zeus_scenario(
+        zeus_config("tiny", master_seed=7), sensor_count=16, announce_hours=2.0
+    )
+    net = scenario.net
+    print(f"population: {len(net.bots)} bots "
+          f"({len(net.routable_bots)} routable, {len(net.non_routable_bots)} NATed)")
+    print(f"sensors injected: {len(scenario.sensors)} (announced for 2 sim-hours)")
+
+    print("\n=== launching a crawler (hard hitter, fixed padding) ===")
+    crawler = ZeusCrawler(
+        name="demo-crawler",
+        endpoint=Endpoint(parse_ip("99.0.0.1"), 7000),
+        transport=net.transport,
+        scheduler=net.scheduler,
+        rng=random.Random(1),
+        policy=StealthPolicy(per_target_interval=15.0, requests_per_target=4),
+        profile=ZeusDefectProfile(name="demo", lop_range=True, hard_hitter=True,
+                                  protocol_logic=True),
+    )
+    crawler.start(net.bootstrap_sample(5, seed=1))
+    scenario.run_for(6 * HOUR)
+
+    report = crawler.report
+    routable_ips = {bot.endpoint.ip for bot in net.routable_bots}
+    print(f"requests sent:        {report.requests_sent}")
+    print(f"distinct IPs found:   {report.distinct_ips}")
+    print(f"routable bots found:  {len(set(report.first_seen_ip) & routable_ips)}"
+          f" / {len(routable_ips)}")
+    print(f"verified (responding) bots: {len(report.verified_bots)}")
+    print(f"edges collected:      {len(report.edges)}")
+    natted_found = len(
+        {bot.endpoint.ip for bot in net.non_routable_bots} & set(report.first_seen_ip)
+    )
+    print(f"NATed bots *contacted*: 0 by construction (learned {natted_found} addresses "
+          "it cannot verify)")
+
+    print("\n=== the botmaster's view: sensor-log anomaly analysis ===")
+    findings = ZeusAnomalyAnalyzer().analyze(scenario.sensors)
+    for finding in findings:
+        if finding.defects:
+            print(f"source {format_ip(finding.ip)}: coverage "
+                  f"{finding.coverage * 100:.0f}% of sensors, defects: "
+                  f"{', '.join(finding.defects)}")
+
+    print("\n=== coverage-based (syntax-agnostic) crawler detection ===")
+    dataset = SensorLogDataset.from_zeus_sensors(
+        scenario.sensors, since=scenario.measurement_start
+    )
+    result = evaluate_detection(
+        dataset,
+        crawler_ips={crawler.endpoint.ip},
+        # Toy scale: 16 sensors in 4 groups of 4; t=30% means a source
+        # must hit 2 of the 4 sensors in most groups -- only the
+        # crawler does.  (Paper scale uses |G|=8 and t=1..5%.)
+        config=DetectionConfig(group_bits=2, threshold=0.30),
+        rng=random.Random(2),
+    )
+    verdict = "DETECTED" if result.detection_rate == 1.0 else "evaded"
+    print(f"crawler {crawler.endpoint}: {verdict} "
+          f"(false positives: {result.false_positives})")
+
+
+if __name__ == "__main__":
+    main()

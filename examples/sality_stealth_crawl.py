@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Stealthy-crawling tradeoffs on Sality (paper Sections 5 and 6).
+
+Runs three crawls of the same simulated Sality botnet in parallel --
+aggressive, half-suspend-cycle, and full-suspend-cycle -- plus a
+contact-ratio-limited crawl, and prints the coverage each achieves
+over time (the Figure 3b / 4b story: Sality's single-entry peer
+responses make frequency limiting devastating).
+
+Run:  python examples/sality_stealth_crawl.py
+"""
+
+from repro.analysis.coverage import relative_coverage
+from repro.analysis.tables import render_series_figure
+from repro.core.crawler import SalityCrawler
+from repro.core.defects import SalityDefectProfile
+from repro.core.stealth import StealthPolicy
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint
+from repro.sim.clock import HOUR, MINUTE
+from repro.workloads.population import sality_config
+from repro.workloads.scenarios import build_sality_scenario
+
+SUSPEND = 40 * MINUTE
+# Simulator scale note: any crawl eventually exhausts a few-hundred-bot
+# population (the live Sality network's 900k bots never saturate), so
+# the frequency effect is measured at the moment the aggressive crawl
+# completes -- "when the fast crawl is done, how far behind are the
+# polite ones?" (see EXPERIMENTS.md).
+CRAWL_HOURS = 4
+
+POLICIES = {
+    "aggressive": StealthPolicy(per_target_interval=6 * MINUTE, requests_per_target=40),
+    "half cycle": StealthPolicy(per_target_interval=SUSPEND / 2, requests_per_target=12),
+    "full cycle": StealthPolicy(per_target_interval=SUSPEND, requests_per_target=6),
+    "ratio 1/4": StealthPolicy(
+        per_target_interval=6 * MINUTE, requests_per_target=40, contact_ratio=4
+    ),
+}
+
+
+def main() -> None:
+    print("=== building a simulated Sality v3 botnet ===")
+    scenario = build_sality_scenario(
+        sality_config("small", master_seed=3), sensor_count=8, announce_hours=2.0
+    )
+    net = scenario.net
+    print(f"population: {len(net.bots)} bots ({len(net.routable_bots)} routable)")
+    print(f"peer lists hold up to {net.sconfig.sality.peer_list_capacity} entries; "
+          "each exchange returns ONE entry")
+
+    crawlers = {}
+    for index, (label, policy) in enumerate(POLICIES.items()):
+        crawler = SalityCrawler(
+            name=label,
+            endpoint=Endpoint(parse_ip(f"99.{index}.0.1"), 7000),
+            transport=net.transport,
+            scheduler=net.scheduler,
+            rng=net.rngs.fork(f"crawler-{label}").stream("crawl"),
+            policy=policy,
+            profile=SalityDefectProfile(name=label),
+        )
+        crawler.start(net.bootstrap_sample(5, seed=40 + index))
+        crawlers[label] = crawler
+
+    print(f"\nrunning all {len(crawlers)} crawls in parallel for "
+          f"{CRAWL_HOURS} simulated hours ...")
+    scenario.run_for(CRAWL_HOURS * HOUR)
+
+    until = net.scheduler.now
+    series = {
+        label: crawler.report.coverage_series(until=until, bucket=30 * MINUTE)
+        for label, crawler in crawlers.items()
+    }
+    print()
+    print(render_series_figure("Bots found over time (cf. paper Fig. 3b/4b)", series))
+
+    # Checkpoint: the moment the aggressive crawl is essentially done.
+    aggressive = crawlers["aggressive"].report
+    checkpoint = scenario.measurement_start
+    while (
+        checkpoint < until
+        and aggressive.ips_found_by(checkpoint) < 0.9 * aggressive.distinct_ips
+    ):
+        checkpoint += 60.0
+    base = max(1, aggressive.ips_found_by(checkpoint))
+    offset_min = (checkpoint - scenario.measurement_start) / 60.0
+    print(f"\ncoverage relative to the aggressive crawl at +{offset_min:.0f} min:")
+    for label, crawler in crawlers.items():
+        rel = crawler.report.ips_found_by(checkpoint) / base
+        print(f"  {label:<11} {rel * 100:5.1f}%   "
+              f"({crawler.report.requests_sent} requests total)")
+    print("\nThe paper measured 11% (half cycle) and 7% (full cycle) for "
+          "Sality --\nfrequency limiting collapses coverage because every "
+          "response carries one peer.")
+
+
+if __name__ == "__main__":
+    main()

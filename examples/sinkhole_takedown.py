@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""End-to-end takedown: recon, then sinkholing (the paper's motivating
+use case).
+
+"Attacks against botnets like these are fundamentally based on
+knowledge about the composition of the botnet" (Section 1).  This
+example makes that dependency measurable: it runs a sinkholing
+campaign against a simulated GameOver Zeus botnet twice — once fed a
+proper recon product (a crawl of the population), once fed only the
+bootstrap peer list — and compares capture.  It also shows the /20
+peer-list filter acting as takedown resistance.
+
+Run:  python examples/sinkhole_takedown.py
+"""
+
+import random
+
+from repro.core.crawler import ZeusCrawler
+from repro.core.defects import ZeusDefectProfile
+from repro.core.sinkhole import SinkholeCampaign, spread_endpoints
+from repro.core.stealth import StealthPolicy
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint
+from repro.sim.clock import HOUR, MINUTE
+from repro.workloads.population import zeus_config
+from repro.workloads.scenarios import build_zeus_scenario
+
+
+def run_campaign(seed, targets_from_recon, per_slash20=True):
+    scenario = build_zeus_scenario(
+        zeus_config("tiny", master_seed=seed), sensor_count=4, announce_hours=1.0
+    )
+    net = scenario.net
+
+    if targets_from_recon:
+        crawler = ZeusCrawler(
+            name="recon",
+            endpoint=Endpoint(parse_ip("99.0.0.1"), 7000),
+            transport=net.transport,
+            scheduler=net.scheduler,
+            rng=random.Random(1),
+            policy=StealthPolicy(per_target_interval=15.0, requests_per_target=4),
+            profile=ZeusDefectProfile(name="recon"),
+        )
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        scenario.run_for(4 * HOUR)
+        crawler.stop()
+        targets = [
+            (bot_id, crawler.report.bot_endpoints[bot_id])
+            for bot_id in crawler.report.verified_bots
+        ]
+        label = f"recon-driven ({len(targets)} verified targets)"
+    else:
+        scenario.run_for(4 * HOUR)
+        targets = net.bootstrap_sample(5, seed=1)
+        label = f"blind ({len(targets)} bootstrap targets only)"
+
+    campaign = SinkholeCampaign(
+        transport=net.transport,
+        scheduler=net.scheduler,
+        rng=random.Random(9),
+        sinkhole_endpoints=spread_endpoints(
+            parse_ip("44.0.0.1"), 8, per_slash20=per_slash20
+        ),
+        poison_interval=10 * MINUTE,
+    )
+    campaign.start(targets)
+    scenario.run_for(8 * HOUR)
+    snapshot = campaign.capture_snapshot(net.routable_bots)
+    return label, snapshot
+
+
+def main() -> None:
+    print("=== sinkholing GameOver Zeus: recon quality decides reach ===\n")
+    for targets_from_recon in (True, False):
+        label, snap = run_campaign(90, targets_from_recon)
+        print(f"{label}:")
+        print(f"  bots holding a sinkhole entry: {snap.bots_with_sinkhole}"
+              f"/{snap.total_bots} ({snap.reach * 100:.0f}%)")
+        print(f"  mean sinkhole share of peer lists: "
+              f"{snap.mean_sinkhole_share * 100:.1f}%\n")
+
+    print("=== the /20 peer-list filter as takedown resistance ===\n")
+    for per_slash20, note in ((True, "8 sinkholes in 8 distinct /20s"),
+                              (False, "8 sinkholes packed into one /20")):
+        label, snap = run_campaign(91, True, per_slash20=per_slash20)
+        print(f"{note}:")
+        print(f"  mean sinkhole share of peer lists: "
+              f"{snap.mean_sinkhole_share * 100:.1f}%\n")
+    print("Zeus admits one peer-list entry per /20, so a single-subnet\n"
+          "campaign occupies at most 1 of ~50 slots per bot -- takedown\n"
+          "infrastructure needs subnet diversity, exactly like stealthy\n"
+          "distributed crawlers (Section 5.3).")
+
+
+if __name__ == "__main__":
+    main()

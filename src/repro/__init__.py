@@ -1,0 +1,40 @@
+"""repro -- reproduction of "Reliable Recon in Adversarial Peer-to-Peer
+Botnets" (Andriesse, Rossow, Bos; IMC 2015).
+
+The package builds the paper's full stack from scratch:
+
+* a discrete-event simulation kernel (:mod:`repro.sim`) and network
+  substrate with NAT/churn (:mod:`repro.net`);
+* behavioural emulations of GameOver Zeus and Sality v3 plus feature
+  models of the other major P2P families (:mod:`repro.botnets`);
+* the paper's contribution -- crawlers, sensors, Internet-wide
+  scanning, protocol-anomaly detection, and the distributed
+  out-degree crawler-detection algorithm (:mod:`repro.core`);
+* the in-the-wild recon-tool defect profiles and canned experiment
+  scenarios (:mod:`repro.workloads`);
+* analysis and table/figure renderers (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro.workloads.population import zeus_config
+    from repro.workloads.scenarios import build_zeus_scenario, launch_zeus_fleet
+    from repro.workloads.crawler_profiles import ZEUS_CRAWLERS
+    from repro.core.anomaly import ZeusAnomalyAnalyzer
+    from repro.sim.clock import DAY
+
+    scenario = build_zeus_scenario(zeus_config("tiny"), sensor_count=32)
+    launch_zeus_fleet(scenario, ZEUS_CRAWLERS[:3])
+    scenario.run_for(DAY)
+    findings = ZeusAnomalyAnalyzer().analyze(scenario.sensors)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "botnets",
+    "core",
+    "net",
+    "sim",
+    "workloads",
+]

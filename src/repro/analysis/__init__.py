@@ -1,0 +1,19 @@
+"""Analysis utilities: coverage metrics, detection scoring, renderers.
+
+* :mod:`repro.analysis.coverage` -- coverage-over-time series and the
+  relative-coverage numbers of Figures 3/4 and Table 4's C rows.
+* :mod:`repro.analysis.metrics` -- detection-accuracy grids and
+  precision/recall helpers for Table 4 / Figure 2.
+* :mod:`repro.analysis.tables` -- plain-text renderers that print each
+  of the paper's tables and figures from measured data.
+"""
+
+from repro.analysis.coverage import coverage_timeline, relative_coverage
+from repro.analysis.metrics import detection_table, precision_recall
+
+__all__ = [
+    "coverage_timeline",
+    "detection_table",
+    "precision_recall",
+    "relative_coverage",
+]

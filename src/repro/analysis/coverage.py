@@ -1,0 +1,45 @@
+"""Crawl-coverage metrics (Figures 3/4, Table 4 C rows)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.crawler import CrawlReport
+from repro.sim.clock import HOUR
+
+
+def coverage_timeline(
+    report: CrawlReport, until: float, bucket: float = HOUR
+) -> List[Tuple[float, int]]:
+    """Cumulative distinct-IP curve for one crawl (a Figure 3/4 line)."""
+    return report.coverage_series(until=until, bucket=bucket)
+
+
+def relative_coverage(limited: CrawlReport, full: CrawlReport) -> float:
+    """Bots found by a limited crawl relative to the unrestricted one.
+
+    This is the C metric of Table 4 ("% bots covered by crawler using
+    contact-ratio limiting (relative)") -- the paper stresses that
+    absolute reach is irrelevant, only the relative degradation.
+    """
+    if full.distinct_ips == 0:
+        return 0.0
+    return limited.distinct_ips / full.distinct_ips
+
+
+def relative_coverage_series(
+    reports: Dict[str, CrawlReport], baseline: str
+) -> Dict[str, float]:
+    """Relative coverage of several labelled crawls against one
+    baseline label (e.g. {'1/1': ..., '1/2': ...} against '1/1')."""
+    if baseline not in reports:
+        raise KeyError(f"baseline {baseline!r} not among reports")
+    full = reports[baseline]
+    return {label: relative_coverage(report, full) for label, report in reports.items()}
+
+
+def hourly_growth(series: Sequence[Tuple[float, int]]) -> List[int]:
+    """Per-bucket increments of a coverage curve (diagnoses whether a
+    crawl has converged or is still discovering)."""
+    counts = [count for _, count in series]
+    return [b - a for a, b in zip(counts, counts[1:])]

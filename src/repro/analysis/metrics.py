@@ -1,0 +1,53 @@
+"""Detection-accuracy metrics (Figure 2, Table 4)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.detection.offline import EvaluationResult
+
+
+def precision_recall(
+    classified: Set[int], ground_truth: Set[int]
+) -> Tuple[float, float]:
+    """(precision, recall) of a classified set against ground truth."""
+    if not classified:
+        return (1.0 if not ground_truth else 0.0, 0.0 if ground_truth else 1.0)
+    true_positives = len(classified & ground_truth)
+    precision = true_positives / len(classified)
+    recall = true_positives / len(ground_truth) if ground_truth else 1.0
+    return precision, recall
+
+
+def detection_table(
+    grid: Dict[Tuple[float, int], EvaluationResult],
+) -> List[Dict[str, float]]:
+    """Flatten a (threshold x ratio) grid into Table 4 rows.
+
+    One row per threshold: the false-positive count at full contact
+    plus the detection percentage per ratio column.
+    """
+    thresholds = sorted({threshold for threshold, _ in grid})
+    ratios = sorted({ratio for _, ratio in grid})
+    rows = []
+    for threshold in thresholds:
+        row: Dict[str, float] = {"t": threshold * 100}
+        base = grid.get((threshold, 1))
+        row["fp"] = float(base.false_positives) if base is not None else float("nan")
+        for ratio in ratios:
+            result = grid[(threshold, ratio)]
+            row[f"D1/{ratio}"] = round(result.detection_rate * 100, 1)
+        rows.append(row)
+    return rows
+
+
+def detection_series(
+    grid: Dict[Tuple[float, int], EvaluationResult], threshold: float
+) -> List[Tuple[int, float]]:
+    """One Figure 2 line: (contact ratio, % detected) for a threshold."""
+    points = [
+        (ratio, result.detection_rate * 100)
+        for (t, ratio), result in grid.items()
+        if t == threshold
+    ]
+    return sorted(points)

@@ -1,0 +1,30 @@
+"""Botnet protocol emulation.
+
+The paper treats a botnet as a digraph ``G = (V, E)`` whose vertices are
+bots and whose edges are is-neighbor (peer-list) relations.  This
+package builds that digraph and the protocols that maintain it:
+
+* :mod:`repro.botnets.graph` -- the connectivity digraph with in/out
+  degree accounting and the degree-sum invariant from Section 4.2.
+* :mod:`repro.botnets.base` -- the generic P2P bot: peer lists, peer
+  exchange loops, eviction of unresponsive peers.
+* :mod:`repro.botnets.zeus` -- GameOver Zeus wire protocol, crypto, and
+  bot behaviour (XOR-proximity peer selection, /20 peer-list filter,
+  30-minute suspend cycle, frequency-based automatic blacklisting).
+* :mod:`repro.botnets.sality` -- Sality v3 (goodcount reputation,
+  single-entry peer exchanges, URL packs, 40-minute suspend cycle).
+* :mod:`repro.botnets.families` -- feature descriptors for all six
+  major P2P families, backing Tables 1 and 5.
+* :mod:`repro.botnets.antirecon` -- active anti-recon attacks:
+  blacklisting, disinformation, retaliation (Section 3).
+"""
+
+from repro.botnets.base import BotNode, PeerEntry, PeerList
+from repro.botnets.graph import ConnectivityGraph
+
+__all__ = [
+    "BotNode",
+    "ConnectivityGraph",
+    "PeerEntry",
+    "PeerList",
+]

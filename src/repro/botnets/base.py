@@ -1,0 +1,239 @@
+"""Generic P2P bot machinery shared by every emulated family.
+
+Every P2P botnet in the paper's corpus maintains, per bot, a *peer
+list* of (bot id, address) entries, refreshed through periodic peer
+list exchanges, with unresponsive peers evicted.  The family-specific
+subclasses (:mod:`repro.botnets.zeus`, :mod:`repro.botnets.sality`)
+supply wire formats, peer-selection metrics, cycle timing, and
+anti-recon behaviour on top of this base.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.net.address import subnet_key
+from repro.net.transport import Endpoint, Message, Transport
+from repro.sim.scheduler import Scheduler, Timer
+
+
+@dataclass
+class PeerEntry:
+    """One peer-list entry: protocol identity plus network address."""
+
+    bot_id: bytes
+    endpoint: Endpoint
+    last_seen: float = 0.0
+    failures: int = 0
+    goodcount: int = 0  # Sality reputation; unused by other families
+
+
+class PeerList:
+    """Capacity-bounded peer list with an optional per-subnet IP filter.
+
+    ``ip_filter_prefix`` implements the deterrence measures of paper
+    Table 1: 32 keeps at most one entry per IP (Sality, ZeroAccess,
+    Hlux, Waledac), 20 keeps one per /20 subnet (GameOver Zeus), and
+    ``None`` disables the filter (Storm).
+    """
+
+    def __init__(self, capacity: int, ip_filter_prefix: Optional[int] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if ip_filter_prefix is not None and not 0 < ip_filter_prefix <= 32:
+            raise ValueError(f"bad ip_filter_prefix: {ip_filter_prefix}")
+        self.capacity = capacity
+        self.ip_filter_prefix = ip_filter_prefix
+        self._entries: Dict[bytes, PeerEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, bot_id: bytes) -> bool:
+        return bot_id in self._entries
+
+    def __iter__(self) -> Iterator[PeerEntry]:
+        return iter(list(self._entries.values()))
+
+    def get(self, bot_id: bytes) -> Optional[PeerEntry]:
+        return self._entries.get(bot_id)
+
+    def entries(self) -> List[PeerEntry]:
+        return list(self._entries.values())
+
+    def ids(self) -> Set[bytes]:
+        return set(self._entries)
+
+    def ips(self) -> Set[int]:
+        return {entry.endpoint.ip for entry in self._entries.values()}
+
+    def _subnet_conflict(self, candidate: PeerEntry) -> Optional[PeerEntry]:
+        if self.ip_filter_prefix is None:
+            return None
+        key = subnet_key(candidate.endpoint.ip, self.ip_filter_prefix)
+        for entry in self._entries.values():
+            if entry.bot_id == candidate.bot_id:
+                continue
+            if subnet_key(entry.endpoint.ip, self.ip_filter_prefix) == key:
+                return entry
+        return None
+
+    def add(self, entry: PeerEntry) -> bool:
+        """Insert or refresh ``entry``.
+
+        Returns True if the entry is present afterwards.  Rules, in
+        order: an existing entry with the same bot id is refreshed
+        in-place (address updates follow IP churn); the subnet filter
+        rejects a *different* bot in an occupied subnet; at capacity the
+        stalest entry is evicted iff the newcomer is fresher.
+        """
+        existing = self._entries.get(entry.bot_id)
+        if existing is not None:
+            # An address update must still respect the subnet filter:
+            # moving into an occupied subnet is rejected (the entry
+            # stays alive at its old address).
+            if existing.endpoint != entry.endpoint and self._subnet_conflict(entry) is not None:
+                existing.last_seen = max(existing.last_seen, entry.last_seen)
+                return True
+            existing.endpoint = entry.endpoint
+            existing.last_seen = max(existing.last_seen, entry.last_seen)
+            return True
+        if self._subnet_conflict(entry) is not None:
+            return False
+        if len(self._entries) >= self.capacity:
+            stalest = min(self._entries.values(), key=lambda e: e.last_seen)
+            if stalest.last_seen >= entry.last_seen:
+                return False
+            del self._entries[stalest.bot_id]
+        self._entries[entry.bot_id] = entry
+        return True
+
+    def remove(self, bot_id: bytes) -> bool:
+        return self._entries.pop(bot_id, None) is not None
+
+    def touch(self, bot_id: bytes, now: float) -> None:
+        """Mark a peer responsive: refresh last_seen, clear failures."""
+        entry = self._entries.get(bot_id)
+        if entry is not None:
+            entry.last_seen = now
+            entry.failures = 0
+
+    def record_failure(self, bot_id: bytes, evict_after: int) -> bool:
+        """Count an unanswered probe; evict after ``evict_after`` misses.
+
+        Returns True if the peer was evicted.  This is the eviction
+        mechanism that forces sensors to implement enough protocol to
+        keep answering probes (Section 2.2).
+        """
+        entry = self._entries.get(bot_id)
+        if entry is None:
+            return False
+        entry.failures += 1
+        if entry.failures >= evict_after:
+            del self._entries[bot_id]
+            return True
+        return False
+
+
+@dataclass
+class BotCounters:
+    """Per-bot traffic counters used by tests and coverage metrics."""
+
+    messages_in: int = 0
+    messages_out: int = 0
+    requests_served: int = 0
+    cycles: int = 0
+
+
+class BotNode:
+    """Base class for protocol bots, sensors, and crawler endpoints.
+
+    Subclasses implement :meth:`handle_message` (inbound dispatch) and
+    :meth:`run_cycle` (the periodic active behaviour between suspend
+    periods).  The base class owns binding, the cycle timer, and
+    counters.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        bot_id: bytes,
+        endpoint: Endpoint,
+        transport: Transport,
+        scheduler: Scheduler,
+        rng: random.Random,
+        routable: bool = True,
+        cycle_interval: float = 1800.0,
+        cycle_jitter: float = 0.1,
+    ) -> None:
+        self.node_id = node_id
+        self.bot_id = bot_id
+        self.endpoint = endpoint
+        self.transport = transport
+        self.scheduler = scheduler
+        self.rng = rng
+        self.routable = routable
+        self.cycle_interval = cycle_interval
+        self.cycle_jitter = cycle_jitter
+        self.counters = BotCounters()
+        self.online = False
+        self._cycle_timer: Optional[Timer] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, first_cycle_delay: Optional[float] = None) -> None:
+        """Bind the endpoint and begin the suspend/request cycle."""
+        if self.online:
+            return
+        self.transport.bind(self.endpoint, self._on_message, routable=self.routable)
+        self.online = True
+        if first_cycle_delay is None:
+            # Stagger initial cycles uniformly so the population does
+            # not fire in lock-step.
+            first_cycle_delay = self.rng.uniform(0, self.cycle_interval)
+        self._cycle_timer = self.scheduler.call_later(first_cycle_delay, self._cycle)
+
+    def stop(self) -> None:
+        if not self.online:
+            return
+        self.online = False
+        self.transport.unbind(self.endpoint)
+        if self._cycle_timer is not None:
+            self._cycle_timer.cancel()
+            self._cycle_timer = None
+
+    def rebind(self, new_endpoint: Endpoint) -> None:
+        """Move to a new address (IP churn) without losing state."""
+        if self.online:
+            self.transport.rebind(self.endpoint, new_endpoint)
+        self.endpoint = new_endpoint
+
+    # -- messaging --------------------------------------------------------
+
+    def send(self, dst: Endpoint, payload: bytes) -> bool:
+        self.counters.messages_out += 1
+        return self.transport.send(self.endpoint, dst, payload)
+
+    def _on_message(self, message: Message) -> None:
+        self.counters.messages_in += 1
+        self.handle_message(message)
+
+    def handle_message(self, message: Message) -> None:
+        raise NotImplementedError
+
+    # -- periodic behaviour -------------------------------------------------
+
+    def _cycle(self) -> None:
+        if not self.online:
+            return
+        self.counters.cycles += 1
+        self.run_cycle()
+        jitter = self.rng.uniform(1 - self.cycle_jitter, 1 + self.cycle_jitter)
+        self._cycle_timer = self.scheduler.call_later(
+            self.cycle_interval * jitter, self._cycle
+        )
+
+    def run_cycle(self) -> None:
+        raise NotImplementedError

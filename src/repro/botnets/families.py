@@ -1,0 +1,206 @@
+"""Feature descriptors for the six major P2P botnet families.
+
+Tables 1 and 5 of the paper are property matrices over the families
+active since 2007: GameOver Zeus, Sality, ZeroAccess, Kelihos/Hlux,
+Waledac, and Storm.  This module encodes those properties as data, so
+the tables can be *regenerated* (and the scanner/recon code can branch
+on the same facts the paper's analysis used).
+
+Zeus and Sality additionally have full behavioural emulations in
+:mod:`repro.botnets.zeus` and :mod:`repro.botnets.sality`; the other
+four are modelled at the feature level plus a lightweight probeable
+responder (enough for the Internet-wide scanning experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+
+class IpFilter(Enum):
+    """Sensor-injection IP filters (Table 1, "IP filter" column)."""
+
+    NONE = "-"
+    PER_IP = "By IP"
+    PER_SLASH20 = "By /20"
+
+
+class InfoLimit(Enum):
+    """Information limiting designed to slow crawling."""
+
+    PEER_LIST = "Peer list"    # small peer-list responses
+    RELAY_LIST = "Relay list"  # only a small relay set circulates
+    PROXIMITY = "Proximity"    # metric-restricted responses
+
+
+class Blacklisting(Enum):
+    NONE = "-"
+    MANUAL = "Manual"
+    AUTO_AND_STATIC = "Auto + static"
+
+
+@dataclass(frozen=True)
+class FamilyProfile:
+    """Everything Tables 1 and 5 say about one family."""
+
+    name: str
+    # Table 1 -- deterrence
+    ip_filter: IpFilter
+    reputation: Optional[str]           # e.g. "Goodcount" for Sality
+    info_limit: InfoLimit
+    clustering: Optional[str]           # "XOR metric", "Relay core", or None
+    flux: Optional[str]                 # continuous peer-list overwrite
+    # Table 1 -- attacks
+    blacklisting: Blacklisting
+    disinformation: Optional[str]       # "Junk", "Rogue", or None
+    retaliation: Optional[str]          # "DDoS after attack" or None
+    # Table 5 -- Internet-wide scanning prerequisites
+    port_range: Tuple[int, int]         # inclusive listening-port range
+    probe_constructible: bool           # can an infection probe be built
+    #   Zeus probes need the target's bot ID a priori (destination-keyed
+    #   encryption), so probe_constructible is False for Zeus.
+    # misc protocol facts used elsewhere
+    peer_list_capacity: int = 0
+    entries_per_response: int = 0
+    suspend_cycle_minutes: int = 0
+
+    @property
+    def fixed_port(self) -> bool:
+        """Table 5 "Fixed port": a single port or a tiny range."""
+        low, high = self.port_range
+        return (high - low) < 8
+
+    @property
+    def scanning_susceptible(self) -> bool:
+        """Table 5 "Susceptible": both prerequisites must hold."""
+        return self.fixed_port and self.probe_constructible
+
+
+ZEUS = FamilyProfile(
+    name="Zeus",
+    ip_filter=IpFilter.PER_SLASH20,
+    reputation=None,
+    info_limit=InfoLimit.PEER_LIST,
+    clustering="XOR metric",
+    flux=None,
+    blacklisting=Blacklisting.AUTO_AND_STATIC,
+    disinformation=None,
+    retaliation="After attack",
+    port_range=(1024, 10000),
+    probe_constructible=False,
+    peer_list_capacity=150,
+    entries_per_response=10,
+    suspend_cycle_minutes=30,
+)
+
+SALITY = FamilyProfile(
+    name="Sality",
+    ip_filter=IpFilter.PER_IP,
+    reputation="Goodcount",
+    info_limit=InfoLimit.PEER_LIST,
+    clustering=None,
+    flux=None,
+    blacklisting=Blacklisting.NONE,
+    disinformation=None,
+    retaliation=None,
+    port_range=(1024, 65535),
+    probe_constructible=True,
+    peer_list_capacity=1000,
+    entries_per_response=1,
+    suspend_cycle_minutes=40,
+)
+
+ZEROACCESS = FamilyProfile(
+    name="ZeroAccess",
+    ip_filter=IpFilter.PER_IP,
+    reputation=None,
+    info_limit=InfoLimit.PEER_LIST,
+    clustering=None,
+    flux="Peer push",
+    blacklisting=Blacklisting.MANUAL,
+    disinformation="Junk",
+    retaliation=None,
+    port_range=(16471, 16471),
+    probe_constructible=True,
+    peer_list_capacity=256,
+    entries_per_response=16,
+    suspend_cycle_minutes=15,
+)
+
+KELIHOS = FamilyProfile(
+    name="Kelihos/Hlux",
+    ip_filter=IpFilter.PER_IP,
+    reputation=None,
+    info_limit=InfoLimit.RELAY_LIST,
+    clustering="Relay core",
+    flux=None,
+    blacklisting=Blacklisting.MANUAL,
+    disinformation=None,
+    retaliation=None,
+    port_range=(80, 80),
+    probe_constructible=True,
+    peer_list_capacity=500,
+    entries_per_response=250,
+    suspend_cycle_minutes=10,
+)
+
+WALEDAC = FamilyProfile(
+    name="Waledac",
+    ip_filter=IpFilter.PER_IP,
+    reputation=None,
+    info_limit=InfoLimit.RELAY_LIST,
+    clustering=None,
+    flux=None,
+    blacklisting=Blacklisting.NONE,
+    disinformation=None,
+    retaliation=None,
+    port_range=(1024, 65535),
+    probe_constructible=True,
+    peer_list_capacity=500,
+    entries_per_response=100,
+    suspend_cycle_minutes=30,
+)
+
+STORM = FamilyProfile(
+    name="Storm",
+    ip_filter=IpFilter.NONE,
+    reputation=None,
+    info_limit=InfoLimit.PROXIMITY,
+    clustering="XOR metric",
+    flux=None,
+    blacklisting=Blacklisting.NONE,
+    disinformation="Rogue",
+    retaliation="After attack",
+    port_range=(1024, 65535),
+    probe_constructible=True,
+    peer_list_capacity=1000,
+    entries_per_response=10,
+    suspend_cycle_minutes=10,
+)
+
+FAMILIES: Dict[str, FamilyProfile] = {
+    profile.name: profile
+    for profile in (ZEUS, SALITY, ZEROACCESS, KELIHOS, WALEDAC, STORM)
+}
+
+# Presentation order used by the paper's tables.
+FAMILY_ORDER: List[str] = [
+    "Zeus",
+    "Sality",
+    "ZeroAccess",
+    "Kelihos/Hlux",
+    "Waledac",
+    "Storm",
+]
+
+
+def get_family(name: str) -> FamilyProfile:
+    """Look up a family by its table name."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown family {name!r}; known: {', '.join(FAMILY_ORDER)}"
+        ) from None

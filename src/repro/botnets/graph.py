@@ -1,0 +1,155 @@
+"""Botnet connectivity digraph.
+
+An edge ``a -> b`` means "a knows b": b appears in a's peer list.  The
+out-degree of a node is its peer-list size; its in-degree is how many
+peer lists it appears in.  Two facts from the paper live here:
+
+* The **degree sum formula** (Section 4.2, footnote 1):
+  ``sum(out degrees) == sum(in degrees) == |E|``.  It is the reason
+  botmasters cannot expose sensors by capping in-degree without also
+  capping out-degree and crippling their own connectivity.  The graph
+  maintains both indexes and :meth:`check_degree_sum` asserts the
+  invariant (also property-tested).
+* Sensors have anomalously **high in-degree**, crawlers anomalously
+  high **out-degree**; :meth:`top_in_degree` / :meth:`top_out_degree`
+  are the primitives the sensor-hunting analysis of Section 4.2 uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+
+class ConnectivityGraph:
+    """Directed graph over opaque string node ids."""
+
+    def __init__(self) -> None:
+        self._succ: Dict[str, Set[str]] = {}
+        self._pred: Dict[str, Set[str]] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def add_node(self, node: str) -> None:
+        self._succ.setdefault(node, set())
+        self._pred.setdefault(node, set())
+
+    def add_edge(self, src: str, dst: str) -> None:
+        """Record that ``src`` knows ``dst``.  Idempotent; loops rejected."""
+        if src == dst:
+            raise ValueError(f"self-loop rejected: {src}")
+        self.add_node(src)
+        self.add_node(dst)
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def remove_edge(self, src: str, dst: str) -> None:
+        self._succ.get(src, set()).discard(dst)
+        self._pred.get(dst, set()).discard(src)
+
+    def remove_node(self, node: str) -> None:
+        """Remove ``node`` and every incident edge."""
+        for dst in self._succ.pop(node, set()):
+            self._pred[dst].discard(node)
+        for src in self._pred.pop(node, set()):
+            self._succ[src].discard(node)
+
+    # -- queries ----------------------------------------------------------
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    @property
+    def nodes(self) -> Iterator[str]:
+        return iter(self._succ)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self._succ.values())
+
+    def edges(self) -> Iterator[Tuple[str, str]]:
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield (src, dst)
+
+    def successors(self, node: str) -> Set[str]:
+        """Nodes that ``node`` knows (its peer list)."""
+        return set(self._succ.get(node, set()))
+
+    def predecessors(self, node: str) -> Set[str]:
+        """Nodes that know ``node``."""
+        return set(self._pred.get(node, set()))
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        return dst in self._succ.get(src, set())
+
+    def out_degree(self, node: str) -> int:
+        return len(self._succ.get(node, set()))
+
+    def in_degree(self, node: str) -> int:
+        return len(self._pred.get(node, set()))
+
+    # -- paper-specific analyses -------------------------------------------
+
+    def check_degree_sum(self) -> int:
+        """Assert the degree sum formula; return ``|E|``.
+
+        Raises :class:`AssertionError` if the internal indexes have
+        diverged (which would indicate a bug, never a valid state).
+        """
+        out_sum = sum(len(s) for s in self._succ.values())
+        in_sum = sum(len(p) for p in self._pred.values())
+        if out_sum != in_sum:
+            raise AssertionError(
+                f"degree sum violated: sum(out)={out_sum} != sum(in)={in_sum}"
+            )
+        return out_sum
+
+    def top_in_degree(self, count: int) -> List[Tuple[str, int]]:
+        """Nodes with highest in-degree (sensor-candidate scan)."""
+        ranked = sorted(
+            ((node, len(preds)) for node, preds in self._pred.items()),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked[:count]
+
+    def top_out_degree(self, count: int) -> List[Tuple[str, int]]:
+        """Nodes with highest out-degree (crawler-candidate scan)."""
+        ranked = sorted(
+            ((node, len(succs)) for node, succs in self._succ.items()),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked[:count]
+
+    def reachable_from(self, starts: Iterable[str]) -> Set[str]:
+        """Forward-reachable set -- what an ideal crawler could learn
+        starting from a bootstrap peer list."""
+        frontier = [s for s in starts if s in self._succ]
+        seen: Set[str] = set(frontier)
+        while frontier:
+            node = frontier.pop()
+            for nxt in self._succ.get(node, set()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return seen
+
+    def snapshot(self) -> "ConnectivityGraph":
+        """Deep copy, for before/after comparisons in experiments."""
+        clone = ConnectivityGraph()
+        for node in self._succ:
+            clone.add_node(node)
+        for src, dst in self.edges():
+            clone.add_edge(src, dst)
+        return clone
+
+    def to_networkx(self):  # pragma: no cover - thin convenience shim
+        """Export to a ``networkx.DiGraph`` for ad-hoc analysis."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._succ)
+        graph.add_edges_from(self.edges())
+        return graph

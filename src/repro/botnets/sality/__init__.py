@@ -1,0 +1,47 @@
+"""Sality v3 emulation.
+
+Implements the protocol properties the paper's analysis rests on:
+
+* Peer lists of ~1000 entries with at most one entry per IP, but only
+  a **single peer entry returned per peer-exchange response** -- the
+  constraint that forces Sality crawlers into hard-hitting request
+  frequencies (Section 4.1.5) and makes frequency limiting devastating
+  to their coverage (Figure 4b).
+* A **goodcount reputation scheme**: peers accrue reputation by
+  responding correctly over time and are only propagated to other bots
+  once well-reputed -- the sensor-injection deterrent of Section 3.1.
+* 40-minute suspend cycle between request rounds.
+* Randomized source port per message exchange for routable bots
+  (crawlers that send from one fixed port exhibit the "port range"
+  defect of Table 2).
+* URL-pack exchange messages (the payload distribution channel); real
+  bots intersperse these with peer exchanges, crawlers typically do not.
+* Version-number fields; in-the-wild crawlers got the minor version
+  wrong (Table 2, "Version" row).
+
+The wire format is synthetic (documented in
+:mod:`repro.botnets.sality.protocol`) but preserves every field class
+the paper's anomaly analysis uses.
+"""
+
+from repro.botnets.sality.bot import SalityBot, SalityConfig
+from repro.botnets.sality.network import SalityNetwork, SalityNetworkConfig
+from repro.botnets.sality.protocol import (
+    Command,
+    SalityDecodeError,
+    SalityMessage,
+    decode_packet,
+    encode_packet,
+)
+
+__all__ = [
+    "Command",
+    "SalityBot",
+    "SalityConfig",
+    "SalityDecodeError",
+    "SalityMessage",
+    "SalityNetwork",
+    "SalityNetworkConfig",
+    "decode_packet",
+    "encode_packet",
+]

@@ -1,0 +1,46 @@
+"""GameOver (P2P) Zeus emulation.
+
+Implements the protocol properties the paper's analysis rests on:
+
+* 44-byte message header with a random lead byte, randomized TTL,
+  length-of-padding (LOP) field, random per-exchange session IDs, and
+  20-byte source bot IDs (Section 4.1.1).
+* Per-recipient encryption: messages to a bot are encrypted under that
+  bot's ID (Section 4.1.3, Section 7), layered over a chained-XOR
+  "visual" encoding.
+* Peer-list responses of up to 10 entries selected by XOR proximity to
+  the request's lookup key; normal bots set the lookup key to the
+  remote peer's identifier (Section 4.1.4).
+* Peer lists capped at 150 entries, typically ~50, with at most one
+  entry per /20 subnet (Sections 3.1, 4.1.5).
+* 30-minute suspend cycle between request rounds (Section 4.1.5).
+* Frequency-based automatic blacklisting of hard hitters plus a static
+  hardcoded blacklist (Section 3.2).
+* Listening ports drawn from 1024-10000 (Section 7).
+"""
+
+from repro.botnets.zeus.bot import ZeusBot, ZeusConfig
+from repro.botnets.zeus.network import ZeusNetwork, ZeusNetworkConfig
+from repro.botnets.zeus.protocol import (
+    MessageType,
+    ZeusDecodeError,
+    ZeusMessage,
+    decode_message,
+    decrypt_message,
+    encode_message,
+    encrypt_message,
+)
+
+__all__ = [
+    "MessageType",
+    "ZeusBot",
+    "ZeusConfig",
+    "ZeusDecodeError",
+    "ZeusMessage",
+    "ZeusNetwork",
+    "ZeusNetworkConfig",
+    "decode_message",
+    "decrypt_message",
+    "encode_message",
+    "encrypt_message",
+]

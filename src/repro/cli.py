@@ -1,0 +1,142 @@
+"""Command-line interface: quick looks at the reproduction.
+
+Usage::
+
+    python -m repro table {1,5,6}     # print a qualitative table
+    python -m repro crawl [options]   # crawl a simulated Zeus botnet
+    python -m repro detect [options]  # crawl + distributed detection
+
+The heavyweight exhibits (Tables 2-4, Figures 2-4) are benchmark
+targets -- see ``pytest benchmarks/ --benchmark-only`` -- because they
+re-run the paper's 24-hour measurement windows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.analysis.tables import render_table1, render_table5, render_table6
+from repro.core.anomaly import ZeusAnomalyAnalyzer
+from repro.core.crawler import ZeusCrawler
+from repro.core.defects import ZeusDefectProfile
+from repro.core.detection import DetectionConfig, SensorLogDataset, evaluate_detection
+from repro.core.stealth import StealthPolicy
+from repro.net.address import format_ip, parse_ip
+from repro.net.transport import Endpoint
+from repro.sim.clock import HOUR
+from repro.workloads.population import SCALES, zeus_config
+from repro.workloads.scenarios import build_zeus_scenario
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    renderers = {1: render_table1, 5: render_table5, 6: render_table6}
+    print(renderers[args.number]())
+    return 0
+
+
+def _build(args: argparse.Namespace):
+    scenario = build_zeus_scenario(
+        zeus_config(args.scale, master_seed=args.seed),
+        sensor_count=args.sensors,
+        announce_hours=2.0,
+    )
+    crawler = ZeusCrawler(
+        name="cli-crawler",
+        endpoint=Endpoint(parse_ip("99.0.0.1"), 7000),
+        transport=scenario.net.transport,
+        scheduler=scenario.net.scheduler,
+        rng=random.Random(args.seed),
+        policy=StealthPolicy(
+            contact_ratio=args.contact_ratio,
+            per_target_interval=15.0,
+            requests_per_target=4,
+        ),
+        profile=ZeusDefectProfile(name="cli", hard_hitter=args.hard_hitter),
+    )
+    crawler.start(scenario.net.bootstrap_sample(8, seed=args.seed))
+    scenario.run_for(args.hours * HOUR)
+    return scenario, crawler
+
+
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    scenario, crawler = _build(args)
+    net = scenario.net
+    routable = {bot.endpoint.ip for bot in net.routable_bots}
+    report = crawler.report
+    print(f"population:        {len(net.bots)} bots ({len(routable)} routable)")
+    print(f"requests sent:     {report.requests_sent}")
+    print(f"distinct IPs:      {report.distinct_ips}")
+    print(f"routable found:    {len(set(report.first_seen_ip) & routable)}/{len(routable)}")
+    print(f"verified bots:     {len(report.verified_bots)}")
+    print(f"edges collected:   {len(report.edges)}")
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    scenario, crawler = _build(args)
+    findings = ZeusAnomalyAnalyzer().analyze(scenario.sensors)
+    for finding in findings:
+        if finding.defects:
+            print(
+                f"anomalous source {format_ip(finding.ip)}: "
+                f"coverage {finding.coverage * 100:.0f}%, "
+                f"defects: {', '.join(finding.defects)}"
+            )
+    dataset = SensorLogDataset.from_zeus_sensors(
+        scenario.sensors, since=scenario.measurement_start
+    )
+    result = evaluate_detection(
+        dataset,
+        crawler_ips={crawler.endpoint.ip},
+        config=DetectionConfig(group_bits=args.group_bits, threshold=args.threshold),
+        rng=random.Random(args.seed),
+    )
+    verdict = "DETECTED" if result.detection_rate == 1.0 else "evaded"
+    print(f"coverage-based detection: crawler {verdict} "
+          f"({result.false_positives} false positives)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reliable Recon in Adversarial P2P Botnets (IMC 2015) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table = sub.add_parser("table", help="print a qualitative table (1, 5, or 6)")
+    table.add_argument("number", type=int, choices=(1, 5, 6))
+    table.set_defaults(func=_cmd_table)
+
+    def add_scenario_options(p):
+        p.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+        p.add_argument("--sensors", type=int, default=16)
+        p.add_argument("--hours", type=float, default=4.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--contact-ratio", type=int, default=1)
+        p.add_argument("--hard-hitter", action="store_true")
+
+    crawl = sub.add_parser("crawl", help="crawl a simulated Zeus botnet")
+    add_scenario_options(crawl)
+    crawl.set_defaults(func=_cmd_crawl)
+
+    detect = sub.add_parser(
+        "detect", help="crawl, then run anomaly analysis + distributed detection"
+    )
+    add_scenario_options(detect)
+    detect.add_argument("--threshold", type=float, default=0.30)
+    detect.add_argument("--group-bits", type=int, default=2)
+    detect.set_defaults(func=_cmd_detect)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""The paper's primary contribution: recon tools, their defect models,
+anomaly detection, and the distributed crawler-detection algorithm.
+
+Layout:
+
+* :mod:`repro.core.defects` -- per-crawler/sensor defect profiles (the
+  shortcomings of Tables 2/3 and Section 4.2) and message forgers that
+  reproduce them on the wire.
+* :mod:`repro.core.stealth` -- stealthy crawling strategies (Section
+  5): contact-ratio limiting, request-frequency limiting, distributed
+  crawling.
+* :mod:`repro.core.crawler` -- Zeus and Sality crawlers built on those
+  pieces, with coverage timelines (Figures 3/4).
+* :mod:`repro.core.sensor` -- passive sensors with announcement and
+  active peer-list-request augmentation (Sections 2.2, 4.2).
+* :mod:`repro.core.scanning` -- Internet-wide scanning (Section 7,
+  Table 5).
+* :mod:`repro.core.anomaly` -- protocol-specific anomaly detectors
+  (Section 4.1/4.2; regenerates Tables 2/3).
+* :mod:`repro.core.detection` -- the syntax-agnostic distributed
+  crawler-detection algorithm (Section 4.3; Figure 2, Table 4).
+"""
+
+from repro.core.crawler import CrawlReport, SalityCrawler, ZeusCrawler
+from repro.core.defects import SalityDefectProfile, ZeusDefectProfile
+from repro.core.sensor import SalitySensor, SensorDefectProfile, ZeusSensor
+from repro.core.stealth import StealthPolicy
+
+__all__ = [
+    "CrawlReport",
+    "SalityCrawler",
+    "SalityDefectProfile",
+    "SalitySensor",
+    "SensorDefectProfile",
+    "StealthPolicy",
+    "ZeusCrawler",
+    "ZeusDefectProfile",
+    "ZeusSensor",
+]

@@ -1,0 +1,37 @@
+"""Protocol-specific anomaly detection (paper Sections 4.1 and 4.2).
+
+Sensors log every inbound message field-by-field; these detectors scan
+those logs, per source IP, for the defect classes of Tables 2 and 3:
+
+* :mod:`repro.core.anomaly.entropy` -- entropy estimation helpers and
+  low-entropy field detection (Section 4.1.2).
+* :mod:`repro.core.anomaly.range_rules` -- static/constrained values in
+  fields that should be randomized, and random values in fields that
+  should be stable (Section 4.1.1).
+* :mod:`repro.core.anomaly.encryption` -- invalid-encryption detection
+  (Section 4.1.3).
+* :mod:`repro.core.anomaly.logic` -- protocol-logic anomalies: bare
+  peer-list-request streams, abnormal lookup keys, stale version
+  numbers (Section 4.1.4).
+* :mod:`repro.core.anomaly.frequency` -- hard-hitter detection
+  (Section 4.1.5).
+* :mod:`repro.core.anomaly.report` -- the analyzer pipelines that merge
+  sensor logs, apply every rule, and emit the per-crawler defect
+  matrices that regenerate Tables 2 and 3.
+"""
+
+from repro.core.anomaly.report import (
+    CrawlerFinding,
+    SalityAnomalyAnalyzer,
+    SalityThresholds,
+    ZeusAnomalyAnalyzer,
+    ZeusThresholds,
+)
+
+__all__ = [
+    "CrawlerFinding",
+    "SalityAnomalyAnalyzer",
+    "SalityThresholds",
+    "ZeusAnomalyAnalyzer",
+    "ZeusThresholds",
+]

@@ -1,0 +1,24 @@
+"""Invalid-encryption detection (Section 4.1.3).
+
+7 of the 21 in-the-wild Zeus crawlers interleaved correctly encoded
+messages with ones encrypted under the wrong per-bot key (they lost
+track of which ID belongs to which bot).  At the sensor, those appear
+as undecryptable blobs from a source that *also* sends valid traffic
+-- persistent garbage from an IP that never decodes is just noise, not
+a broken crawler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EncryptionRule:
+    """Flags sources interspersing valid and undecryptable messages."""
+
+    min_invalid: int = 2
+    min_valid: int = 1
+
+    def is_anomalous(self, valid_count: int, invalid_count: int) -> bool:
+        return invalid_count >= self.min_invalid and valid_count >= self.min_valid

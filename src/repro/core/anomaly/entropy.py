@@ -1,0 +1,74 @@
+"""Entropy estimation and low-entropy field detection (Section 4.1.2).
+
+Zeus source and session IDs are SHA-1 hashes, and message padding is
+random, so any of those fields observed with materially less than 8
+bits/byte of empirical entropy -- or with conspicuous printable-ASCII
+content like ``ACME-MALWARE-LAB-07`` -- betrays a crawler.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, List, Sequence
+
+# High-entropy 20-byte hashes pool to well above this once a few
+# samples accumulate; ASCII identifiers and zeroed padding land far
+# below it.
+DEFAULT_MIN_BITS_PER_BYTE = 3.5
+# Fraction of printable-ASCII bytes above which an "SHA-1" field is
+# clearly a human-chosen string.
+DEFAULT_MAX_PRINTABLE_RATIO = 0.85
+
+
+def shannon_entropy(data: bytes) -> float:
+    """Empirical Shannon entropy of ``data`` in bits per byte.
+
+    Returns 0.0 for empty input.
+    """
+    if not data:
+        return 0.0
+    counts = Counter(data)
+    total = len(data)
+    return -sum(
+        (count / total) * math.log2(count / total) for count in counts.values()
+    )
+
+
+def printable_ratio(data: bytes) -> float:
+    """Fraction of printable-ASCII bytes (0x20-0x7E)."""
+    if not data:
+        return 0.0
+    return sum(1 for b in data if 0x20 <= b <= 0x7E) / len(data)
+
+
+def pooled_entropy(samples: Iterable[bytes]) -> float:
+    """Entropy of the concatenation of all samples.
+
+    Pooling matters: a single 20-byte hash has at most ~4.3 bits/byte
+    of *empirical* entropy (20 samples over 256 symbols), so per-sample
+    estimates are meaningless; the pool converges to ~8 for true
+    randomness and stays low for repetitive or ASCII content.
+    """
+    return shannon_entropy(b"".join(samples))
+
+
+def is_low_entropy(
+    samples: Sequence[bytes],
+    min_bits_per_byte: float = DEFAULT_MIN_BITS_PER_BYTE,
+    max_printable_ratio: float = DEFAULT_MAX_PRINTABLE_RATIO,
+    min_bytes: int = 40,
+) -> bool:
+    """Do the pooled ``samples`` betray a non-random field?
+
+    Two independent signals: pooled entropy below the threshold, or a
+    dominant printable-ASCII composition.  Requires at least
+    ``min_bytes`` of pooled data before judging, to avoid flagging
+    sources seen only once or twice.
+    """
+    pooled = b"".join(samples)
+    if len(pooled) < min_bytes:
+        return False
+    if shannon_entropy(pooled) < min_bits_per_byte:
+        return True
+    return printable_ratio(pooled) > max_printable_ratio

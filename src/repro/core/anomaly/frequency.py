@@ -1,0 +1,57 @@
+"""Request-frequency (hard-hitter) anomaly detection (Section 4.1.5).
+
+Real bots exchange one peer-list request per neighbor and then suspend
+for a full cycle (30 min Zeus, 40 min Sality).  Crawlers chasing
+coverage fire repeated requests at the same bot in quick succession.
+The rule looks for bursts *within one sensor's log*: several requests
+from the same source inside a small fraction of the suspend cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class HardHitterRule:
+    """Flags sources bursting requests at a single observer.
+
+    A source is a hard hitter if any sliding window of
+    ``burst_size`` consecutive requests (to one sensor) spans less
+    than ``burst_window_fraction`` of the family's suspend cycle.
+    """
+
+    suspend_cycle: float
+    burst_size: int = 3
+    burst_window_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.suspend_cycle <= 0:
+            raise ValueError("suspend_cycle must be positive")
+        if self.burst_size < 2:
+            raise ValueError("burst_size must be >= 2")
+
+    @property
+    def burst_window(self) -> float:
+        return self.suspend_cycle * self.burst_window_fraction
+
+    def is_hard_hitter(self, request_times: Sequence[float]) -> bool:
+        """``request_times``: timestamps of one source's requests at
+        one sensor (any order)."""
+        if len(request_times) < self.burst_size:
+            return False
+        times = sorted(request_times)
+        window = self.burst_window
+        span = self.burst_size - 1
+        return any(
+            times[i + span] - times[i] < window for i in range(len(times) - span)
+        )
+
+    def median_gap(self, request_times: Sequence[float]) -> float:
+        """Median inter-request gap, a secondary diagnostic."""
+        if len(request_times) < 2:
+            return float("inf")
+        times = sorted(request_times)
+        gaps = sorted(b - a for a, b in zip(times, times[1:]))
+        return gaps[len(gaps) // 2]

@@ -1,0 +1,66 @@
+"""Protocol-logic anomaly detection (Section 4.1.4).
+
+Crawlers cut corners on protocol logic: they stream bare peer-list
+requests without the version/update/URL-pack traffic real bots
+intersperse, randomize the Zeus lookup key that real bots always set to
+the remote peer's ID, and (in Sality) ship stale minor version numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class MessageMixRule:
+    """Flags sources whose traffic is (nearly) all peer-list requests.
+
+    Real bots mix message types: version probes every cycle, periodic
+    update and URL-pack exchanges.  ``max_plr_fraction`` is generous
+    because even real bots lean towards peer-list traffic when short
+    on peers.
+    """
+
+    min_samples: int = 10
+    max_plr_fraction: float = 0.90
+
+    def is_anomalous(self, plr_count: int, total_count: int) -> bool:
+        if total_count < self.min_samples:
+            return False
+        return plr_count / total_count > self.max_plr_fraction
+
+
+@dataclass(frozen=True)
+class LookupKeyRule:
+    """Flags Zeus sources whose lookup keys are not the receiver's ID.
+
+    Normal bots "always set this field to the identifier of the remote
+    peer" -- the sensor knows its own ID, so any other value is a
+    randomized (coverage-widening) lookup.  A small tolerance absorbs
+    requests that raced an ID change.
+    """
+
+    min_samples: int = 5
+    max_mismatch_fraction: float = 0.5
+
+    def is_anomalous(self, lookup_keys: Sequence[bytes], receiver_id: bytes) -> bool:
+        relevant = [key for key in lookup_keys if key]
+        if len(relevant) < self.min_samples:
+            return False
+        mismatches = sum(1 for key in relevant if key != receiver_id)
+        return mismatches / len(relevant) > self.max_mismatch_fraction
+
+
+@dataclass(frozen=True)
+class VersionRule:
+    """Flags Sality sources reporting a wrong minor version
+    (Table 2: only 2 of 11 crawlers used a valid one)."""
+
+    min_samples: int = 5
+
+    def is_anomalous(self, minor_versions: Sequence[int], current_minor: int) -> bool:
+        if len(minor_versions) < self.min_samples:
+            return False
+        wrong = sum(1 for v in minor_versions if v != current_minor)
+        return wrong / len(minor_versions) > 0.5

@@ -1,0 +1,64 @@
+"""Range-anomaly detection (Section 4.1.1).
+
+Range anomalies are static or constrained values in message fields
+that real bots randomize (random byte, TTL, padding length, session
+IDs, Sality source ports) -- and, dually, random values in fields that
+real bots keep stable (Zeus source IDs, Sality bot IDs).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class RangeRule:
+    """Flags a field as *constrained* when a handful of values dominate
+    across enough samples.
+
+    ``min_samples`` guards against judging sparse traffic;
+    ``max_distinct`` is the largest dominant-value count still
+    considered anomalous (e.g. 3 tolerates a crawler rotating among a
+    small session pool, Section 4.1.1).  Dominance rather than an
+    exact distinct count keeps the rule robust against stray samples:
+    a crawler with the invalid-encryption defect occasionally emits
+    wrongly-keyed messages that decode to random garbage fields, and a
+    few such outliers must not launder an otherwise constant field.
+    """
+
+    min_samples: int = 10
+    max_distinct: int = 2
+    dominance: float = 0.95
+
+    def is_constrained(self, values: Sequence) -> bool:
+        if len(values) < self.min_samples:
+            return False
+        top = Counter(values).most_common(self.max_distinct)
+        return sum(count for _, count in top) / len(values) >= self.dominance
+
+
+@dataclass(frozen=True)
+class DispersionRule:
+    """Flags a field as *anomalously random* when too many distinct
+    values are seen -- e.g. a fresh source ID on every message, where a
+    real bot's ID is stable (a handful per IP is normal: NATed bots
+    share addresses)."""
+
+    min_samples: int = 10
+    max_normal_distinct: int = 8
+
+    def is_dispersed(self, values: Sequence) -> bool:
+        if len(values) < self.min_samples:
+            return False
+        return len(set(values)) > self.max_normal_distinct
+
+
+def expected_uniform_distinct(samples: int, space: int) -> float:
+    """Expected number of distinct values when drawing ``samples``
+    uniformly from ``space`` values (birthday-style baseline used to
+    calibrate rule thresholds in tests)."""
+    if samples <= 0 or space <= 0:
+        return 0.0
+    return space * (1.0 - (1.0 - 1.0 / space) ** samples)

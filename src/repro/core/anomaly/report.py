@@ -1,0 +1,276 @@
+"""Anomaly-analysis pipelines (regenerate the paper's Tables 2 and 3).
+
+The analyzers merge the observation logs of many sensors, group them
+by source IP, apply every rule from the sibling modules, and emit one
+:class:`CrawlerFinding` per sufficiently-active source: its defect
+flags (Table 2/3 rows) and its sensor coverage (the tables' bottom
+row).  Following the paper, only sources covering at least
+``min_coverage`` of the sensors with at least ``min_messages``
+messages are studied ("well-functioning crawlers which cover at least
+1% of the bot population, ≥ 50 messages to our sensors").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.botnets.sality.protocol import CURRENT_MINOR_VERSION, Command
+from repro.botnets.zeus.protocol import MessageType
+from repro.core.anomaly.encryption import EncryptionRule
+from repro.core.anomaly.entropy import is_low_entropy
+from repro.core.anomaly.frequency import HardHitterRule
+from repro.core.anomaly.logic import LookupKeyRule, MessageMixRule, VersionRule
+from repro.core.anomaly.range_rules import DispersionRule, RangeRule
+from repro.sim.clock import MINUTE
+
+
+@dataclass(frozen=True)
+class CrawlerFinding:
+    """One analyzed source: its defect flags and reach."""
+
+    ip: int
+    defects: Tuple[str, ...]
+    message_count: int
+    coverage: float  # fraction of sensors this source contacted
+
+    def has(self, defect: str) -> bool:
+        return defect in self.defects
+
+
+@dataclass(frozen=True)
+class ZeusThresholds:
+    """Tunable rule thresholds for the Zeus analyzer."""
+
+    min_messages: int = 20
+    min_coverage: float = 0.01
+    range_rule: RangeRule = field(default_factory=RangeRule)
+    session_rule: RangeRule = field(default_factory=lambda: RangeRule(max_distinct=3))
+    dispersion_rule: DispersionRule = field(default_factory=DispersionRule)
+    encryption_rule: EncryptionRule = field(default_factory=EncryptionRule)
+    mix_rule: MessageMixRule = field(default_factory=MessageMixRule)
+    lookup_rule: LookupKeyRule = field(default_factory=LookupKeyRule)
+    hard_hitter_rule: HardHitterRule = field(
+        default_factory=lambda: HardHitterRule(suspend_cycle=30 * MINUTE)
+    )
+
+
+@dataclass(frozen=True)
+class SalityThresholds:
+    """Tunable rule thresholds for the Sality analyzer."""
+
+    min_messages: int = 20
+    min_coverage: float = 0.01
+    range_rule: RangeRule = field(default_factory=RangeRule)
+    port_rule: RangeRule = field(default_factory=RangeRule)
+    dispersion_rule: DispersionRule = field(default_factory=DispersionRule)
+    encryption_rule: EncryptionRule = field(default_factory=EncryptionRule)
+    mix_rule: MessageMixRule = field(default_factory=MessageMixRule)
+    version_rule: VersionRule = field(default_factory=VersionRule)
+    hard_hitter_rule: HardHitterRule = field(
+        default_factory=lambda: HardHitterRule(suspend_cycle=40 * MINUTE)
+    )
+
+
+class _SourceAccumulator:
+    """Merged per-source-IP state across all sensors."""
+
+    __slots__ = (
+        "valid", "invalid", "plr_count", "random_bytes", "ttls", "lops",
+        "sessions", "sources", "paddings", "lookup_mismatches", "lookups",
+        "plr_times_by_sensor", "sensors_contacted", "bot_ids",
+        "minor_versions", "ports",
+    )
+
+    def __init__(self) -> None:
+        self.valid = 0
+        self.invalid = 0
+        self.plr_count = 0
+        self.random_bytes: List[int] = []
+        self.ttls: List[int] = []
+        self.lops: List[int] = []
+        self.sessions: List[bytes] = []
+        self.sources: List[bytes] = []
+        self.paddings: List[bytes] = []
+        self.lookup_mismatches = 0
+        self.lookups = 0
+        self.plr_times_by_sensor: Dict[str, List[float]] = {}
+        self.sensors_contacted: Set[str] = set()
+        self.bot_ids: List[int] = []
+        self.minor_versions: List[int] = []
+        self.ports: List[int] = []
+
+
+class ZeusAnomalyAnalyzer:
+    """Scans merged Zeus sensor logs for the Table 3 defect classes."""
+
+    def __init__(self, thresholds: Optional[ZeusThresholds] = None) -> None:
+        self.thresholds = thresholds if thresholds is not None else ZeusThresholds()
+
+    def analyze(self, sensors: Sequence) -> List[CrawlerFinding]:
+        """``sensors``: ZeusSensor-like objects exposing ``node_id``,
+        ``bot_id``, and ``observations``."""
+        if not sensors:
+            return []
+        accumulators: Dict[int, _SourceAccumulator] = {}
+        for sensor in sensors:
+            for obs in sensor.observations:
+                acc = accumulators.get(obs.src_ip)
+                if acc is None:
+                    acc = accumulators[obs.src_ip] = _SourceAccumulator()
+                acc.sensors_contacted.add(sensor.node_id)
+                if not obs.decrypt_ok:
+                    acc.invalid += 1
+                    continue
+                acc.valid += 1
+                acc.random_bytes.append(obs.random_byte)
+                acc.ttls.append(obs.ttl)
+                acc.lops.append(obs.lop)
+                acc.sessions.append(obs.session_id)
+                acc.sources.append(obs.source_id)
+                if obs.padding:
+                    acc.paddings.append(obs.padding)
+                if obs.msg_type == MessageType.PEER_LIST_REQUEST:
+                    acc.plr_count += 1
+                    acc.lookups += 1
+                    if obs.lookup_key != sensor.bot_id:
+                        acc.lookup_mismatches += 1
+                    acc.plr_times_by_sensor.setdefault(sensor.node_id, []).append(obs.time)
+        findings = []
+        for ip, acc in accumulators.items():
+            coverage = len(acc.sensors_contacted) / len(sensors)
+            total = acc.valid + acc.invalid
+            if total < self.thresholds.min_messages or coverage < self.thresholds.min_coverage:
+                continue
+            findings.append(
+                CrawlerFinding(
+                    ip=ip,
+                    defects=tuple(self._defects(acc)),
+                    message_count=total,
+                    coverage=coverage,
+                )
+            )
+        findings.sort(key=lambda f: (-f.coverage, f.ip))
+        return findings
+
+    def _defects(self, acc: _SourceAccumulator) -> List[str]:
+        t = self.thresholds
+        defects = []
+        if t.range_rule.is_constrained(acc.random_bytes):
+            defects.append("rnd_range")
+        if t.range_rule.is_constrained(acc.ttls):
+            defects.append("ttl_range")
+        if t.range_rule.is_constrained(acc.lops):
+            defects.append("lop_range")
+        if t.session_rule.is_constrained(acc.sessions):
+            defects.append("session_range")
+        if is_low_entropy(sorted(set(acc.sessions)), min_bytes=20):
+            defects.append("session_entropy")
+        if t.dispersion_rule.is_dispersed(acc.sources):
+            defects.append("random_source")
+        if is_low_entropy(sorted(set(acc.sources)), min_bytes=20):
+            defects.append("source_entropy")
+        if acc.paddings and is_low_entropy(acc.paddings, min_bytes=40):
+            defects.append("padding_entropy")
+        if acc.lookups >= t.lookup_rule.min_samples and acc.lookup_mismatches / acc.lookups > t.lookup_rule.max_mismatch_fraction:
+            defects.append("abnormal_lookup")
+        if any(
+            t.hard_hitter_rule.is_hard_hitter(times)
+            for times in acc.plr_times_by_sensor.values()
+        ):
+            defects.append("hard_hitter")
+        if t.mix_rule.is_anomalous(acc.plr_count, acc.valid):
+            defects.append("protocol_logic")
+        if t.encryption_rule.is_anomalous(acc.valid, acc.invalid):
+            defects.append("encryption")
+        return defects
+
+
+class SalityAnomalyAnalyzer:
+    """Scans merged Sality sensor logs for the Table 2 defect classes."""
+
+    def __init__(self, thresholds: Optional[SalityThresholds] = None) -> None:
+        self.thresholds = thresholds if thresholds is not None else SalityThresholds()
+
+    def analyze(self, sensors: Sequence) -> List[CrawlerFinding]:
+        """``sensors``: SalitySensor-like objects exposing ``node_id``
+        and ``observations``."""
+        if not sensors:
+            return []
+        accumulators: Dict[int, _SourceAccumulator] = {}
+        for sensor in sensors:
+            for obs in sensor.observations:
+                acc = accumulators.get(obs.src_ip)
+                if acc is None:
+                    acc = accumulators[obs.src_ip] = _SourceAccumulator()
+                acc.sensors_contacted.add(sensor.node_id)
+                if not obs.decode_ok:
+                    acc.invalid += 1
+                    continue
+                acc.valid += 1
+                acc.bot_ids.append(obs.bot_id)
+                acc.minor_versions.append(obs.minor_version)
+                acc.lops.append(len(obs.padding))
+                acc.ports.append(obs.src_port)
+                if obs.command == Command.PEER_REQUEST:
+                    acc.plr_count += 1
+                    acc.plr_times_by_sensor.setdefault(sensor.node_id, []).append(obs.time)
+        findings = []
+        for ip, acc in accumulators.items():
+            coverage = len(acc.sensors_contacted) / len(sensors)
+            total = acc.valid + acc.invalid
+            if total < self.thresholds.min_messages or coverage < self.thresholds.min_coverage:
+                continue
+            findings.append(
+                CrawlerFinding(
+                    ip=ip,
+                    defects=tuple(self._defects(acc)),
+                    message_count=total,
+                    coverage=coverage,
+                )
+            )
+        findings.sort(key=lambda f: (-f.coverage, f.ip))
+        return findings
+
+    def _defects(self, acc: _SourceAccumulator) -> List[str]:
+        t = self.thresholds
+        defects = []
+        if t.dispersion_rule.is_dispersed(acc.bot_ids):
+            defects.append("random_id")
+        if t.version_rule.is_anomalous(acc.minor_versions, CURRENT_MINOR_VERSION):
+            defects.append("version")
+        if t.range_rule.is_constrained(acc.lops):
+            defects.append("lop_range")
+        if t.port_rule.is_constrained(acc.ports):
+            defects.append("port_range")
+        if any(
+            t.hard_hitter_rule.is_hard_hitter(times)
+            for times in acc.plr_times_by_sensor.values()
+        ):
+            defects.append("hard_hitter")
+        if t.mix_rule.is_anomalous(acc.plr_count, acc.valid):
+            defects.append("protocol_logic")
+        if t.encryption_rule.is_anomalous(acc.valid, acc.invalid):
+            defects.append("encryption")
+        return defects
+
+
+ZEUS_DEFECT_ROWS: Tuple[str, ...] = (
+    "rnd_range", "ttl_range", "lop_range", "session_range",
+    "session_entropy", "random_source", "source_entropy",
+    "padding_entropy", "abnormal_lookup", "hard_hitter",
+    "protocol_logic", "encryption",
+)
+
+SALITY_DEFECT_ROWS: Tuple[str, ...] = (
+    "random_id", "version", "lop_range", "port_range",
+    "hard_hitter", "protocol_logic", "encryption",
+)
+
+
+def defect_matrix(
+    findings: Sequence[CrawlerFinding], rows: Sequence[str]
+) -> Dict[str, List[bool]]:
+    """Row-major defect matrix: row name -> one flag per finding
+    (column), in the findings' order.  The shape of Tables 2/3."""
+    return {row: [finding.has(row) for finding in findings] for row in rows}

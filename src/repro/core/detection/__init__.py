@@ -1,0 +1,55 @@
+"""Syntax-agnostic distributed crawler detection (paper Section 4.3).
+
+The algorithm detects crawlers purely from network coverage: a source
+that requested peer lists from an anomalously large fraction of the
+population inside one detection window is a crawler, no matter how
+protocol-perfect its messages are.  It runs distributed across the
+botnet, in periodic rounds:
+
+1. **Round announcement** (:mod:`repro.core.detection.rounds`): the
+   botmaster pushes a signed, timestamped announcement through gossip;
+   it names ``g`` identifier bit positions and per-group leaders.
+2. **Group formation** (:mod:`repro.core.detection.groups`): bots
+   partition themselves into ``2^g`` groups by sampling those bit
+   positions from their random IDs, forming a tree overlay per group.
+3. **Hard-hitter aggregation**
+   (:mod:`repro.core.detection.aggregation`): every bot reports the
+   IPs that requested its peer list within the history interval; the
+   leader flags IPs reported by at least a threshold fraction ``t`` of
+   its group.
+4. **Crawler voting** (:mod:`repro.core.detection.voting`): leaders
+   majority-vote the flagged IPs; majority voting tolerates Byzantine
+   leaders that frame innocents or whitelist crawlers.
+5. **Crawler propagation**: bots retrieve the list from ``n`` random
+   leaders and keep majority-confirmed entries, reliable while
+   ``|A| < n x m``.
+
+:mod:`repro.core.detection.coordinator` orchestrates a round;
+:mod:`repro.core.detection.offline` replays logged sensor traffic
+through the detector with simulated contact-ratio limiting and subnet
+aggregation -- the engine behind Figure 2 and Table 4.
+"""
+
+from repro.core.detection.coordinator import (
+    DetectionConfig,
+    DetectionRoundResult,
+    ParticipantReport,
+    run_round,
+)
+from repro.core.detection.offline import (
+    EvaluationResult,
+    SensorLogDataset,
+    evaluate_detection,
+    simulate_contact_ratio,
+)
+
+__all__ = [
+    "DetectionConfig",
+    "DetectionRoundResult",
+    "EvaluationResult",
+    "ParticipantReport",
+    "SensorLogDataset",
+    "evaluate_detection",
+    "run_round",
+    "simulate_contact_ratio",
+]

@@ -1,0 +1,86 @@
+"""Hard-hitter aggregation (Section 4.3).
+
+Each group member reports the set of source keys (IPs, or subnets when
+aggregating) that requested its peer list within the history interval.
+The leader counts reporters per key and flags keys reported by at
+least the threshold fraction ``t`` of the group.
+
+Two details carry the paper's results:
+
+* The **history interval must span multiple detection rounds** --
+  otherwise a crawler evades by touching a disjoint slice of bots per
+  round (Section 4.3, evaluated in the ablation benches).
+* **Subnet aggregation** folds reported IPs to ``/prefix`` keys so
+  address-distributed crawlers concentrate back into one key; accuracy
+  holds down to /20 and collapses at /19, where legitimate multi-
+  infection subnets merge (Section 6.1.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.net.address import subnet_key
+
+
+@dataclass(frozen=True)
+class MemberReport:
+    """One bot's contribution: who asked for its peer list and when."""
+
+    node_id: str
+    requests: Tuple[Tuple[float, int], ...]  # (time, source ip)
+
+    def keys_within(self, since: float, until: float, prefix: int = 32) -> Set[int]:
+        """Distinct (subnet-folded) source keys in [since, until)."""
+        return {
+            subnet_key(ip, prefix)
+            for time, ip in self.requests
+            if since <= time < until
+        }
+
+
+@dataclass
+class GroupVerdict:
+    """A leader's aggregation outcome for one group."""
+
+    group_index: int
+    group_size: int
+    reporter_counts: Dict[int, int] = field(default_factory=dict)
+    suspicious: Set[int] = field(default_factory=set)
+    threshold_count: int = 0
+
+
+def required_reporters(group_size: int, threshold: float) -> int:
+    """Reporters needed to flag a key: ``ceil(t * |group|)``, at least 1."""
+    if group_size <= 0:
+        return 1
+    return max(1, math.ceil(threshold * group_size))
+
+
+def aggregate_group(
+    group_index: int,
+    reports: Sequence[MemberReport],
+    threshold: float,
+    since: float,
+    until: float,
+    prefix: int = 32,
+) -> GroupVerdict:
+    """Leader-side aggregation: count distinct reporters per key and
+    flag those meeting the threshold."""
+    if not 0 < threshold <= 1:
+        raise ValueError("threshold must be in (0, 1]")
+    if prefix < 8 or prefix > 32:
+        raise ValueError("aggregation prefix must be within /8../32")
+    verdict = GroupVerdict(group_index=group_index, group_size=len(reports))
+    verdict.threshold_count = required_reporters(len(reports), threshold)
+    for report in reports:
+        for key in report.keys_within(since, until, prefix):
+            verdict.reporter_counts[key] = verdict.reporter_counts.get(key, 0) + 1
+    verdict.suspicious = {
+        key
+        for key, count in verdict.reporter_counts.items()
+        if count >= verdict.threshold_count
+    }
+    return verdict

@@ -1,0 +1,144 @@
+"""End-to-end orchestration of one detection round (Section 4.3)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.detection.aggregation import GroupVerdict, MemberReport, aggregate_group
+from repro.core.detection.groups import assign_groups, elect_leaders, sample_bit_positions
+from repro.core.detection.voting import LeaderBehavior, LeaderVote, tally_votes
+from repro.sim.clock import DAY, HOUR
+
+
+@dataclass(frozen=True)
+class ParticipantReport(MemberReport):
+    """A detection participant: a routable bot (or injected sensor)
+    with its random protocol ID and its peer-list-request history."""
+
+    bot_id: bytes = b""
+
+
+@dataclass
+class DetectionConfig:
+    """Parameters of the detection algorithm.
+
+    Defaults mirror the paper's evaluation: ``|G| = 8`` groups (g=3),
+    5% per-group threshold (the "ideal" operating point of Table 4),
+    a 24-hour request history, per-IP (/32) aggregation, and simple
+    majority voting.
+    """
+
+    group_bits: int = 3
+    threshold: float = 0.05
+    history_interval: float = DAY
+    aggregation_prefix: int = 32
+    majority_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.group_bits < 0:
+            raise ValueError("group_bits must be >= 0")
+        if not 0 < self.threshold <= 1:
+            raise ValueError("threshold must be in (0, 1]")
+        if self.history_interval <= 0:
+            raise ValueError("history_interval must be positive")
+
+    @property
+    def group_count(self) -> int:
+        return 2 ** self.group_bits
+
+
+@dataclass
+class DetectionRoundResult:
+    """Everything one round produced."""
+
+    round_end: float
+    bit_positions: Tuple[int, ...]
+    leaders: Dict[int, str]
+    verdicts: Dict[int, GroupVerdict]
+    classified: Set[int] = field(default_factory=set)
+
+    def group_sizes(self) -> Dict[int, int]:
+        return {index: verdict.group_size for index, verdict in self.verdicts.items()}
+
+
+def run_round(
+    participants: Sequence[ParticipantReport],
+    config: DetectionConfig,
+    rng: random.Random,
+    round_end: Optional[float] = None,
+    leader_behaviors: Optional[Dict[int, LeaderBehavior]] = None,
+    framed_keys: Sequence[int] = (),
+) -> DetectionRoundResult:
+    """Execute one detection round over ``participants``.
+
+    ``round_end`` closes the history window ``[round_end - history,
+    round_end)``; it defaults to just past the latest request seen.
+    ``leader_behaviors`` marks groups whose leader is adversarial
+    (Byzantine-tolerance experiments); ``framed_keys`` are the innocent
+    keys FRAME leaders try to blacklist.
+    """
+    if not participants:
+        raise ValueError("detection needs at least one participant")
+    if round_end is None:
+        latest = max(
+            (time for report in participants for time, _ in report.requests),
+            default=0.0,
+        )
+        round_end = latest + 1.0
+    since = round_end - config.history_interval
+    bit_positions = sample_bit_positions(config.group_bits, rng, id_bits=len(participants[0].bot_id) * 8)
+    groups = assign_groups(participants, bit_positions)
+    leaders = elect_leaders(groups, rng)
+    behaviors = leader_behaviors or {}
+    verdicts: Dict[int, GroupVerdict] = {}
+    votes: List[LeaderVote] = []
+    for index, members in groups.items():
+        if not members:
+            continue
+        verdict = aggregate_group(
+            group_index=index,
+            reports=members,
+            threshold=config.threshold,
+            since=since,
+            until=round_end,
+            prefix=config.aggregation_prefix,
+        )
+        verdicts[index] = verdict
+        votes.append(
+            LeaderVote.from_verdict(
+                verdict,
+                behavior=behaviors.get(index, LeaderBehavior.HONEST),
+                framed_keys=framed_keys,
+            )
+        )
+    classified = tally_votes(votes, config.majority_fraction)
+    return DetectionRoundResult(
+        round_end=round_end,
+        bit_positions=bit_positions,
+        leaders=leaders,
+        verdicts=verdicts,
+        classified=classified,
+    )
+
+
+def run_periodic_rounds(
+    participants: Sequence[ParticipantReport],
+    config: DetectionConfig,
+    rng: random.Random,
+    start: float,
+    end: float,
+    period: float = HOUR,
+) -> List[DetectionRoundResult]:
+    """Hourly (by default) rounds across a window, as deployed: each
+    round re-partitions groups so crawlers cannot adapt to a fixed
+    grouping.  The union of classifications is the detector's output."""
+    if period <= 0:
+        raise ValueError("period must be positive")
+    results = []
+    t = start + period
+    while t <= end + 1e-9:
+        results.append(run_round(participants, config, rng, round_end=t))
+        t += period
+    return results

@@ -1,0 +1,116 @@
+"""Group formation for detection rounds (Section 4.3).
+
+Bots partition themselves into ``2^g`` groups by sampling ``g`` bit
+positions (named in the round announcement) from their random
+infection-time identifiers.  Random IDs make the partition uniform and
+unpredictable: a crawler cannot aim its traffic to stay below every
+group's threshold because it cannot know the next round's grouping.
+Each group elects the leader named in the announcement and builds a
+tree overlay towards it, keeping per-node fan-in bounded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, TypeVar
+
+HasId = TypeVar("HasId")
+
+
+def sample_bit_positions(g: int, rng: random.Random, id_bits: int = 160) -> Tuple[int, ...]:
+    """Choose ``g`` distinct bit positions inside an ``id_bits``-bit ID."""
+    if g < 0:
+        raise ValueError("g must be >= 0")
+    if g > id_bits:
+        raise ValueError(f"cannot sample {g} positions from {id_bits} bits")
+    return tuple(sorted(rng.sample(range(id_bits), g)))
+
+
+def group_of(bot_id: bytes, bit_positions: Sequence[int]) -> int:
+    """The group index of ``bot_id``: its bits at the sampled
+    positions, packed in position order."""
+    value = int.from_bytes(bot_id, "big")
+    total_bits = len(bot_id) * 8
+    index = 0
+    for position in bit_positions:
+        if position >= total_bits:
+            raise ValueError(f"bit position {position} outside {total_bits}-bit id")
+        bit = (value >> (total_bits - 1 - position)) & 1
+        index = (index << 1) | bit
+    return index
+
+
+def assign_groups(
+    members: Sequence[HasId],
+    bit_positions: Sequence[int],
+    key=lambda member: member.bot_id,
+) -> Dict[int, List[HasId]]:
+    """Partition ``members`` into groups; every group index in
+    ``range(2**g)`` is present (possibly empty)."""
+    groups: Dict[int, List[HasId]] = {index: [] for index in range(2 ** len(bit_positions))}
+    for member in members:
+        groups[group_of(key(member), bit_positions)].append(member)
+    return groups
+
+
+def elect_leaders(
+    groups: Dict[int, List[HasId]],
+    rng: random.Random,
+    key=lambda member: member.node_id,
+) -> Dict[int, str]:
+    """One random leader per non-empty group.
+
+    Random selection is the Sybil defence: adversarial nodes dominate
+    the leader set only if they dominate the population.
+    """
+    leaders = {}
+    for index, members in groups.items():
+        if members:
+            leaders[index] = key(rng.choice(members))
+    return leaders
+
+
+@dataclass(frozen=True)
+class TreeOverlay:
+    """A bounded-fanout aggregation tree rooted at the group leader."""
+
+    root: str
+    parent: Dict[str, str]  # child -> parent
+
+    @property
+    def size(self) -> int:
+        return len(self.parent) + 1
+
+    def depth(self) -> int:
+        """Longest child-to-root chain (0 for a leader-only tree)."""
+        best = 0
+        for node in self.parent:
+            length = 0
+            cursor = node
+            while cursor != self.root:
+                cursor = self.parent[cursor]
+                length += 1
+            best = max(best, length)
+        return best
+
+    def children_of(self, node: str) -> List[str]:
+        return sorted(child for child, parent in self.parent.items() if parent == node)
+
+
+def build_tree(member_ids: Sequence[str], leader: str, fanout: int = 8) -> TreeOverlay:
+    """Arrange a group into a ``fanout``-ary aggregation tree.
+
+    Reports flow leaf -> root, so the leader receives ``fanout``
+    aggregated messages instead of ``|group|`` individual ones --
+    the scalability piece of the algorithm.
+    """
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    if leader not in member_ids:
+        raise ValueError("leader must be a group member")
+    ordered = [leader] + sorted(m for m in member_ids if m != leader)
+    parent: Dict[str, str] = {}
+    for position, node in enumerate(ordered[1:], start=1):
+        parent[node] = ordered[(position - 1) // fanout]
+    return TreeOverlay(root=leader, parent=parent)

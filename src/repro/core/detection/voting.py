@@ -1,0 +1,101 @@
+"""Leader voting and crawler-list propagation (Section 4.3).
+
+Leaders vote their groups' suspicious keys; keys confirmed by a
+majority of leaders are classified as crawlers.  Majority voting is
+what tolerates *adversarial* leaders -- nodes malware analysts might
+inject to frame innocent IPs (poisoning mitigation lists) or whitelist
+real crawlers.  On the read side, bots retrieve the classified list
+from ``n`` random leaders and keep majority-confirmed entries; results
+are reliable while ``|A| < n x m`` (adversaries fewer than the votes a
+majority requires).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.detection.aggregation import GroupVerdict
+
+
+class LeaderBehavior(Enum):
+    """How a leader participates in voting."""
+
+    HONEST = "honest"
+    SUPPRESS = "suppress"  # whitelist true crawlers: report nothing
+    FRAME = "frame"        # additionally report innocent victim keys
+
+
+@dataclass(frozen=True)
+class LeaderVote:
+    """One leader's submitted suspicious-key set."""
+
+    group_index: int
+    keys: frozenset
+
+    @classmethod
+    def from_verdict(
+        cls,
+        verdict: GroupVerdict,
+        behavior: LeaderBehavior = LeaderBehavior.HONEST,
+        framed_keys: Iterable[int] = (),
+    ) -> "LeaderVote":
+        if behavior is LeaderBehavior.SUPPRESS:
+            keys: frozenset = frozenset()
+        elif behavior is LeaderBehavior.FRAME:
+            keys = frozenset(verdict.suspicious) | frozenset(framed_keys)
+        else:
+            keys = frozenset(verdict.suspicious)
+        return cls(group_index=verdict.group_index, keys=keys)
+
+
+def majority_count(total: int, majority_fraction: float) -> int:
+    """Votes needed for a majority: strictly more than the fraction."""
+    return int(math.floor(total * majority_fraction)) + 1
+
+
+def tally_votes(votes: Sequence[LeaderVote], majority_fraction: float = 0.5) -> Set[int]:
+    """Keys voted suspicious by a majority of leaders."""
+    if not votes:
+        return set()
+    if not 0 < majority_fraction < 1:
+        raise ValueError("majority_fraction must be in (0, 1)")
+    needed = majority_count(len(votes), majority_fraction)
+    counts: Dict[int, int] = {}
+    for vote in votes:
+        for key in vote.keys:
+            counts[key] = counts.get(key, 0) + 1
+    return {key for key, count in counts.items() if count >= needed}
+
+
+def retrieve_from_leaders(
+    leader_lists: Sequence[Set[int]],
+    sample_size: int,
+    rng: random.Random,
+    majority_fraction: float = 0.5,
+) -> Set[int]:
+    """Bot-side crawler-list retrieval.
+
+    The bot samples ``sample_size`` leaders and keeps keys confirmed by
+    a majority of the sample, bounding the damage a faulty leader's
+    list can do.
+    """
+    if sample_size < 1:
+        raise ValueError("sample_size must be >= 1")
+    if not leader_lists:
+        return set()
+    sample = rng.sample(list(leader_lists), min(sample_size, len(leader_lists)))
+    needed = majority_count(len(sample), majority_fraction)
+    counts: Dict[int, int] = {}
+    for keys in sample:
+        for key in keys:
+            counts[key] = counts.get(key, 0) + 1
+    return {key for key, count in counts.items() if count >= needed}
+
+
+def reliability_bound(adversarial: int, sample_size: int, majority_fraction: float = 0.5) -> bool:
+    """The paper's reliability condition: ``|A| < n x m``."""
+    return adversarial < sample_size * majority_fraction

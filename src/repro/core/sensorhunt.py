@@ -1,0 +1,200 @@
+"""Sensor detection by in-degree ranking plus active probing
+(paper Section 4.2).
+
+The paper found Zeus sensors by (1) building a view of the
+connectivity graph and ranking nodes by in-degree -- sensors attract
+in-edges by design -- then (2) actively probing the high-in-degree
+candidates, because high in-degree alone also matches hundreds of
+legitimate well-reachable bots.  A probe sends the message types
+in-the-wild sensors got wrong: proxy-list requests (all failed to
+answer), update requests (none answered), peer-list requests (most
+returned empty or duplicated entries), version requests (mostly stale).
+
+:func:`rank_by_in_degree` implements step (1) over the population's
+peer lists; :class:`SensorProber` implements step (2) on the live
+simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.botnets.zeus import protocol
+from repro.botnets.zeus.protocol import MessageType, ZeusDecodeError
+from repro.net.transport import Endpoint, Message, Transport
+from repro.sim.scheduler import Scheduler
+
+# A version this far behind the current network version is "stale".
+STALE_VERSION_MARGIN = 0x00000100
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A high-in-degree node worth probing."""
+
+    bot_id: bytes
+    endpoint: Endpoint
+    in_degree: int
+
+
+def rank_by_in_degree(bots: Sequence, top: int = 20) -> List[Candidate]:
+    """Rank every peer-list entry across ``bots`` by how many peer
+    lists hold it (its in-degree)."""
+    holders: Dict[Tuple[bytes, Endpoint], int] = {}
+    for bot in bots:
+        peer_list = getattr(bot, "peer_list", None)
+        if peer_list is None:
+            continue
+        for entry in peer_list:
+            key = (entry.bot_id, entry.endpoint)
+            holders[key] = holders.get(key, 0) + 1
+    ranked = sorted(holders.items(), key=lambda item: (-item[1], item[0][1]))
+    return [
+        Candidate(bot_id=bot_id, endpoint=endpoint, in_degree=count)
+        for (bot_id, endpoint), count in ranked[:top]
+    ]
+
+
+@dataclass
+class ProbeVerdict:
+    """Outcome of probing one candidate."""
+
+    candidate: Candidate
+    anomalies: List[str] = field(default_factory=list)
+    responded: bool = False
+
+    @property
+    def is_sensor_suspect(self) -> bool:
+        """Sensors betray themselves through response anomalies; an
+        unresponsive candidate is just a dead peer, not a suspect."""
+        return self.responded and bool(self.anomalies)
+
+
+class SensorProber:
+    """Actively probes candidates with the full message-type battery."""
+
+    def __init__(
+        self,
+        endpoint: Endpoint,
+        transport: Transport,
+        scheduler: Scheduler,
+        rng: random.Random,
+        current_version: int,
+        probe_timeout: float = 30.0,
+    ) -> None:
+        self.endpoint = endpoint
+        self.transport = transport
+        self.scheduler = scheduler
+        self.rng = rng
+        self.current_version = current_version
+        self.probe_timeout = probe_timeout
+        self.bot_id = protocol.random_id(rng)
+        self._replies: Dict[bytes, protocol.ZeusMessage] = {}
+
+    # Each battery message is sent this many times: a single lost
+    # datagram must not make a healthy bot look like a broken sensor.
+    ATTEMPTS = 3
+
+    def probe(self, candidates: Sequence[Candidate]) -> List[ProbeVerdict]:
+        """Probe all candidates and classify their response anomalies."""
+        self.transport.bind(self.endpoint, self._on_message)
+        try:
+            sessions: Dict[Tuple[int, int], List[bytes]] = {}
+            for index, candidate in enumerate(candidates):
+                for offset, msg_type, payload in self._battery(candidate):
+                    for attempt in range(self.ATTEMPTS):
+                        message = protocol.make_message(
+                            msg_type, self.bot_id, self.rng, payload=payload
+                        )
+                        sessions.setdefault((index, msg_type), []).append(
+                            message.session_id
+                        )
+                        self.scheduler.call_later(
+                            offset + index * 2.0 + attempt * 10.0,
+                            self._send,
+                            candidate,
+                            message,
+                        )
+            deadline = (
+                self.scheduler.now
+                + len(candidates) * 2.0
+                + self.ATTEMPTS * 10.0
+                + self.probe_timeout
+            )
+            self.scheduler.run_until(deadline)
+            return [
+                self._classify(candidate, index, sessions)
+                for index, candidate in enumerate(candidates)
+            ]
+        finally:
+            self.transport.unbind(self.endpoint)
+
+    def _battery(self, candidate: Candidate):
+        return (
+            (0.0, MessageType.VERSION_REQUEST, b""),
+            (0.5, MessageType.PEER_LIST_REQUEST, self.bot_id),
+            (1.0, MessageType.PROXY_REQUEST, b""),
+            (1.5, MessageType.DATA_REQUEST, b"\x01"),
+        )
+
+    def _send(self, candidate: Candidate, message: protocol.ZeusMessage) -> None:
+        self.transport.send(
+            self.endpoint, candidate.endpoint, protocol.encrypt_message(message, candidate.bot_id)
+        )
+
+    def _on_message(self, message: Message) -> None:
+        try:
+            decoded = protocol.decrypt_message(message.payload, self.bot_id)
+        except ZeusDecodeError:
+            return
+        self._replies[decoded.session_id] = decoded
+
+    def _classify(
+        self,
+        candidate: Candidate,
+        index: int,
+        sessions: Dict[Tuple[int, int], List[bytes]],
+    ) -> ProbeVerdict:
+        verdict = ProbeVerdict(candidate=candidate)
+
+        def reply_for(msg_type: int) -> Optional[protocol.ZeusMessage]:
+            for session in sessions.get((index, msg_type), ()):
+                reply = self._replies.get(session)
+                if reply is not None:
+                    return reply
+            return None
+
+        version_reply = reply_for(MessageType.VERSION_REQUEST)
+        if version_reply is not None:
+            verdict.responded = True
+            try:
+                version, _ = protocol.decode_version_reply(version_reply.payload)
+                if version + STALE_VERSION_MARGIN <= self.current_version:
+                    verdict.anomalies.append("stale_version")
+            except ZeusDecodeError:
+                verdict.anomalies.append("malformed_version_reply")
+        plr_reply = reply_for(MessageType.PEER_LIST_REQUEST)
+        if plr_reply is not None:
+            verdict.responded = True
+            try:
+                entries = protocol.decode_peer_entries(plr_reply.payload)
+            except ZeusDecodeError:
+                entries = None
+                verdict.anomalies.append("malformed_peer_list")
+            if entries is not None:
+                if not entries:
+                    verdict.anomalies.append("empty_peer_list")
+                else:
+                    ids = [bot_id for bot_id, _ in entries]
+                    if len(ids) != len(set(ids)):
+                        verdict.anomalies.append("duplicate_peers")
+        if reply_for(MessageType.PROXY_REQUEST) is None:
+            verdict.anomalies.append("no_proxy_reply")
+        if reply_for(MessageType.DATA_REQUEST) is None:
+            verdict.anomalies.append("no_update_reply")
+        if not verdict.responded:
+            # Dead peer: the "anomalies" are just silence.
+            verdict.anomalies = []
+        return verdict

@@ -1,0 +1,198 @@
+"""Sinkholing: the takedown operation recon exists to serve.
+
+The paper's motivation (Sections 1, 8.2): every P2P botnet takedown
+needs accurate recon first — sinkholing "overwrites peer list entries"
+and therefore needs the population map (sensors) and connectivity
+information (crawlers / augmented sensors) to know which entries to
+poison.  This module implements a GameOver-Zeus-style sinkholing
+campaign against the simulated botnet:
+
+* :class:`SinkholeNode` — a full-protocol responder that answers peer
+  list requests *only* with other sinkhole entries, so a bot that
+  starts talking to sinkholes is progressively steered away from the
+  real population.
+* :class:`SinkholeCampaign` — drives the poisoning: every sinkhole
+  periodically sends peer-list requests to the target bots (the push
+  mechanism inserts the requesting sinkhole into the target's peer
+  list), and measures capture over time.
+
+Two of the paper's structural points become measurable here:
+
+* **Address diversity matters.**  Zeus accepts at most one peer-list
+  entry per /20 subnet, so a sinkholing operation confined to one /20
+  can occupy at most one of ~50-150 peer-list slots per bot; campaigns
+  need sinkholes spread across many /20s (mirroring Section 5.3's
+  conclusion that serious recon/attack infrastructure needs a /16 or
+  32 distinct /20s).
+* **Recon quality bounds takedown reach.**  The campaign can only
+  poison bots it knows about; feeding it a crawler's partial view
+  instead of the full population caps the capture rate accordingly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.botnets.base import PeerEntry
+from repro.botnets.zeus import protocol
+from repro.botnets.zeus.bot import ZeusBot, ZeusConfig
+from repro.botnets.zeus.protocol import MessageType, ZeusMessage
+from repro.net.transport import Endpoint, Transport
+from repro.sim.clock import MINUTE
+from repro.sim.scheduler import Scheduler
+
+
+class SinkholeNode(ZeusBot):
+    """A sinkhole: protocol-complete, but every peer-list response
+    promotes only sibling sinkholes."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Set by the campaign after all sinkholes exist.
+        self.siblings: List[Tuple[bytes, Endpoint]] = []
+        self.poison_responses = 0
+
+    def _on_peer_list_request(self, request: ZeusMessage, src: Endpoint) -> None:
+        now = self.scheduler.now
+        self._plr_history.append((now, src.ip))
+        self.peer_list.add(PeerEntry(bot_id=request.source_id, endpoint=src, last_seen=now))
+        entries = [entry for entry in self.siblings if entry[0] != request.source_id]
+        selected = entries[: self.config.peers_per_response]
+        self.poison_responses += 1
+        self._reply(
+            request, src, MessageType.PEER_LIST_REPLY, protocol.encode_peer_entries(selected)
+        )
+
+    def run_cycle(self) -> None:
+        """Campaign-driven; no autonomous cycle behaviour."""
+        self._expire_pending(self.scheduler.now)
+
+
+@dataclass
+class CaptureSnapshot:
+    """Poisoning progress at one instant."""
+
+    time: float
+    bots_with_sinkhole: int
+    total_bots: int
+    mean_sinkhole_share: float
+
+    @property
+    def reach(self) -> float:
+        return self.bots_with_sinkhole / self.total_bots if self.total_bots else 0.0
+
+
+class SinkholeCampaign:
+    """Coordinates sinkhole nodes poisoning a target list.
+
+    ``sinkhole_subnets`` controls address diversity: endpoints are
+    taken one per /20 from the given bases.  ``targets`` is the recon
+    product — (bot id, endpoint) pairs for the bots to poison.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        scheduler: Scheduler,
+        rng: random.Random,
+        sinkhole_endpoints: Sequence[Endpoint],
+        poison_interval: float = 10 * MINUTE,
+        config: Optional[ZeusConfig] = None,
+    ) -> None:
+        if not sinkhole_endpoints:
+            raise ValueError("campaign needs at least one sinkhole endpoint")
+        self.transport = transport
+        self.scheduler = scheduler
+        self.rng = rng
+        self.poison_interval = poison_interval
+        self.nodes: List[SinkholeNode] = []
+        for index, endpoint in enumerate(sinkhole_endpoints):
+            node = SinkholeNode(
+                node_id=f"sinkhole-{index}",
+                bot_id=protocol.random_id(rng),
+                endpoint=endpoint,
+                transport=transport,
+                scheduler=scheduler,
+                rng=random.Random(rng.getrandbits(64)),
+                routable=True,
+                config=config if config is not None else ZeusConfig(),
+            )
+            self.nodes.append(node)
+        siblings = [(node.bot_id, node.endpoint) for node in self.nodes]
+        for node in self.nodes:
+            node.siblings = siblings
+        self._targets: List[Tuple[bytes, Endpoint]] = []
+        self._running = False
+        self.pushes_sent = 0
+
+    @property
+    def sinkhole_ids(self) -> Set[bytes]:
+        return {node.bot_id for node in self.nodes}
+
+    def start(self, targets: Sequence[Tuple[bytes, Endpoint]]) -> None:
+        """Begin poisoning ``targets`` (the recon product)."""
+        if self._running:
+            raise RuntimeError("campaign already running")
+        self._running = True
+        self._targets = list(targets)
+        for node in self.nodes:
+            node.start(first_cycle_delay=self.poison_interval)
+        self.scheduler.call_later(1.0, self._poison_round)
+
+    def stop(self) -> None:
+        self._running = False
+        for node in self.nodes:
+            node.stop()
+
+    def _poison_round(self) -> None:
+        if not self._running:
+            return
+        # Each round, every sinkhole pushes itself into a slice of the
+        # target list via peer-list requests (the push mechanism).
+        for node in self.nodes:
+            slice_size = max(1, len(self._targets) // len(self.nodes))
+            picks = self.rng.sample(self._targets, min(slice_size, len(self._targets)))
+            for bot_id, endpoint in picks:
+                message = protocol.make_message(
+                    MessageType.PEER_LIST_REQUEST,
+                    node.bot_id,
+                    node.rng,
+                    payload=bot_id,  # normal lookup semantics: stay stealthy
+                )
+                self.pushes_sent += 1
+                node.send(endpoint, protocol.encrypt_message(message, bot_id))
+        self.scheduler.call_later(self.poison_interval, self._poison_round)
+
+    # -- measurement -----------------------------------------------------
+
+    def capture_snapshot(self, bots: Sequence) -> CaptureSnapshot:
+        """Measure poisoning across ``bots`` (ZeusBot-like objects)."""
+        sinkhole_ids = self.sinkhole_ids
+        with_sinkhole = 0
+        shares = []
+        for bot in bots:
+            entries = bot.peer_list.entries()
+            if not entries:
+                shares.append(0.0)
+                continue
+            poisoned = sum(1 for entry in entries if entry.bot_id in sinkhole_ids)
+            if poisoned:
+                with_sinkhole += 1
+            shares.append(poisoned / len(entries))
+        return CaptureSnapshot(
+            time=self.scheduler.now,
+            bots_with_sinkhole=with_sinkhole,
+            total_bots=len(list(bots)),
+            mean_sinkhole_share=sum(shares) / len(shares) if shares else 0.0,
+        )
+
+
+def spread_endpoints(
+    base_ip: int, count: int, per_slash20: bool = True, port: int = 5353
+) -> List[Endpoint]:
+    """Sinkhole endpoints: one per /20 when diverse, or all packed
+    into a single /20 to demonstrate the Zeus filter's resistance."""
+    step = 0x1000 if per_slash20 else 4
+    return [Endpoint(base_ip + index * step, port) for index in range(count)]

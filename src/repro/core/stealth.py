@@ -1,0 +1,126 @@
+"""Stealthy crawling strategies (paper Section 5).
+
+Three evasion techniques against out-degree / request-frequency
+crawler detection, all combinable through one :class:`StealthPolicy`:
+
+* **Contact-ratio limiting** (Section 5.1): contact only ``1/x`` of the
+  bots, chosen deterministically from the bot identifier so repeated
+  runs exclude the same bots.  Excluded bots are still *learned* from
+  the peer lists of contacted bots, just never verified.
+* **Request-frequency limiting** (Section 5.2): respect (a fraction of)
+  the family's suspend cycle between successive requests to the same
+  bot, instead of hard-hitting.
+* **Distributed crawling / address rotation** (Section 5.3): spread
+  egress over many source endpoints, optionally rotating on a period so
+  no address exceeds the per-address detection threshold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.net.transport import Endpoint
+
+
+def contact_hash(bot_id: bytes) -> int:
+    """Stable 64-bit hash of a bot identifier.
+
+    Deterministic across runs and processes (unlike ``hash()``), so a
+    ratio-limited crawler restricts itself to a *fixed* subset of bots,
+    as the paper's contact-ratio crawlers do ("contacted a
+    deterministically restricted fraction of bots, based on the bot
+    identifier", Section 6.2).
+    """
+    return int.from_bytes(hashlib.blake2b(bot_id, digest_size=8).digest(), "big")
+
+
+@dataclass
+class StealthPolicy:
+    """One crawler's stealth configuration.
+
+    ``contact_ratio`` is the ``x`` in "contact 1/x of all bots".
+    ``per_target_interval`` is the minimum spacing between requests to
+    the same bot: the family's full suspend cycle for a fully adherent
+    crawler, half of it for "half suspend cycle", or a small value for
+    aggressive crawling.  ``source_endpoints`` is the pool for
+    distributed crawling; ``rotation_interval`` switches the active
+    source periodically instead of round-robining per request.
+    """
+
+    contact_ratio: int = 1
+    per_target_interval: float = 10.0
+    source_endpoints: Sequence[Endpoint] = ()
+    rotation_interval: Optional[float] = None
+    requests_per_target: int = 5
+    # Continuous alternative to contact_ratio: contact this fraction of
+    # bots (used to replay the per-crawler coverage levels of Tables
+    # 2/3, which are not powers of two).  Overrides contact_ratio.
+    contact_fraction: Optional[float] = None
+    # How long after discovery a NEW target may first be contacted.
+    # None = almost immediately (a small anti-burst jitter).  A
+    # fully suspend-cycle-adherent crawler processes newly learned
+    # peers on its next cycle, not instantly: set this to the cycle
+    # length and first contacts spread uniformly across one cycle.
+    initial_contact_delay: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.contact_ratio < 1:
+            raise ValueError("contact_ratio must be >= 1")
+        if self.per_target_interval < 0:
+            raise ValueError("per_target_interval must be >= 0")
+        if self.requests_per_target < 1:
+            raise ValueError("requests_per_target must be >= 1")
+        if self.rotation_interval is not None and self.rotation_interval <= 0:
+            raise ValueError("rotation_interval must be positive")
+        if self.contact_fraction is not None and not 0.0 < self.contact_fraction <= 1.0:
+            raise ValueError("contact_fraction must be in (0, 1]")
+        if self.initial_contact_delay is not None and self.initial_contact_delay < 0:
+            raise ValueError("initial_contact_delay must be >= 0")
+
+    def should_contact(self, bot_id: bytes) -> bool:
+        """Is this bot inside our deterministic contact subset?"""
+        if self.contact_fraction is not None:
+            if self.contact_fraction >= 1.0:
+                return True
+            return contact_hash(bot_id) % 10_000 < int(self.contact_fraction * 10_000)
+        if self.contact_ratio == 1:
+            return True
+        return contact_hash(bot_id) % self.contact_ratio == 0
+
+    def source_for(self, request_index: int, now: float) -> Optional[Endpoint]:
+        """Which source endpoint to use for the Nth request at time
+        ``now``; None means "use the crawler's default endpoint"."""
+        if not self.source_endpoints:
+            return None
+        if self.rotation_interval is not None:
+            slot = int(now // self.rotation_interval)
+            return self.source_endpoints[slot % len(self.source_endpoints)]
+        return self.source_endpoints[request_index % len(self.source_endpoints)]
+
+
+def aggressive_policy(requests_per_target: int = 5, min_interval: float = 12.0) -> StealthPolicy:
+    """An aggressive (but Zeus-auto-blacklist-aware) policy.
+
+    Even aggressive Zeus crawlers must stay under the automatic
+    blacklisting frequency (Section 6.2.2), hence the default ~12 s
+    per-target spacing; pass a smaller ``min_interval`` for botnets
+    without auto-blacklisting (e.g. Sality).
+    """
+    return StealthPolicy(per_target_interval=min_interval, requests_per_target=requests_per_target)
+
+
+def suspend_cycle_policy(
+    cycle_seconds: float,
+    fraction: float = 1.0,
+    requests_per_target: int = 5,
+) -> StealthPolicy:
+    """A frequency-limited policy adhering to ``fraction`` of the
+    family suspend cycle (1.0 = full cycle, 0.5 = half)."""
+    if fraction <= 0:
+        raise ValueError("fraction must be positive")
+    return StealthPolicy(
+        per_target_interval=cycle_seconds * fraction,
+        requests_per_target=requests_per_target,
+    )

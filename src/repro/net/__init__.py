@@ -1,0 +1,52 @@
+"""Network substrate: IPv4 addressing, NAT, transport, and churn.
+
+This package models exactly the network properties the paper's analysis
+depends on:
+
+* **Addressing** (:mod:`repro.net.address`) -- IPv4 addresses as plain
+  ints, CIDR subnets, and the /20 aggregation the Zeus peer-list filter
+  and the subnet-aggregating crawler detector both use.
+* **Routability / NAT** (:mod:`repro.net.nat`) -- 60-87% of real bot
+  populations sit behind NAT gateways or firewalls; crawlers cannot
+  reach them, sensors can (via punch-holes).  This asymmetry drives the
+  crawler-vs-sensor tradeoff (paper Fig. 1, Table 6).
+* **Transport** (:mod:`repro.net.transport`) -- message delivery with
+  latency/loss and a *non-spoofable* source identity, matching the
+  detection algorithm's TCP-like transport assumption (Section 4.3).
+* **Churn** (:mod:`repro.net.churn`) -- diurnal online cycles, DHCP-style
+  IP reassignment (address aliasing), and infection churn, the passive
+  disturbances that bound useful crawl windows to ~24 hours.
+"""
+
+from repro.net.address import (
+    AddressPool,
+    Subnet,
+    format_ip,
+    ip_in_any,
+    is_reserved,
+    parse_ip,
+    subnet_key,
+)
+from repro.net.churn import ChurnConfig, ChurnProcess, DiurnalModel, IpChurnProcess
+from repro.net.nat import NatGateway, RoutabilityTable
+from repro.net.transport import Endpoint, Message, Transport, TransportConfig
+
+__all__ = [
+    "AddressPool",
+    "ChurnConfig",
+    "ChurnProcess",
+    "DiurnalModel",
+    "Endpoint",
+    "IpChurnProcess",
+    "Message",
+    "NatGateway",
+    "RoutabilityTable",
+    "Subnet",
+    "Transport",
+    "TransportConfig",
+    "format_ip",
+    "ip_in_any",
+    "is_reserved",
+    "parse_ip",
+    "subnet_key",
+]

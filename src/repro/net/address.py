@@ -1,0 +1,197 @@
+"""IPv4 addressing primitives.
+
+Addresses are plain unsigned 32-bit ints throughout the codebase (fast
+to hash, compare, and mask).  Dotted-quad strings appear only at the
+presentation layer.
+
+The /20 subnet granularity shows up twice in the paper: GameOver Zeus
+allows at most one peer-list entry per /20 (Section 3.1), and the
+crawler detector aggregates reported IPs per subnet, staying accurate
+down to /20 and breaking at /19 (Section 6.1.2).  :func:`subnet_key`
+implements that masking.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Set
+
+MAX_IP = 0xFFFFFFFF
+
+# Reserved/special-use ranges (RFC 5735 subset).  Disinformation attacks
+# in ZeroAccess padded peer lists with addresses from ranges like these
+# (Section 3.3); recon tools should treat them as junk.
+_RESERVED_BLOCKS = (
+    ("0.0.0.0", 8),
+    ("10.0.0.0", 8),
+    ("127.0.0.0", 8),
+    ("169.254.0.0", 16),
+    ("172.16.0.0", 12),
+    ("192.0.2.0", 24),
+    ("192.168.0.0", 16),
+    ("224.0.0.0", 4),
+    ("240.0.0.0", 4),
+)
+
+
+def parse_ip(text: str) -> int:
+    """Parse dotted-quad ``text`` into an int.
+
+    >>> parse_ip("10.0.0.1")
+    167772161
+    """
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(ip: int) -> str:
+    """Render an int address as a dotted quad."""
+    if not 0 <= ip <= MAX_IP:
+        raise ValueError(f"address out of range: {ip}")
+    return ".".join(str((ip >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_mask(prefix: int) -> int:
+    """Netmask for a prefix length, as an int."""
+    if not 0 <= prefix <= 32:
+        raise ValueError(f"prefix out of range: {prefix}")
+    if prefix == 0:
+        return 0
+    return (MAX_IP << (32 - prefix)) & MAX_IP
+
+
+def subnet_key(ip: int, prefix: int) -> int:
+    """Network address of ``ip`` under a ``/prefix`` mask.
+
+    Two addresses share a subnet iff their keys match.  The crawler
+    detector aggregates hard-hitter reports by this key (/32 == per-IP).
+    """
+    return ip & prefix_mask(prefix)
+
+
+@dataclass(frozen=True)
+class Subnet:
+    """A CIDR block."""
+
+    network: int
+    prefix: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix <= 32:
+            raise ValueError(f"prefix out of range: {self.prefix}")
+        if self.network & ~prefix_mask(self.prefix):
+            raise ValueError(
+                f"{format_ip(self.network)}/{self.prefix} has host bits set"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Subnet":
+        """Parse ``"a.b.c.d/n"`` notation."""
+        addr, _, prefix = text.partition("/")
+        if not prefix:
+            raise ValueError(f"missing prefix length: {text!r}")
+        return cls(subnet_key(parse_ip(addr), int(prefix)), int(prefix))
+
+    @property
+    def size(self) -> int:
+        """Number of addresses in the block."""
+        return 1 << (32 - self.prefix)
+
+    def __contains__(self, ip: int) -> bool:
+        return subnet_key(ip, self.prefix) == self.network
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.network, self.network + self.size))
+
+    def __str__(self) -> str:
+        return f"{format_ip(self.network)}/{self.prefix}"
+
+    def random_ip(self, rng: random.Random) -> int:
+        """Uniform random address inside the block."""
+        return self.network + rng.randrange(self.size)
+
+    def subdivide(self, prefix: int) -> List["Subnet"]:
+        """Split into equal sub-blocks of the given (longer) prefix."""
+        if prefix < self.prefix:
+            raise ValueError("cannot subdivide into a shorter prefix")
+        step = 1 << (32 - prefix)
+        return [
+            Subnet(net, prefix)
+            for net in range(self.network, self.network + self.size, step)
+        ]
+
+
+_RESERVED: List[Subnet] = [
+    Subnet(parse_ip(addr), prefix) for addr, prefix in _RESERVED_BLOCKS
+]
+
+
+def is_reserved(ip: int) -> bool:
+    """True for special-use addresses (junk when seen in a peer list)."""
+    return any(ip in block for block in _RESERVED)
+
+
+def ip_in_any(ip: int, blocks: Iterable[Subnet]) -> bool:
+    """True if ``ip`` falls in any of ``blocks``."""
+    return any(ip in block for block in blocks)
+
+
+class AddressPool:
+    """Allocates unique public addresses from a set of CIDR blocks.
+
+    Population builders use one pool per scenario so bots, sensors, and
+    crawlers never collide on an address unless a test asks them to.
+    """
+
+    def __init__(self, blocks: Sequence[Subnet], rng: random.Random) -> None:
+        if not blocks:
+            raise ValueError("address pool needs at least one block")
+        self._blocks = list(blocks)
+        self._rng = rng
+        self._allocated: Set[int] = set()
+
+    @property
+    def allocated(self) -> Set[int]:
+        return set(self._allocated)
+
+    @property
+    def capacity(self) -> int:
+        return sum(block.size for block in self._blocks)
+
+    def allocate(self, within: Optional[Subnet] = None) -> int:
+        """Allocate a fresh address, optionally inside ``within``.
+
+        Random-probes first (cheap when pools are sparse), then falls
+        back to a linear scan so exhaustion is detected reliably.
+        """
+        blocks = [within] if within is not None else self._blocks
+        if within is not None and not any(
+            subnet_key(within.network, b.prefix) == b.network and within.prefix >= b.prefix
+            for b in self._blocks
+        ):
+            raise ValueError(f"{within} is not inside this pool")
+        for _ in range(64):
+            block = self._rng.choice(blocks)
+            ip = block.random_ip(self._rng)
+            if ip not in self._allocated and not is_reserved(ip):
+                self._allocated.add(ip)
+                return ip
+        for block in blocks:
+            for ip in block:
+                if ip not in self._allocated and not is_reserved(ip):
+                    self._allocated.add(ip)
+                    return ip
+        raise RuntimeError("address pool exhausted")
+
+    def release(self, ip: int) -> None:
+        """Return an address to the pool (used by IP churn)."""
+        self._allocated.discard(ip)

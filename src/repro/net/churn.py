@@ -1,0 +1,168 @@
+"""Churn models: diurnal cycles, IP reassignment, infection churn.
+
+Passive disturbances to recon accuracy (Rajab et al., Kanich et al.,
+and the P2PWNED study) bound the useful crawl window: crawling shorter
+than 24 hours misses the diurnal trough population, crawling longer
+double-counts bots whose dynamic IPs changed (address aliasing).  The
+paper's detector therefore uses 24-hour per-bot request histories and
+hourly detection rounds.  These models create those effects.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.clock import DAY, HOUR
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass
+class DiurnalModel:
+    """Sinusoidal online-probability model.
+
+    ``p(t) = base + amplitude * sin(2*pi*(t - peak)/DAY)`` clamped to
+    [min_p, max_p].  With the defaults, roughly 75% of bots are online
+    at the daily peak and 35% at the trough -- consistent with the
+    diurnal swings reported for Zeus and Sality.
+    """
+
+    base: float = 0.55
+    amplitude: float = 0.20
+    peak_hour: float = 20.0  # local evening
+    min_p: float = 0.05
+    max_p: float = 0.98
+
+    def online_probability(self, time: float) -> float:
+        phase = 2.0 * math.pi * (time / DAY - self.peak_hour / 24.0)
+        p = self.base + self.amplitude * math.cos(phase)
+        return max(self.min_p, min(self.max_p, p))
+
+
+@dataclass
+class ChurnConfig:
+    """Session churn knobs.
+
+    ``mean_session`` / ``mean_offline`` are exponential-holding-time
+    means; the diurnal model biases the decision to come back online.
+    """
+
+    mean_session: float = 6 * HOUR
+    mean_offline: float = 3 * HOUR
+    diurnal: Optional[DiurnalModel] = None
+
+    def __post_init__(self) -> None:
+        if self.mean_session <= 0 or self.mean_offline <= 0:
+            raise ValueError("holding times must be positive")
+
+
+class ChurnProcess:
+    """Drives online/offline sessions for a set of nodes.
+
+    The process calls ``on_up(node_id)`` / ``on_down(node_id)`` at
+    session boundaries.  Node identity is opaque to the process.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: random.Random,
+        config: ChurnConfig,
+        on_up: Callable[[str], None],
+        on_down: Callable[[str], None],
+    ) -> None:
+        self.scheduler = scheduler
+        self.rng = rng
+        self.config = config
+        self.on_up = on_up
+        self.on_down = on_down
+        self._online: Dict[str, bool] = {}
+        self.transitions = 0
+
+    def add_node(self, node_id: str, online: bool = True) -> None:
+        """Register a node and start its session cycle."""
+        if node_id in self._online:
+            raise ValueError(f"node already managed: {node_id}")
+        self._online[node_id] = online
+        self._schedule_flip(node_id)
+
+    def is_online(self, node_id: str) -> bool:
+        return self._online.get(node_id, False)
+
+    def online_count(self) -> int:
+        return sum(1 for up in self._online.values() if up)
+
+    def _schedule_flip(self, node_id: str) -> None:
+        if self._online[node_id]:
+            delay = self.rng.expovariate(1.0 / self.config.mean_session)
+        else:
+            delay = self.rng.expovariate(1.0 / self.config.mean_offline)
+        self.scheduler.call_later(max(1.0, delay), self._flip, node_id)
+
+    def _flip(self, node_id: str) -> None:
+        currently_up = self._online[node_id]
+        if currently_up:
+            self._go_down(node_id)
+        else:
+            # Diurnal bias: at the trough, offline bots tend to stay
+            # offline a while longer instead of returning immediately.
+            diurnal = self.config.diurnal
+            if diurnal is not None:
+                p = diurnal.online_probability(self.scheduler.now)
+                if self.rng.random() > p:
+                    self._schedule_flip(node_id)
+                    return
+            self._go_up(node_id)
+        self._schedule_flip(node_id)
+
+    def _go_up(self, node_id: str) -> None:
+        self._online[node_id] = True
+        self.transitions += 1
+        self.on_up(node_id)
+
+    def _go_down(self, node_id: str) -> None:
+        self._online[node_id] = False
+        self.transitions += 1
+        self.on_down(node_id)
+
+
+class IpChurnProcess:
+    """DHCP-style IP reassignment, the source of address aliasing.
+
+    Every ``mean_lease`` seconds (exponential), a managed node gets a
+    fresh address via ``reassign(node_id)``; the callback performs the
+    actual rebind and returns nothing.  Crawls that span many leases
+    will count the same bot under several addresses, inflating size
+    estimates -- the aliasing effect that caps useful crawls at ~24h.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: random.Random,
+        reassign: Callable[[str], None],
+        mean_lease: float = 2 * DAY,
+    ) -> None:
+        if mean_lease <= 0:
+            raise ValueError("mean_lease must be positive")
+        self.scheduler = scheduler
+        self.rng = rng
+        self.reassign = reassign
+        self.mean_lease = mean_lease
+        self.reassignments = 0
+        self._managed: List[str] = []
+
+    def add_node(self, node_id: str) -> None:
+        self._managed.append(node_id)
+        self._schedule(node_id)
+
+    def _schedule(self, node_id: str) -> None:
+        delay = self.rng.expovariate(1.0 / self.mean_lease)
+        self.scheduler.call_later(max(60.0, delay), self._fire, node_id)
+
+    def _fire(self, node_id: str) -> None:
+        self.reassignments += 1
+        self.reassign(node_id)
+        self._schedule(node_id)

@@ -1,0 +1,192 @@
+"""Message transport with latency, loss, NAT semantics, and taps.
+
+The transport delivers opaque byte payloads between bound endpoints via
+the simulation scheduler.  Three properties matter to the paper:
+
+* **Non-spoofable source identity** -- the crawler-detection algorithm
+  assumes a TCP-like transport where the source address of a request
+  cannot be forged (Section 4.3).  Here, a send is only accepted from a
+  currently *bound* endpoint, and the source stamped on the delivered
+  message is the transport's own record, never caller-supplied data.
+* **NAT semantics** -- deliveries to non-routable endpoints succeed only
+  through a punch-hole opened by prior outbound traffic (see
+  :mod:`repro.net.nat`).
+* **Taps** -- sensors and measurement code observe traffic through tap
+  callbacks without perturbing delivery, the moral equivalent of the
+  paper's sensor request logs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.address import format_ip
+from repro.net.nat import RoutabilityTable
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """A transport endpoint: public IP + port."""
+
+    ip: int
+    port: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ip <= 0xFFFFFFFF:
+            raise ValueError(f"bad ip: {self.ip}")
+        if not 0 < self.port <= 65535:
+            raise ValueError(f"bad port: {self.port}")
+
+    def __str__(self) -> str:
+        return f"{format_ip(self.ip)}:{self.port}"
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.ip, self.port)
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered (or dropped) payload with transport metadata.
+
+    ``src`` is stamped by the transport and therefore trustworthy.
+    """
+
+    src: Endpoint
+    dst: Endpoint
+    payload: bytes
+    sent_at: float
+    delivered_at: float
+
+
+Handler = Callable[[Message], None]
+Tap = Callable[[Message, bool], None]
+
+
+@dataclass
+class TransportConfig:
+    """Latency/loss knobs.
+
+    Defaults model a broadband WAN path: 20-200 ms one-way latency and
+    1% loss.  Experiments that need determinism beyond seeding can zero
+    the jitter and loss.
+    """
+
+    latency_min: float = 0.020
+    latency_max: float = 0.200
+    loss_rate: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.latency_min < 0 or self.latency_max < self.latency_min:
+            raise ValueError("invalid latency range")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+
+@dataclass
+class TransportStats:
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_unroutable: int = 0
+    dropped_unbound_dst: int = 0
+    rejected_unbound_src: int = 0
+
+
+class Transport:
+    """The shared message fabric of one simulated network."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: random.Random,
+        config: Optional[TransportConfig] = None,
+        routability: Optional[RoutabilityTable] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.rng = rng
+        self.config = config if config is not None else TransportConfig()
+        self.routability = routability if routability is not None else RoutabilityTable()
+        self.stats = TransportStats()
+        self._handlers: Dict[Tuple[int, int], Handler] = {}
+        self._taps: List[Tap] = []
+
+    # -- binding -------------------------------------------------------
+
+    def bind(self, endpoint: Endpoint, handler: Handler, routable: bool = True) -> None:
+        """Attach ``handler`` to ``endpoint``.
+
+        ``routable=False`` registers a NATed/firewalled endpoint that
+        only receives traffic through punch-holes.
+        """
+        if endpoint.key in self._handlers:
+            raise ValueError(f"endpoint already bound: {endpoint}")
+        self._handlers[endpoint.key] = handler
+        self.routability.register(endpoint.key, routable)
+
+    def unbind(self, endpoint: Endpoint) -> None:
+        self._handlers.pop(endpoint.key, None)
+        self.routability.unregister(endpoint.key)
+
+    def is_bound(self, endpoint: Endpoint) -> bool:
+        return endpoint.key in self._handlers
+
+    def rebind(self, old: Endpoint, new: Endpoint) -> None:
+        """Atomically move a handler to a new endpoint (IP churn)."""
+        handler = self._handlers.get(old.key)
+        if handler is None:
+            raise ValueError(f"endpoint not bound: {old}")
+        routable = self.routability.is_routable(old.key)
+        self.unbind(old)
+        self.bind(new, handler, routable=routable)
+
+    # -- taps ----------------------------------------------------------
+
+    def add_tap(self, tap: Tap) -> None:
+        """Observe every send attempt: ``tap(message, delivered)``."""
+        self._taps.append(tap)
+
+    # -- sending -------------------------------------------------------
+
+    def send(self, src: Endpoint, dst: Endpoint, payload: bytes) -> bool:
+        """Queue ``payload`` from ``src`` to ``dst``.
+
+        Returns True if the message was accepted for (attempted)
+        delivery.  Acceptance does not guarantee delivery: loss and NAT
+        filtering happen at delivery time.
+        """
+        if src.key not in self._handlers:
+            # Non-spoofable identity: you can only speak as an endpoint
+            # you have bound.
+            self.stats.rejected_unbound_src += 1
+            return False
+        now = self.scheduler.now
+        self.routability.note_outbound(src.key, dst.ip, now)
+        self.stats.sent += 1
+        latency = self.rng.uniform(self.config.latency_min, self.config.latency_max)
+        sent_at = now
+        self.scheduler.call_later(latency, self._deliver, src, dst, payload, sent_at)
+        return True
+
+    def _deliver(self, src: Endpoint, dst: Endpoint, payload: bytes, sent_at: float) -> None:
+        now = self.scheduler.now
+        message = Message(src=src, dst=dst, payload=payload, sent_at=sent_at, delivered_at=now)
+        delivered = True
+        handler = self._handlers.get(dst.key)
+        if handler is None:
+            self.stats.dropped_unbound_dst += 1
+            delivered = False
+        elif not self.routability.inbound_allowed(dst.key, src.ip, now):
+            self.stats.dropped_unroutable += 1
+            delivered = False
+        elif self.config.loss_rate and self.rng.random() < self.config.loss_rate:
+            self.stats.dropped_loss += 1
+            delivered = False
+        for tap in self._taps:
+            tap(message, delivered)
+        if delivered:
+            self.stats.delivered += 1
+            handler(message)

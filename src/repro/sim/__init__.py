@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+The kernel provides three building blocks used by every other subsystem:
+
+* :mod:`repro.sim.clock` -- a virtual clock plus time-unit constants.
+* :mod:`repro.sim.scheduler` -- a binary-heap event scheduler with
+  cancellable timers, the main loop of every simulation in this repo.
+* :mod:`repro.sim.rng` -- named, deterministic random streams derived
+  from one master seed, so that whole experiments are reproducible.
+
+All simulated time is expressed in float seconds.  The paper's
+experiments cover 24-hour windows (a full diurnal cycle); constants for
+minutes/hours/days live in :mod:`repro.sim.clock`.
+"""
+
+from repro.sim.clock import DAY, HOUR, MINUTE, SECOND, Clock, format_time
+from repro.sim.events import Event, EventLog
+from repro.sim.rng import RngRegistry, derive_seed
+from repro.sim.scheduler import Scheduler, Timer
+
+__all__ = [
+    "Clock",
+    "DAY",
+    "Event",
+    "EventLog",
+    "HOUR",
+    "MINUTE",
+    "RngRegistry",
+    "SECOND",
+    "Scheduler",
+    "Timer",
+    "derive_seed",
+    "format_time",
+]

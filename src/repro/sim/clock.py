@@ -1,0 +1,58 @@
+"""Virtual clock and time-unit helpers.
+
+Simulated time is a float number of seconds since the start of the
+simulation.  The clock only moves when the scheduler dispatches events,
+so a 24-hour experiment (the paper's standard measurement window)
+completes in wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+
+class Clock:
+    """Monotonic virtual clock.
+
+    Only the owning :class:`~repro.sim.scheduler.Scheduler` should call
+    :meth:`advance`; everything else reads :attr:`now`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, to: float) -> None:
+        """Move the clock forward to ``to``.
+
+        Raises :class:`ValueError` on any attempt to move backwards;
+        a time-travelling clock would invalidate every log timestamp.
+        """
+        if to < self._now:
+            raise ValueError(
+                f"clock cannot move backwards ({to:.6f} < {self._now:.6f})"
+            )
+        self._now = to
+
+
+def format_time(seconds: float) -> str:
+    """Render a simulated timestamp as ``HH:MM:SS`` (wraps past 24h).
+
+    >>> format_time(3661)
+    '01:01:01'
+    """
+    total = int(seconds)
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    return f"{hours:02d}:{minutes:02d}:{secs:02d}"

@@ -1,0 +1,104 @@
+"""Structured event records and an append-only event log.
+
+Components that want replayable telemetry (sensors logging incoming
+requests, transports logging deliveries) append :class:`Event` records
+to an :class:`EventLog`.  The crawler-detection evaluation in Section 6
+of the paper runs *offline* over logged sensor traffic; the log defined
+here is the substrate for that replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped occurrence.
+
+    ``kind`` is a short dotted tag (e.g. ``"zeus.peer_list_request"``),
+    ``source``/``target`` identify endpoints when applicable, and
+    ``data`` carries kind-specific payload fields.
+    """
+
+    time: float
+    kind: str
+    source: Optional[str] = None
+    target: Optional[str] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only, time-ordered event log with simple query helpers."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def append(self, event: Event) -> None:
+        if self._events and event.time < self._events[-1].time:
+            raise ValueError(
+                "events must be appended in non-decreasing time order "
+                f"({event.time} < {self._events[-1].time})"
+            )
+        self._events.append(event)
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        source: Optional[str] = None,
+        target: Optional[str] = None,
+        **data: Any,
+    ) -> Event:
+        """Build an :class:`Event` and append it in one call."""
+        event = Event(time=time, kind=kind, source=source, target=target, data=data)
+        self.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        target: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+        predicate: Optional[Callable[[Event], bool]] = None,
+    ) -> List[Event]:
+        """Return events matching every given criterion.
+
+        ``since`` is inclusive, ``until`` exclusive, mirroring the
+        half-open history intervals used by the detection algorithm.
+        """
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if source is not None and event.source != source:
+                continue
+            if target is not None and event.target != target:
+                continue
+            if since is not None and event.time < since:
+                continue
+            if until is not None and event.time >= until:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def kinds(self) -> Dict[str, int]:
+        """Histogram of event kinds, handy in tests and debugging."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts

@@ -1,0 +1,141 @@
+"""Binary-heap discrete-event scheduler.
+
+This is the main loop of every simulation in the repository.  Callbacks
+are scheduled at absolute or relative simulated times; ties are broken
+by insertion order so runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.clock import Clock
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped
+    at dispatch time, which keeps ``cancel()`` O(1).
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Scheduler:
+    """Discrete-event scheduler over a :class:`~repro.sim.clock.Clock`.
+
+    Typical use::
+
+        sched = Scheduler()
+        sched.call_later(30.0, bot.wake)
+        sched.run_until(DAY)
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._sequence = 0
+        self._dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled events."""
+        return sum(1 for _, _, t in self._heap if not t.cancelled)
+
+    @property
+    def dispatched(self) -> int:
+        """Total callbacks dispatched since construction."""
+        return self._dispatched
+
+    def call_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule in the past ({time:.6f} < {self.clock.now:.6f})"
+            )
+        timer = Timer(time, callback, args)
+        heapq.heappush(self._heap, (time, self._sequence, timer))
+        self._sequence += 1
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        return self.call_at(self.clock.now + delay, callback, *args)
+
+    def _pop_next(self) -> Optional[Timer]:
+        while self._heap:
+            _, _, timer = heapq.heappop(self._heap)
+            if not timer.cancelled:
+                return timer
+        return None
+
+    def step(self) -> bool:
+        """Dispatch the single next event.  Returns False when idle."""
+        timer = self._pop_next()
+        if timer is None:
+            return False
+        self.clock.advance(timer.time)
+        self._dispatched += 1
+        timer.callback(*timer.args)
+        return True
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> int:
+        """Run events up to and including simulated ``time``.
+
+        The clock lands exactly on ``time`` afterwards even if the last
+        event fired earlier, so back-to-back ``run_until`` calls tile a
+        timeline cleanly.  Returns the number of events dispatched.
+        ``max_events`` is a safety valve against runaway self-scheduling
+        loops; exceeding it raises :class:`RuntimeError`.
+        """
+        dispatched = 0
+        while self._heap:
+            next_time = self._next_live_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            dispatched += 1
+            if max_events is not None and dispatched > max_events:
+                raise RuntimeError(
+                    f"run_until({time}) exceeded max_events={max_events}; "
+                    "likely a self-rescheduling loop with zero delay"
+                )
+        if time > self.clock.now:
+            self.clock.advance(time)
+        return dispatched
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the event heap is empty."""
+        dispatched = 0
+        while self.step():
+            dispatched += 1
+            if dispatched > max_events:
+                raise RuntimeError(f"run() exceeded max_events={max_events}")
+        return dispatched
+
+    def _next_live_time(self) -> Optional[float]:
+        while self._heap:
+            time, _, timer = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None

@@ -1,0 +1,25 @@
+"""Workload generators and in-the-wild recon-tool profiles.
+
+* :mod:`repro.workloads.crawler_profiles` -- the 21 GameOver Zeus and
+  11 Sality crawler defect profiles from the paper's Tables 3 and 2.
+* :mod:`repro.workloads.sensor_profiles` -- the 10 Zeus sensor
+  anomaly profiles of Section 4.2.
+* :mod:`repro.workloads.population` -- preset population scales.
+* :mod:`repro.workloads.scenarios` -- canned end-to-end scenarios
+  (botnet + sensor fleet + crawler fleet) shared by the examples,
+  integration tests, and benchmarks.
+"""
+
+from repro.workloads.crawler_profiles import (
+    SALITY_CRAWLERS,
+    SALITY_CRAWLER_INSTANCES,
+    ZEUS_CRAWLERS,
+)
+from repro.workloads.sensor_profiles import ZEUS_SENSOR_PROFILES
+
+__all__ = [
+    "SALITY_CRAWLERS",
+    "SALITY_CRAWLER_INSTANCES",
+    "ZEUS_CRAWLERS",
+    "ZEUS_SENSOR_PROFILES",
+]

@@ -1,0 +1,138 @@
+"""In-the-wild crawler defect profiles (paper Tables 2 and 3).
+
+The paper anonymizes the per-crawler defect matrix but states every
+aggregate exactly in the Section 4.1 prose.  The per-column assignment
+below is a reconstruction satisfying all published counts:
+
+GameOver Zeus (21 crawlers, Table 3):
+
+* constrained padding length (LOP): 14 crawlers
+* static/constrained random byte: 10
+* static/constrained TTL: 10
+* static or small-pool session IDs: 11
+* low-entropy session IDs: 3
+* fresh random source ID per message (>1000 IDs): 3
+* low-entropy (ASCII company-name) source IDs: 5
+* non-random padding bytes: 5
+* invalid encryption (wrong per-bot keys interspersed): 7
+* incorrect protocol logic (bare PLR streams): 17
+* abnormal (randomized) lookup keys: "many" -- assigned to 12
+* hard hitters: 9
+* at least one range anomaly in 20 of 21
+* coverage up to 92%, nearly all >= 20%, most >= 50%, one tiny
+  open-source crawler included despite low coverage
+
+Sality (11 crawlers, Table 2; 6 of the 11 are instances of the same
+crawler in one subnet, collapsed into the first column):
+
+* fixed/constrained padding length: all 11
+* fixed source port: 10 of 11
+* hard hitters: all 11
+* repeated bare peer-list requests (no URL packs): 9 of 11
+* invalid minor version: 9 of 11 (only 2 valid)
+* no identifier or encryption anomalies (Sections 4.1.2/4.1.3)
+* coverage: 69% for the grouped instances, 100% for the rest
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.defects import SalityDefectProfile, ZeusDefectProfile
+
+
+def _z(index: int, coverage: float, **defects) -> ZeusDefectProfile:
+    return ZeusDefectProfile(name=f"zeus-c{index}", coverage=coverage, **defects)
+
+
+# Helper sets encoding the aggregate counts listed in the module
+# docstring (1-based crawler indexes).
+_LOP = set(range(1, 15))                       # 14
+_RND = set(range(1, 9)) | {15, 16}             # 10
+_TTL = set(range(3, 11)) | {17, 18}            # 10
+_SESSION_RANGE = {1, 2, 5, 6, 7, 8, 9, 13, 14, 19, 20}  # 11
+_SESSION_ENTROPY = {10, 11, 12}                # 3
+_RANDOM_SOURCE = {15, 16, 17}                  # 3
+_SOURCE_ENTROPY = {1, 4, 11, 18, 19}           # 5
+_PADDING_ENTROPY = {15, 16, 17, 18, 20}        # 5 (none with LOP=0)
+_ENCRYPTION = {2, 4, 6, 8, 10, 12, 14}         # 7
+_PROTOCOL_LOGIC = set(range(1, 18))            # 17
+_ABNORMAL_LOOKUP = {1, 3, 5, 7, 9, 11, 13, 15, 16, 17, 18, 21}  # 12
+_HARD_HITTER = set(range(1, 10))               # 9
+
+# Coverage percentages: max 92, nearly all >= 20, most >= 50, a few
+# tiny ones including the low-coverage open-source crawler (c21).
+_ZEUS_COVERAGE = [
+    90, 82, 85, 75, 92, 84, 20, 53, 62, 44, 85, 92, 92, 88, 54, 87, 86, 27, 9, 8, 2,
+]
+
+ZEUS_CRAWLERS: List[ZeusDefectProfile] = [
+    _z(
+        index,
+        coverage=_ZEUS_COVERAGE[index - 1] / 100.0,
+        lop_range=index in _LOP,
+        rnd_range=index in _RND,
+        ttl_range=index in _TTL,
+        session_range=index in _SESSION_RANGE,
+        session_entropy=index in _SESSION_ENTROPY,
+        random_source=index in _RANDOM_SOURCE,
+        source_entropy=index in _SOURCE_ENTROPY,
+        padding_entropy=index in _PADDING_ENTROPY,
+        encryption=index in _ENCRYPTION,
+        protocol_logic=index in _PROTOCOL_LOGIC,
+        abnormal_lookup=index in _ABNORMAL_LOOKUP,
+        hard_hitter=index in _HARD_HITTER,
+    )
+    for index in range(1, 22)
+]
+
+
+def _s(index: int, coverage: float, **defects) -> SalityDefectProfile:
+    return SalityDefectProfile(name=f"sality-c{index}", coverage=coverage, **defects)
+
+
+# Table 2 columns: c1 collapses 6 same-subnet instances.
+SALITY_CRAWLERS: List[SalityDefectProfile] = [
+    _s(1, 0.69, lop_range=True, port_range=True, hard_hitter=True,
+       protocol_logic=True, version=True),
+    _s(2, 1.00, lop_range=True, port_range=True, hard_hitter=True,
+       protocol_logic=True, version=False),
+    _s(3, 1.00, lop_range=True, port_range=True, hard_hitter=True,
+       protocol_logic=True, version=False),
+    _s(4, 1.00, lop_range=True, port_range=True, hard_hitter=True,
+       protocol_logic=False, version=True),
+    _s(5, 1.00, lop_range=True, port_range=False, hard_hitter=True,
+       protocol_logic=False, version=True),
+    _s(6, 1.00, lop_range=True, port_range=True, hard_hitter=True,
+       protocol_logic=True, version=True),
+]
+
+# Instance expansion: Table 2's first column is 6 crawler instances
+# running the same code in one subnet.  Fleet runners launch one
+# crawler per instance; analyzers group them back by subnet.
+SALITY_CRAWLER_INSTANCES: List[Tuple[SalityDefectProfile, int]] = [
+    (SALITY_CRAWLERS[0], 6),
+    (SALITY_CRAWLERS[1], 1),
+    (SALITY_CRAWLERS[2], 1),
+    (SALITY_CRAWLERS[3], 1),
+    (SALITY_CRAWLERS[4], 1),
+    (SALITY_CRAWLERS[5], 1),
+]
+
+
+def zeus_aggregate_counts() -> Dict[str, int]:
+    """Defect counts across the Zeus fleet (the published aggregates)."""
+    counts: Dict[str, int] = {}
+    for profile in ZEUS_CRAWLERS:
+        for defect in profile.defect_names():
+            counts[defect] = counts.get(defect, 0) + 1
+    return counts
+
+
+def sality_aggregate_counts() -> Dict[str, int]:
+    """Defect counts across the 11 Sality crawler *instances*."""
+    counts: Dict[str, int] = {}
+    for profile, instances in SALITY_CRAWLER_INSTANCES:
+        for defect in profile.defect_names():
+            counts[defect] = counts.get(defect, 0) + instances
+    return counts

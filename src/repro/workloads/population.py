@@ -1,0 +1,47 @@
+"""Preset population scales.
+
+The live networks measured in the paper held ~200,000 (Zeus) and
+~900,000 (Sality) bots.  The simulator is O(events) and handles those
+sizes in principle, but tests and benchmarks use laptop-friendly
+presets; all reproduced metrics are relative (coverage fractions,
+detection rates), which are scale-robust.
+"""
+
+from __future__ import annotations
+
+from repro.botnets.sality.network import SalityNetworkConfig
+from repro.botnets.zeus.network import ZeusNetworkConfig
+
+#: Named scales: population, routable fraction, bootstrap peers.
+SCALES = {
+    "tiny": (120, 0.5, 8),
+    "small": (400, 0.35, 12),
+    "medium": (1200, 0.3, 15),
+    "large": (5000, 0.25, 20),
+}
+
+
+def zeus_config(scale: str = "small", master_seed: int = 0, **overrides) -> ZeusNetworkConfig:
+    """A Zeus population config at a named scale."""
+    population, routable, bootstrap = SCALES[scale]
+    params = dict(
+        population=population,
+        routable_fraction=routable,
+        bootstrap_peers=bootstrap,
+        master_seed=master_seed,
+    )
+    params.update(overrides)
+    return ZeusNetworkConfig(**params)
+
+
+def sality_config(scale: str = "small", master_seed: int = 0, **overrides) -> SalityNetworkConfig:
+    """A Sality population config at a named scale."""
+    population, routable, bootstrap = SCALES[scale]
+    params = dict(
+        population=population,
+        routable_fraction=routable,
+        bootstrap_peers=bootstrap,
+        master_seed=master_seed,
+    )
+    params.update(overrides)
+    return SalityNetworkConfig(**params)

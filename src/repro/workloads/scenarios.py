@@ -1,0 +1,242 @@
+"""Canned end-to-end scenarios shared by examples, tests, and benches.
+
+A *scenario* is a running botnet with an injected sensor fleet and,
+optionally, a crawler fleet replaying the in-the-wild defect profiles.
+This mirrors the paper's experimental geometry: sensors announce for a
+while, then a measurement window opens during which all recon traffic
+is logged by the sensors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.botnets.sality.network import SalityNetwork, SalityNetworkConfig
+from repro.botnets.zeus import protocol as zeus_protocol
+from repro.botnets.zeus.network import ZeusNetwork, ZeusNetworkConfig
+from repro.core.crawler import SalityCrawler, ZeusCrawler
+from repro.core.defects import SalityDefectProfile, ZeusDefectProfile
+from repro.core.sensor import SalitySensor, SensorDefectProfile, ZeusSensor
+from repro.core.stealth import StealthPolicy
+from repro.net.address import Subnet, parse_ip
+from repro.net.transport import Endpoint
+from repro.sim.clock import DAY, HOUR, MINUTE
+
+# Address space reserved for recon infrastructure, outside the bot
+# population's blocks: each sensor/crawler gets its own /20 (the Zeus
+# peer-list filter admits one entry per /20).
+SENSOR_BLOCK = Subnet.parse("45.0.0.0/10")
+CRAWLER_BLOCK = Subnet.parse("99.0.0.0/12")
+
+
+def sensor_endpoint(index: int, port: int = 6000) -> Endpoint:
+    """Sensor i's address: one /20 per sensor inside SENSOR_BLOCK."""
+    ip = SENSOR_BLOCK.network + index * 0x1000 + 1
+    if ip not in SENSOR_BLOCK:
+        raise ValueError(f"sensor index {index} outside the sensor block")
+    return Endpoint(ip, port)
+
+
+def crawler_endpoint(index: int, instance: int = 0, port: int = 7000) -> Endpoint:
+    """Crawler i's address; instances of one crawler share a /24."""
+    ip = CRAWLER_BLOCK.network + index * 0x1000 + instance * 4 + 1
+    if ip not in CRAWLER_BLOCK:
+        raise ValueError(f"crawler index {index} outside the crawler block")
+    return Endpoint(ip, port)
+
+
+@dataclass
+class ZeusScenario:
+    """A running Zeus botnet with an injected sensor fleet."""
+
+    net: ZeusNetwork
+    sensors: List[ZeusSensor]
+    crawlers: List[ZeusCrawler] = field(default_factory=list)
+    measurement_start: float = 0.0
+
+    @property
+    def crawler_ips(self) -> Set[int]:
+        return {crawler.endpoint.ip for crawler in self.crawlers}
+
+    def run_for(self, duration: float) -> None:
+        self.net.run_for(duration)
+
+
+def build_zeus_scenario(
+    config: Optional[ZeusNetworkConfig] = None,
+    sensor_count: int = 64,
+    sensor_profiles: Optional[Sequence[SensorDefectProfile]] = None,
+    announce_hours: float = 4.0,
+    active_peer_list_requests: bool = False,
+) -> ZeusScenario:
+    """Build the botnet, inject sensors, and run the announcement
+    phase.  Afterwards ``measurement_start`` marks the paper's logging
+    window; feed ``sensor.peer_list_request_log(since=...)`` from it.
+
+    ``sensor_profiles`` assigns defect profiles round-robin (default:
+    clean, full-protocol sensors).
+    """
+    net = ZeusNetwork(config if config is not None else ZeusNetworkConfig())
+    net.build()
+    sensors = []
+    for index in range(sensor_count):
+        rng = net.rngs.fork(f"sensor-{index}").stream("sensor")
+        profile = (
+            sensor_profiles[index % len(sensor_profiles)]
+            if sensor_profiles
+            else SensorDefectProfile()
+        )
+        sensor = ZeusSensor(
+            node_id=f"sensor-{index:03d}",
+            bot_id=zeus_protocol.random_id(rng),
+            endpoint=sensor_endpoint(index),
+            transport=net.transport,
+            scheduler=net.scheduler,
+            rng=rng,
+            profile=profile,
+            announce_duration=announce_hours * HOUR,
+            active_peer_list_requests=active_peer_list_requests,
+        )
+        sensor.seed_peers(net.bootstrap_sample(12, seed=10_000 + index))
+        sensor.proxy_list = net.proxies
+        sensors.append(sensor)
+    net.start_all()
+    for sensor in sensors:
+        sensor.start()
+    net.run_for(announce_hours * HOUR)
+    return ZeusScenario(net=net, sensors=sensors, measurement_start=net.scheduler.now)
+
+
+def zeus_fleet_policy(profile: ZeusDefectProfile) -> StealthPolicy:
+    """The stealth policy replaying one in-the-wild crawler.
+
+    Coverage becomes a contact fraction; hard hitters burst at
+    seconds-apart spacing, the rest stay just inside the automatic
+    blacklisting budget.
+    """
+    if profile.hard_hitter:
+        return StealthPolicy(
+            contact_fraction=profile.coverage,
+            per_target_interval=15.0,
+            requests_per_target=4,
+        )
+    return StealthPolicy(
+        contact_fraction=profile.coverage,
+        per_target_interval=12 * MINUTE,
+        requests_per_target=3,
+    )
+
+
+def launch_zeus_fleet(
+    scenario: ZeusScenario,
+    profiles: Sequence[ZeusDefectProfile],
+    bootstrap_size: int = 10,
+) -> List[ZeusCrawler]:
+    """Start one crawler per profile against the scenario's botnet."""
+    for index, profile in enumerate(profiles):
+        crawler = ZeusCrawler(
+            name=profile.name,
+            endpoint=crawler_endpoint(index),
+            transport=scenario.net.transport,
+            scheduler=scenario.net.scheduler,
+            rng=scenario.net.rngs.fork(f"crawler-{profile.name}").stream("crawl"),
+            policy=zeus_fleet_policy(profile),
+            profile=profile,
+        )
+        crawler.start(scenario.net.bootstrap_sample(bootstrap_size, seed=20_000 + index))
+        scenario.crawlers.append(crawler)
+    return scenario.crawlers
+
+
+@dataclass
+class SalityScenario:
+    """A running Sality botnet with an injected sensor fleet."""
+
+    net: SalityNetwork
+    sensors: List[SalitySensor]
+    crawlers: List[SalityCrawler] = field(default_factory=list)
+    measurement_start: float = 0.0
+
+    @property
+    def crawler_ips(self) -> Set[int]:
+        return {crawler.endpoint.ip for crawler in self.crawlers}
+
+    def run_for(self, duration: float) -> None:
+        self.net.run_for(duration)
+
+
+def build_sality_scenario(
+    config: Optional[SalityNetworkConfig] = None,
+    sensor_count: int = 64,
+    announce_hours: float = 6.0,
+) -> SalityScenario:
+    """Build a Sality botnet and inject sensors.
+
+    The paper ran only 64 Sality sensors ("the number is limited by
+    Sality's peer management scheme and our IP range"): Sality keeps
+    one peer-list entry per IP, so each sensor needs its own address.
+    """
+    net = SalityNetwork(config if config is not None else SalityNetworkConfig())
+    net.build()
+    sensors = []
+    for index in range(sensor_count):
+        rng = net.rngs.fork(f"sensor-{index}").stream("sensor")
+        sensor = SalitySensor(
+            node_id=f"sensor-{index:03d}",
+            bot_id=rng.getrandbits(32).to_bytes(4, "big"),
+            endpoint=sensor_endpoint(index),
+            transport=net.transport,
+            scheduler=net.scheduler,
+            rng=rng,
+            announce_duration=announce_hours * HOUR,
+        )
+        sensor.seed_peers(net.bootstrap_sample(12, seed=10_000 + index))
+        sensors.append(sensor)
+    net.start_all()
+    for sensor in sensors:
+        sensor.start()
+    net.run_for(announce_hours * HOUR)
+    return SalityScenario(net=net, sensors=sensors, measurement_start=net.scheduler.now)
+
+
+def sality_fleet_policy(profile: SalityDefectProfile) -> StealthPolicy:
+    """Sality crawlers need many requests per bot (single-entry
+    responses); in-the-wild ones all burst them."""
+    if profile.hard_hitter:
+        return StealthPolicy(
+            contact_fraction=profile.coverage,
+            per_target_interval=4.0,
+            requests_per_target=20,
+        )
+    return StealthPolicy(
+        contact_fraction=profile.coverage,
+        per_target_interval=20 * MINUTE,
+        requests_per_target=6,
+    )
+
+
+def launch_sality_fleet(
+    scenario: SalityScenario,
+    instances: Sequence[Tuple[SalityDefectProfile, int]],
+    bootstrap_size: int = 10,
+) -> List[SalityCrawler]:
+    """Start crawler instances; multiple instances of one profile run
+    from the same /24 (the paper's grouped same-subnet crawlers)."""
+    for index, (profile, count) in enumerate(instances):
+        for instance in range(count):
+            crawler = SalityCrawler(
+                name=f"{profile.name}#{instance}",
+                endpoint=crawler_endpoint(index, instance=instance),
+                transport=scenario.net.transport,
+                scheduler=scenario.net.scheduler,
+                rng=scenario.net.rngs.fork(f"crawler-{profile.name}-{instance}").stream("crawl"),
+                policy=sality_fleet_policy(profile),
+                profile=profile,
+            )
+            crawler.start(
+                scenario.net.bootstrap_sample(bootstrap_size, seed=20_000 + index * 10 + instance)
+            )
+            scenario.crawlers.append(crawler)
+    return scenario.crawlers

@@ -1,0 +1,48 @@
+"""In-the-wild Zeus sensor anomaly profiles (paper Section 4.2).
+
+The paper found sensors belonging to 10 organizations.  All of them
+failed to return the proxy-bot list and none implemented the update
+mechanism; all but 3 returned empty peer lists; all that returned
+non-empty lists served duplicated promoted entries; only 3 reported
+valid recent version numbers.  The ten profiles below satisfy every
+one of those statements.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.sensor import SensorDefectProfile
+
+
+def _sensor(index: int, **defects) -> SensorDefectProfile:
+    return SensorDefectProfile(name=f"zeus-s{index}", **defects)
+
+
+# Sensors s1-s3: return (duplicated) non-empty peer lists, and are the
+# 3 with valid recent versions.  s4-s10: empty peer lists, stale
+# versions.  Everyone lacks proxy-list and update support.
+ZEUS_SENSOR_PROFILES: List[SensorDefectProfile] = (
+    [
+        _sensor(
+            index,
+            empty_peer_lists=False,
+            duplicate_peers=True,
+            no_proxy_reply=True,
+            no_update_support=True,
+            stale_version=False,
+        )
+        for index in range(1, 4)
+    ]
+    + [
+        _sensor(
+            index,
+            empty_peer_lists=True,
+            duplicate_peers=False,
+            no_proxy_reply=True,
+            no_update_support=True,
+            stale_version=True,
+        )
+        for index in range(4, 11)
+    ]
+)

@@ -1,0 +1,159 @@
+"""Tests for coverage metrics, detection metrics, and renderers."""
+
+import random
+
+import pytest
+
+from repro.analysis.coverage import (
+    coverage_timeline,
+    hourly_growth,
+    relative_coverage,
+    relative_coverage_series,
+)
+from repro.analysis.metrics import detection_series, detection_table, precision_recall
+from repro.analysis.tables import (
+    render_fig2,
+    render_series_figure,
+    render_table1,
+    render_table2,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+from repro.core.anomaly.report import CrawlerFinding
+from repro.core.crawler import CrawlReport
+from repro.core.detection import DetectionConfig
+from repro.core.detection.offline import EvaluationResult
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint
+from repro.sim.clock import HOUR
+
+
+def report_with(ips, times=None):
+    report = CrawlReport()
+    for index, ip in enumerate(ips):
+        time = times[index] if times else float(index)
+        report.note_discovery(time, bytes([index]) * 20, Endpoint(ip, 1000))
+    return report
+
+
+class TestCoverage:
+    def test_relative_coverage(self):
+        full = report_with([parse_ip("25.0.0.1") + i for i in range(10)])
+        limited = report_with([parse_ip("25.0.0.1") + i for i in range(8)])
+        assert relative_coverage(limited, full) == pytest.approx(0.8)
+
+    def test_relative_coverage_empty_baseline(self):
+        assert relative_coverage(CrawlReport(), CrawlReport()) == 0.0
+
+    def test_relative_series(self):
+        full = report_with([parse_ip("25.0.0.1") + i for i in range(10)])
+        half = report_with([parse_ip("25.0.0.1") + i for i in range(5)])
+        series = relative_coverage_series({"1/1": full, "1/2": half}, baseline="1/1")
+        assert series == {"1/1": 1.0, "1/2": 0.5}
+
+    def test_relative_series_missing_baseline(self):
+        with pytest.raises(KeyError):
+            relative_coverage_series({}, baseline="1/1")
+
+    def test_timeline_and_growth(self):
+        report = report_with(
+            [parse_ip("25.0.0.1") + i for i in range(4)],
+            times=[0.0, HOUR * 0.5, HOUR * 1.5, HOUR * 2.5],
+        )
+        series = coverage_timeline(report, until=3 * HOUR, bucket=HOUR)
+        assert [count for _, count in series] == [1, 2, 3, 4]
+        assert hourly_growth(series) == [1, 1, 1]
+
+
+def fake_result(detected, missed, fps, threshold=0.05, ratio=1):
+    return EvaluationResult(
+        classified_keys=set(detected) | set(fps),
+        detected_crawlers=set(detected),
+        missed_crawlers=set(missed),
+        false_positive_keys=set(fps),
+        config=DetectionConfig(threshold=threshold),
+        contact_ratio=ratio,
+    )
+
+
+class TestMetrics:
+    def test_precision_recall(self):
+        precision, recall = precision_recall({1, 2, 3}, {2, 3, 4})
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+
+    def test_precision_recall_empty(self):
+        assert precision_recall(set(), set()) == (1.0, 1.0)
+        assert precision_recall(set(), {1}) == (0.0, 0.0)
+
+    def test_detection_table(self):
+        grid = {
+            (0.05, 1): fake_result({1, 2}, set(), set()),
+            (0.05, 8): fake_result({1}, {2}, set(), ratio=8),
+        }
+        rows = detection_table(grid)
+        assert rows[0]["t"] == 5.0
+        assert rows[0]["D1/1"] == 100.0
+        assert rows[0]["D1/8"] == 50.0
+        assert rows[0]["fp"] == 0.0
+
+    def test_detection_series(self):
+        grid = {
+            (0.05, 1): fake_result({1, 2}, set(), set()),
+            (0.05, 8): fake_result({1}, {2}, set(), ratio=8),
+            (0.01, 1): fake_result({1, 2}, set(), {9}, threshold=0.01),
+        }
+        series = detection_series(grid, 0.05)
+        assert series == [(1, 100.0), (8, 50.0)]
+
+
+class TestRenderers:
+    def test_table1_contains_families_and_measures(self):
+        text = render_table1()
+        for family in ("Zeus", "Sality", "Storm"):
+            assert family in text
+        assert "Goodcount" in text
+        assert "Auto + static" in text
+
+    def test_table2_matrix(self):
+        findings = [
+            CrawlerFinding(ip=1, defects=("port_range", "hard_hitter"), message_count=50, coverage=0.69),
+            CrawlerFinding(ip=2, defects=(), message_count=50, coverage=1.0),
+        ]
+        text = render_table2(findings, names=["c1", "c2"])
+        assert "port_range" in text
+        assert "69" in text and "100" in text
+
+    def test_table4_with_coverage_rows(self):
+        grid = {
+            (0.05, 1): fake_result({1}, set(), set()),
+            (0.05, 2): fake_result({1}, set(), set(), ratio=2),
+        }
+        text = render_table4(grid, coverage_rows={"C_Z": {2: 0.8}})
+        assert "D1/1" in text and "D1/2" in text
+        assert "C_Z" in text
+        assert "80" in text
+
+    def test_table5_susceptibility(self):
+        text = render_table5()
+        assert "ZeroAccess" in text
+        lines = [l for l in text.splitlines() if l.startswith("Zeus")]
+        assert "no" in lines[0]
+
+    def test_table6_with_measured(self):
+        text = render_table6(measured={"Crawling": {"NATed found": "0"}})
+        assert "Sensor injection" in text
+        assert "NATed found" in text
+
+    def test_fig2(self):
+        text = render_fig2({0.05: [(1, 100.0), (2, 89.0)]})
+        assert "1/1" in text and "1/2" in text
+        assert "89" in text
+
+    def test_series_figure(self):
+        text = render_series_figure(
+            "Figure 3a", {"c=1/1": [(0.0, 0), (HOUR, 10)], "c=1/2": [(0.0, 0), (HOUR, 7)]}
+        )
+        assert "c=1/1" in text
+        assert "10" in text and "7" in text

@@ -1,0 +1,112 @@
+"""Tests for the family feature registry (backing Tables 1 and 5)."""
+
+import pytest
+
+from repro.botnets.families import (
+    FAMILIES,
+    FAMILY_ORDER,
+    Blacklisting,
+    IpFilter,
+    get_family,
+)
+
+
+class TestRegistry:
+    def test_all_six_families_present(self):
+        assert set(FAMILY_ORDER) == set(FAMILIES)
+        assert len(FAMILIES) == 6
+
+    def test_get_family(self):
+        assert get_family("Zeus").name == "Zeus"
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            get_family("Conficker")
+
+
+class TestTable1Facts:
+    """Spot-checks against the paper's Table 1."""
+
+    def test_ip_filters(self):
+        assert get_family("Zeus").ip_filter == IpFilter.PER_SLASH20
+        assert get_family("Storm").ip_filter == IpFilter.NONE
+        for name in ("Sality", "ZeroAccess", "Kelihos/Hlux", "Waledac"):
+            assert get_family(name).ip_filter == IpFilter.PER_IP, name
+
+    def test_only_sality_has_reputation(self):
+        assert get_family("Sality").reputation == "Goodcount"
+        assert all(
+            FAMILIES[name].reputation is None for name in FAMILY_ORDER if name != "Sality"
+        )
+
+    def test_zeus_blacklisting_auto_and_static(self):
+        assert get_family("Zeus").blacklisting == Blacklisting.AUTO_AND_STATIC
+
+    def test_clustering(self):
+        assert get_family("Zeus").clustering == "XOR metric"
+        assert get_family("Storm").clustering == "XOR metric"
+        assert get_family("Kelihos/Hlux").clustering == "Relay core"
+        assert get_family("Sality").clustering is None
+
+    def test_disinformation(self):
+        assert get_family("ZeroAccess").disinformation == "Junk"
+        assert get_family("Storm").disinformation == "Rogue"
+        assert get_family("Zeus").disinformation is None
+
+    def test_retaliation(self):
+        assert get_family("Zeus").retaliation is not None
+        assert get_family("Storm").retaliation is not None
+        assert get_family("Sality").retaliation is None
+
+    def test_only_zeroaccess_has_flux(self):
+        assert get_family("ZeroAccess").flux == "Peer push"
+        assert all(
+            FAMILIES[name].flux is None for name in FAMILY_ORDER if name != "ZeroAccess"
+        )
+
+
+class TestTable5Facts:
+    """Spot-checks against the paper's Table 5."""
+
+    def test_fixed_ports(self):
+        assert not get_family("Zeus").fixed_port
+        assert not get_family("Sality").fixed_port
+        assert get_family("ZeroAccess").fixed_port
+        assert get_family("Kelihos/Hlux").fixed_port
+        assert not get_family("Waledac").fixed_port
+        assert not get_family("Storm").fixed_port
+
+    def test_probe_construction(self):
+        """Only Zeus defeats probe construction (destination-keyed
+        encryption requires the bot ID a priori)."""
+        assert not get_family("Zeus").probe_constructible
+        for name in FAMILY_ORDER:
+            if name != "Zeus":
+                assert get_family(name).probe_constructible, name
+
+    def test_susceptibility_column(self):
+        expected = {
+            "Zeus": False,
+            "Sality": False,
+            "ZeroAccess": True,
+            "Kelihos/Hlux": True,
+            "Waledac": False,
+            "Storm": False,
+        }
+        for name, susceptible in expected.items():
+            assert get_family(name).scanning_susceptible == susceptible, name
+
+
+class TestProtocolConstants:
+    def test_zeus_protocol_facts(self):
+        zeus = get_family("Zeus")
+        assert zeus.port_range == (1024, 10000)
+        assert zeus.peer_list_capacity == 150
+        assert zeus.entries_per_response == 10
+        assert zeus.suspend_cycle_minutes == 30
+
+    def test_sality_protocol_facts(self):
+        sality = get_family("Sality")
+        assert sality.peer_list_capacity == 1000
+        assert sality.entries_per_response == 1
+        assert sality.suspend_cycle_minutes == 40

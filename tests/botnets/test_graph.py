@@ -1,0 +1,103 @@
+"""Unit tests for the connectivity digraph."""
+
+import pytest
+
+from repro.botnets.graph import ConnectivityGraph
+
+
+def triangle():
+    g = ConnectivityGraph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "a")
+    return g
+
+
+class TestConstruction:
+    def test_add_edge_creates_nodes(self):
+        g = ConnectivityGraph()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+
+    def test_add_edge_idempotent(self):
+        g = ConnectivityGraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "b")
+        assert g.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectivityGraph().add_edge("a", "a")
+
+    def test_remove_edge(self):
+        g = triangle()
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.edge_count == 2
+
+    def test_remove_node_removes_incident_edges(self):
+        g = triangle()
+        g.remove_node("b")
+        assert "b" not in g
+        assert g.edge_count == 1  # only c -> a survives
+        assert g.has_edge("c", "a")
+        g.check_degree_sum()
+
+
+class TestDegrees:
+    def test_degrees(self):
+        g = triangle()
+        g.add_edge("a", "c")
+        assert g.out_degree("a") == 2
+        assert g.in_degree("c") == 2
+        assert g.in_degree("a") == 1
+
+    def test_degree_sum_formula(self):
+        g = triangle()
+        g.add_edge("a", "c")
+        assert g.check_degree_sum() == g.edge_count == 4
+
+    def test_top_in_degree(self):
+        g = ConnectivityGraph()
+        for src in ("a", "b", "c"):
+            g.add_edge(src, "sensor")
+        g.add_edge("a", "b")
+        top = g.top_in_degree(1)
+        assert top == [("sensor", 3)]
+
+    def test_top_out_degree(self):
+        g = ConnectivityGraph()
+        for dst in ("a", "b", "c"):
+            g.add_edge("crawler", dst)
+        assert g.top_out_degree(1) == [("crawler", 3)]
+
+    def test_top_degree_ties_deterministic(self):
+        g = ConnectivityGraph()
+        g.add_edge("x", "b")
+        g.add_edge("x", "a")
+        assert g.top_in_degree(2) == [("a", 1), ("b", 1)]
+
+
+class TestTraversal:
+    def test_reachable_from(self):
+        g = triangle()
+        g.add_node("island")
+        assert g.reachable_from(["a"]) == {"a", "b", "c"}
+
+    def test_reachable_ignores_unknown_starts(self):
+        assert triangle().reachable_from(["zzz"]) == set()
+
+    def test_snapshot_is_independent(self):
+        g = triangle()
+        snap = g.snapshot()
+        g.add_edge("a", "c")
+        assert not snap.has_edge("a", "c")
+        assert snap.edge_count == 3
+
+    def test_successors_and_predecessors_are_copies(self):
+        g = triangle()
+        succs = g.successors("a")
+        succs.add("zzz")
+        assert "zzz" not in g.successors("a")

@@ -1,0 +1,150 @@
+"""Integration tests for the Zeus and Sality population builders."""
+
+import pytest
+
+from repro.botnets.population import PopulationConfig
+from repro.botnets.sality.network import SalityNetwork, SalityNetworkConfig
+from repro.botnets.zeus.network import ZeusNetwork, ZeusNetworkConfig
+from repro.net.churn import ChurnConfig
+from repro.sim.clock import HOUR
+
+
+def small_zeus(**overrides):
+    defaults = dict(population=60, routable_fraction=0.4, bootstrap_peers=8, master_seed=7)
+    defaults.update(overrides)
+    net = ZeusNetwork(ZeusNetworkConfig(**defaults))
+    net.build()
+    return net
+
+
+def small_sality(**overrides):
+    defaults = dict(population=60, routable_fraction=0.4, bootstrap_peers=8, master_seed=7)
+    defaults.update(overrides)
+    net = SalityNetwork(SalityNetworkConfig(**defaults))
+    net.build()
+    return net
+
+
+class TestBuild:
+    def test_population_counts(self):
+        net = small_zeus()
+        assert len(net.bots) == 60
+        assert len(net.routable_bots) == 24
+        assert len(net.non_routable_bots) == 36
+
+    def test_build_twice_rejected(self):
+        net = small_zeus()
+        with pytest.raises(RuntimeError):
+            net.build()
+
+    def test_bot_ids_unique(self):
+        net = small_zeus()
+        assert len(net.bots_by_bot_id) == 60
+
+    def test_zeus_ports_in_family_range(self):
+        net = small_zeus()
+        for bot in net.routable_bots:
+            assert 1024 <= bot.endpoint.port <= 10000
+
+    def test_natted_bots_share_gateway_ips(self):
+        net = small_zeus(population=200, routable_fraction=0.2, max_bots_per_gateway=4)
+        occupancies = [g.occupancy for g in net.gateways]
+        assert sum(occupancies) == len(net.non_routable_bots)
+        assert max(occupancies) > 1  # at least one shared IP exists
+
+    def test_bootstrap_seeds_peer_lists(self):
+        net = small_zeus()
+        for bot in net.bots.values():
+            assert len(bot.peer_list) > 0
+
+    def test_proxies_elected(self):
+        net = small_zeus()
+        assert len(net.proxies) == 4
+        for bot in net.bots.values():
+            assert bot.proxy_list == net.proxies
+
+    def test_bootstrap_sample_routable_only(self):
+        net = small_zeus()
+        sample = net.bootstrap_sample(10, seed=1)
+        assert len(sample) == 10
+        routable_ids = {bot.bot_id for bot in net.routable_bots}
+        assert all(bot_id in routable_ids for bot_id, _ in sample)
+
+    def test_deterministic_build(self):
+        a, b = small_zeus(), small_zeus()
+        assert [bot.endpoint for bot in a.bots.values()] == [
+            bot.endpoint for bot in b.bots.values()
+        ]
+        assert list(a.bots_by_bot_id) == list(b.bots_by_bot_id)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(population=0)
+        with pytest.raises(ValueError):
+            PopulationConfig(routable_fraction=0.0)
+        with pytest.raises(ValueError):
+            PopulationConfig(max_bots_per_gateway=0)
+
+
+class TestRun:
+    def test_zeus_network_runs_and_stays_connected(self):
+        net = small_zeus()
+        net.start_all()
+        net.run_for(3 * HOUR)
+        graph = net.connectivity_graph()
+        graph.check_degree_sum()
+        assert graph.edge_count > 0
+        # every started bot retained peers
+        assert all(len(bot.peer_list) > 0 for bot in net.bots.values())
+
+    def test_sality_network_runs(self):
+        net = small_sality()
+        net.start_all()
+        net.run_for(3 * HOUR)
+        assert net.transport.stats.delivered > 0
+        graph = net.connectivity_graph()
+        assert graph.edge_count > 0
+
+    def test_sality_goodcounts_accumulate(self):
+        net = small_sality()
+        net.start_all()
+        net.run_for(8 * HOUR)
+        goodcounts = [
+            entry.goodcount
+            for bot in net.bots.values()
+            for entry in bot.peer_list
+        ]
+        assert max(goodcounts) > 2
+
+    def test_non_routable_bots_participate_via_punchholes(self):
+        net = small_zeus()
+        net.start_all()
+        net.run_for(4 * HOUR)
+        natted = net.non_routable_bots
+        # NATed bots successfully exchange messages despite being
+        # unreachable to unsolicited traffic.
+        assert any(bot.counters.messages_in > 0 for bot in natted)
+
+    def test_churn_takes_bots_down_and_up(self):
+        net = small_zeus(churn=ChurnConfig(mean_session=2 * HOUR, mean_offline=HOUR))
+        net.start_all()
+        net.run_for(12 * HOUR)
+        assert net.churn is not None
+        assert net.churn.transitions > 0
+        online = net.churn.online_count()
+        assert 0 < online <= 60
+
+    def test_graph_includes_external_nodes(self):
+        """Peers that are not bots (e.g. sensors) appear as ext: nodes."""
+        from repro.botnets.base import PeerEntry
+        from repro.net.transport import Endpoint
+        from repro.net.address import parse_ip
+
+        net = small_zeus()
+        bot = next(iter(net.bots.values()))
+        sensor_endpoint = Endpoint(parse_ip("28.0.0.1"), 9000)
+        bot.peer_list.add(
+            PeerEntry(bot_id=b"\x42" * 20, endpoint=sensor_endpoint, last_seen=1.0)
+        )
+        graph = net.connectivity_graph()
+        assert graph.has_edge(bot.node_id, f"ext:{sensor_endpoint}")

@@ -1,0 +1,151 @@
+"""Tests for the ZeroAccess flux model (Table 1 "Peer push" row)."""
+
+import random
+
+import pytest
+
+from repro.botnets.base import PeerEntry
+from repro.botnets.zeroaccess import (
+    FIXED_PORT,
+    MSG_GETL,
+    MSG_PUSH,
+    MSG_RETL,
+    ZeroAccessBot,
+    ZeroAccessConfig,
+    ZeroAccessDecodeError,
+    decode_packet,
+    encode_packet,
+)
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint, Transport, TransportConfig
+from repro.sim.clock import HOUR
+from repro.sim.scheduler import Scheduler
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        entries = [(0xAABBCCDD, parse_ip("25.0.0.1")), (1, parse_ip("26.0.0.2"))]
+        for msg_type in (MSG_GETL, MSG_RETL, MSG_PUSH):
+            wire = encode_packet(msg_type, 0x11223344, entries)
+            assert decode_packet(wire) == (msg_type, 0x11223344, entries)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ZeroAccessDecodeError):
+            decode_packet(b"XXXX\x01\x00\x00\x00\x00\x00")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ZeroAccessDecodeError):
+            decode_packet(b"ZA30\x77\x00\x00\x00\x00\x00")
+
+    def test_length_mismatch_rejected(self):
+        wire = encode_packet(MSG_RETL, 7, [(1, 2)])
+        with pytest.raises(ZeroAccessDecodeError):
+            decode_packet(wire[:-1])
+
+
+def build_network(count=20, seed=0):
+    sched = Scheduler()
+    transport = Transport(sched, random.Random(seed), config=TransportConfig(loss_rate=0.0))
+    bots = []
+    rng = random.Random(seed + 1)
+    for index in range(count):
+        bot = ZeroAccessBot(
+            node_id=f"za-{index}",
+            bot_id=rng.getrandbits(32).to_bytes(4, "big"),
+            endpoint=Endpoint(parse_ip(f"25.{index}.0.1"), FIXED_PORT),
+            transport=transport,
+            scheduler=sched,
+            rng=random.Random(seed + 10 + index),
+        )
+        bots.append(bot)
+    boot_rng = random.Random(seed + 2)
+    for bot in bots:
+        candidates = [b for b in bots if b is not bot]
+        seeds = boot_rng.sample(candidates, min(6, len(candidates)))
+        bot.seed_peers([(b.bot_id, b.endpoint) for b in seeds])
+        bot.start()
+    return sched, transport, bots
+
+
+class TestBot:
+    def test_fixed_port_enforced(self):
+        sched = Scheduler()
+        transport = Transport(sched, random.Random(0))
+        with pytest.raises(ValueError):
+            ZeroAccessBot(
+                node_id="x",
+                bot_id=b"\x01\x02\x03\x04",
+                endpoint=Endpoint(parse_ip("25.0.0.1"), 9999),
+                transport=transport,
+                scheduler=sched,
+                rng=random.Random(0),
+            )
+
+    def test_flux_pushes_flow(self):
+        sched, transport, bots = build_network()
+        sched.run_until(6 * HOUR)
+        assert sum(bot.pushes_received for bot in bots) > 50
+
+    def test_getl_probe_answered(self):
+        """The scannable probe: GETL from anywhere gets peers back --
+        why ZeroAccess is enumerable Internet-wide (Table 5)."""
+        sched, transport, bots = build_network()
+        sched.run_until(1 * HOUR)
+        prober = Endpoint(parse_ip("99.0.0.1"), 40000)
+        replies = []
+        transport.bind(prober, replies.append)
+        transport.send(prober, bots[0].endpoint, encode_packet(MSG_GETL, 0x99999999, []))
+        sched.run_until(sched.now + 5.0)
+        assert replies
+        msg_type, sender_id, entries = decode_packet(replies[0].payload)
+        assert msg_type == MSG_RETL
+        assert sender_id == bots[0].int_id
+        assert 1 <= len(entries) <= 16
+
+    def test_flux_washes_out_injected_sensor(self):
+        """Section 3.1: a sensor injected once into peer lists is
+        verified, fails its keepalives, and is evicted -- persistent
+        presence requires continuous announcement."""
+        sched, transport, bots = build_network(count=24)
+        sensor_id = b"\xee\xee\xee\xee"
+        sensor_endpoint = Endpoint(parse_ip("45.0.0.1"), FIXED_PORT)
+        sched.run_until(1 * HOUR)
+        for bot in bots:
+            bot.peer_list.add(
+                PeerEntry(bot_id=sensor_id, endpoint=sensor_endpoint, last_seen=sched.now)
+            )
+        holders_before = sum(1 for bot in bots if sensor_id in bot.peer_list)
+        assert holders_before == len(bots)
+        # The sensor never answers keepalives and never re-announces.
+        sched.run_until(sched.now + 24 * HOUR)
+        holders_after = sum(1 for bot in bots if sensor_id in bot.peer_list)
+        assert holders_after <= holders_before * 0.25
+
+    def test_responsive_node_survives_flux(self):
+        """The counterpoint: a node that keeps answering keepalives
+        stays in peer lists -- sensors must implement the protocol."""
+        sched, transport, bots = build_network(count=24)
+        sched.run_until(26 * HOUR)
+        held = sum(len(bot.peer_list) for bot in bots) / len(bots)
+        assert held >= 6  # real peers persist
+
+    def test_garbage_counted(self):
+        sched, transport, bots = build_network(count=3)
+        noise = Endpoint(parse_ip("99.0.0.1"), 40000)
+        transport.bind(noise, lambda m: None)
+        transport.send(noise, bots[0].endpoint, b"\x00" * 30)
+        sched.run_until(sched.now + 5.0)
+        assert bots[0].undecodable == 1
+
+    def test_hearsay_entries_backdated(self):
+        """Pushed entries never outrank directly-verified peers."""
+        sched, transport, bots = build_network(count=5)
+        sched.run_until(2 * HOUR)
+        bot = bots[0]
+        phantom = (0xDEADBEEF, parse_ip("46.0.0.1"))
+        wire = encode_packet(MSG_PUSH, bots[1].int_id, [phantom])
+        transport.send(bots[1].endpoint, bot.endpoint, wire)
+        sched.run_until(sched.now + 5.0)
+        entry = bot.peer_list.get((0xDEADBEEF).to_bytes(4, "big"))
+        assert entry is not None
+        assert entry.last_seen < sched.now - 60.0

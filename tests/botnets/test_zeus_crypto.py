@@ -1,0 +1,99 @@
+"""Unit tests for GameOver Zeus crypto."""
+
+import pytest
+
+from repro.botnets.zeus.crypto import (
+    KeystreamCache,
+    rc4_keystream,
+    visual_decode,
+    visual_encode,
+    zeus_decrypt,
+    zeus_encrypt,
+)
+
+KEY = bytes(range(20))
+OTHER_KEY = bytes(range(1, 21))
+
+
+class TestRc4:
+    def test_known_vector(self):
+        """RFC 6229-style check: RC4("Key") keystream prefix."""
+        ks = rc4_keystream(b"Key", 8)
+        assert ks.hex() == "eb9f7781b734ca72a719"[:16]
+
+    def test_known_vector_wiki(self):
+        # Classic test vector: key "Key", plaintext "Plaintext"
+        ks = rc4_keystream(b"Key", 9)
+        ct = bytes(k ^ p for k, p in zip(ks, b"Plaintext"))
+        assert ct.hex() == "bbf316e8d940af0ad3"
+
+    def test_deterministic(self):
+        assert rc4_keystream(KEY, 64) == rc4_keystream(KEY, 64)
+
+    def test_distinct_keys_distinct_streams(self):
+        assert rc4_keystream(KEY, 64) != rc4_keystream(OTHER_KEY, 64)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            rc4_keystream(b"", 8)
+
+
+class TestKeystreamCache:
+    def test_xor_roundtrip(self):
+        cache = KeystreamCache()
+        data = b"The quick brown fox jumps over the lazy dog"
+        assert cache.xor(KEY, cache.xor(KEY, data)) == data
+
+    def test_xor_matches_raw_rc4(self):
+        cache = KeystreamCache()
+        data = b"hello world"
+        expected = bytes(k ^ p for k, p in zip(rc4_keystream(KEY, len(data)), data))
+        assert cache.xor(KEY, data) == expected
+
+    def test_empty_data(self):
+        assert KeystreamCache().xor(KEY, b"") == b""
+
+    def test_oversized_message_rejected(self):
+        with pytest.raises(ValueError):
+            KeystreamCache().xor(KEY, b"x" * 5000)
+
+    def test_cache_eviction_safe(self):
+        cache = KeystreamCache(max_entries=2)
+        data = b"payload"
+        first = cache.xor(KEY, data)
+        cache.xor(OTHER_KEY, data)
+        cache.xor(bytes(20), data)  # evicts
+        assert cache.xor(KEY, data) == first
+
+
+class TestVisualLayer:
+    def test_roundtrip(self):
+        for data in (b"", b"a", b"ab", b"hello world", bytes(range(256))):
+            assert visual_decode(visual_encode(data)) == data
+
+    def test_encode_is_chained_xor(self):
+        data = b"\x10\x20\x30"
+        encoded = visual_encode(data)
+        assert encoded[0] == 0x10
+        assert encoded[1] == 0x20 ^ 0x10
+        assert encoded[2] == 0x30 ^ 0x20
+
+    def test_encode_changes_data(self):
+        assert visual_encode(b"hello world") != b"hello world"
+
+
+class TestZeusEncryption:
+    def test_roundtrip(self):
+        plaintext = b"x" * 100
+        assert zeus_decrypt(KEY, zeus_encrypt(KEY, plaintext)) == plaintext
+
+    def test_wrong_key_garbles(self):
+        plaintext = b"x" * 100
+        garbled = zeus_decrypt(OTHER_KEY, zeus_encrypt(KEY, plaintext))
+        assert garbled != plaintext
+
+    def test_key_length_enforced(self):
+        with pytest.raises(ValueError):
+            zeus_encrypt(b"short", b"data")
+        with pytest.raises(ValueError):
+            zeus_decrypt(b"short", b"data")

@@ -1,0 +1,180 @@
+"""Unit tests for the Zeus wire protocol codec."""
+
+import random
+
+import pytest
+
+from repro.botnets.zeus import protocol
+from repro.botnets.zeus.protocol import (
+    MessageType,
+    ZeusDecodeError,
+    ZeusMessage,
+    decode_message,
+    decrypt_message,
+    encode_message,
+    encrypt_message,
+    random_id,
+    select_closest,
+    xor_distance,
+)
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint
+
+RNG = random.Random(0)
+SRC = bytes(range(20))
+
+
+def fresh_message(msg_type=MessageType.VERSION_REQUEST, payload=b""):
+    return protocol.make_message(msg_type, SRC, random.Random(1), payload=payload)
+
+
+class TestCodec:
+    def test_roundtrip_plain(self):
+        message = fresh_message()
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+
+    def test_roundtrip_with_payload_and_padding(self):
+        payload = protocol.encode_peer_entries(
+            [(random_id(RNG), Endpoint(parse_ip("25.0.0.1"), 2000))]
+        )
+        message = protocol.make_message(
+            MessageType.PEER_LIST_REPLY, SRC, random.Random(2), payload=payload
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.payload == payload
+        assert decoded.padding == message.padding
+
+    def test_short_message_rejected(self):
+        with pytest.raises(ZeusDecodeError):
+            decode_message(b"\x00" * 10)
+
+    def test_unknown_type_rejected(self):
+        data = bytearray(encode_message(fresh_message()))
+        data[3] = 0xEE
+        with pytest.raises(ZeusDecodeError):
+            decode_message(bytes(data))
+
+    def test_irrational_lop_rejected(self):
+        data = bytearray(encode_message(fresh_message()))
+        data[2] = 0xFF
+        with pytest.raises(ZeusDecodeError):
+            decode_message(bytes(data))
+
+    def test_lop_longer_than_body_rejected(self):
+        data = bytearray(encode_message(fresh_message()))
+        data[2] = protocol.MAX_LOP  # body has less padding than this
+        if len(data) - protocol.HEADER_LEN < protocol.MAX_LOP:
+            with pytest.raises(ZeusDecodeError):
+                decode_message(bytes(data))
+
+    def test_payload_validation_peer_list_request(self):
+        message = ZeusMessage(
+            msg_type=MessageType.PEER_LIST_REQUEST,
+            session_id=random_id(RNG),
+            source_id=SRC,
+            payload=b"too-short",
+        )
+        with pytest.raises(ZeusDecodeError):
+            decode_message(encode_message(message))
+
+    def test_payload_validation_reply_count_mismatch(self):
+        message = ZeusMessage(
+            msg_type=MessageType.PEER_LIST_REPLY,
+            session_id=random_id(RNG),
+            source_id=SRC,
+            payload=b"\x05",  # claims 5 entries, provides none
+        )
+        with pytest.raises(ZeusDecodeError):
+            decode_message(encode_message(message))
+
+    def test_header_fields_randomized_by_make_message(self):
+        rng = random.Random(3)
+        messages = [protocol.make_message(MessageType.VERSION_REQUEST, SRC, rng) for _ in range(50)]
+        assert len({m.random_byte for m in messages}) > 10
+        assert len({m.ttl for m in messages}) > 10
+        assert len({len(m.padding) for m in messages}) > 5
+        assert len({m.session_id for m in messages}) == 50
+
+
+class TestPeerEntries:
+    def test_roundtrip(self):
+        entries = [
+            (random_id(RNG), Endpoint(parse_ip("25.0.0.1"), 2000)),
+            (random_id(RNG), Endpoint(parse_ip("26.1.2.3"), 9999)),
+        ]
+        payload = protocol.encode_peer_entries(entries)
+        assert protocol.decode_peer_entries(payload) == entries
+
+    def test_empty_list(self):
+        assert protocol.decode_peer_entries(protocol.encode_peer_entries([])) == []
+
+    def test_zero_port_rejected(self):
+        payload = bytearray(
+            protocol.encode_peer_entries([(random_id(RNG), Endpoint(parse_ip("25.0.0.1"), 2000))])
+        )
+        payload[-2:] = b"\x00\x00"
+        with pytest.raises(ZeusDecodeError):
+            protocol.decode_peer_entries(bytes(payload))
+
+    def test_version_reply_roundtrip(self):
+        payload = protocol.encode_version_reply(0x00030204, 4321)
+        assert protocol.decode_version_reply(payload) == (0x00030204, 4321)
+
+    def test_data_reply_roundtrip(self):
+        payload = protocol.encode_data_reply(1, b"config-blob")
+        assert protocol.decode_data_reply(payload) == (1, b"config-blob")
+
+    def test_data_reply_length_mismatch(self):
+        payload = bytearray(protocol.encode_data_reply(1, b"blob"))
+        payload[4] += 1
+        with pytest.raises(ZeusDecodeError):
+            protocol.decode_data_reply(bytes(payload))
+
+
+class TestXorMetric:
+    def test_distance_symmetric_and_zero_on_self(self):
+        a, b = random_id(RNG), random_id(RNG)
+        assert xor_distance(a, b) == xor_distance(b, a)
+        assert xor_distance(a, a) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            xor_distance(b"ab", b"abc")
+
+    def test_select_closest_orders_by_distance(self):
+        key = bytes(20)
+        near = bytes(19) + b"\x01"
+        far = b"\xff" * 20
+        endpoint = Endpoint(parse_ip("25.0.0.1"), 2000)
+        selected = select_closest(key, [(far, endpoint), (near, endpoint)], limit=1)
+        assert selected == [(near, endpoint)]
+
+    def test_select_closest_limit(self):
+        endpoint = Endpoint(parse_ip("25.0.0.1"), 2000)
+        candidates = [(random_id(RNG), endpoint) for _ in range(30)]
+        assert len(select_closest(bytes(20), candidates, limit=10)) == 10
+
+
+class TestEncryptedRoundtrip:
+    def test_roundtrip(self):
+        recipient = random_id(random.Random(9))
+        message = fresh_message()
+        wire = encrypt_message(message, recipient)
+        assert decrypt_message(wire, recipient) == message
+
+    def test_wrong_key_raises_decode_error(self):
+        """A wrongly keyed message is undecryptable at the receiver --
+        the invalid-encryption defect signal (Section 4.1.3)."""
+        recipient = random_id(random.Random(9))
+        wrong = random_id(random.Random(10))
+        failures = 0
+        for i in range(20):
+            message = protocol.make_message(
+                MessageType.VERSION_REQUEST, SRC, random.Random(i)
+            )
+            try:
+                decrypt_message(encrypt_message(message, wrong), recipient)
+            except ZeusDecodeError:
+                failures += 1
+        assert failures >= 18  # structural checks catch nearly all

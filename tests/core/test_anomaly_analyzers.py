@@ -1,0 +1,287 @@
+"""Tests for the analyzer pipelines over synthetic sensor logs.
+
+These tests build sensor observation logs directly from the defect
+forgers -- the same wire-level behaviours the integration benches see
+-- and check that each injected defect is recovered by name.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.botnets.sality import protocol as sality_protocol
+from repro.botnets.sality.protocol import Command
+from repro.botnets.zeus import protocol as zeus_protocol
+from repro.botnets.zeus.protocol import MessageType, ZeusDecodeError
+from repro.core.anomaly import (
+    SalityAnomalyAnalyzer,
+    ZeusAnomalyAnalyzer,
+)
+from repro.core.anomaly.report import (
+    SALITY_DEFECT_ROWS,
+    ZEUS_DEFECT_ROWS,
+    defect_matrix,
+)
+from repro.core.defects import (
+    SalityDefectProfile,
+    SalityForger,
+    ZeusDefectProfile,
+    ZeusForger,
+)
+from repro.core.sensor import ObservedSalityMessage, ObservedZeusMessage
+from repro.net.address import parse_ip
+from repro.sim.clock import MINUTE
+
+
+@dataclass
+class FakeSensor:
+    node_id: str
+    bot_id: bytes
+    observations: List = field(default_factory=list)
+
+
+def make_zeus_sensors(count=10, seed=0):
+    rng = random.Random(seed)
+    return [
+        FakeSensor(node_id=f"s-{i}", bot_id=zeus_protocol.random_id(rng))
+        for i in range(count)
+    ]
+
+
+def observe_zeus(sensor, wire, time, src_ip, src_port=5000):
+    """Replicate ZeusSensor._observe for a raw encrypted message."""
+    obs = ObservedZeusMessage(
+        time=time, src_ip=src_ip, src_port=src_port, decrypt_ok=False
+    )
+    try:
+        decoded = zeus_protocol.decrypt_message(wire, sensor.bot_id)
+    except ZeusDecodeError:
+        sensor.observations.append(obs)
+        return
+    obs.decrypt_ok = True
+    obs.msg_type = decoded.msg_type
+    obs.random_byte = decoded.random_byte
+    obs.ttl = decoded.ttl
+    obs.lop = len(decoded.padding)
+    obs.session_id = decoded.session_id
+    obs.source_id = decoded.source_id
+    obs.padding = decoded.padding
+    if decoded.msg_type == MessageType.PEER_LIST_REQUEST:
+        obs.lookup_key = decoded.payload
+    sensor.observations.append(obs)
+
+
+def run_zeus_crawler_against(sensors, profile, crawler_ip, seed=1, interval=5.0, rounds=6):
+    """Drive one synthetic crawler over every sensor."""
+    forger = ZeusForger(profile, random.Random(seed))
+    time = 0.0
+    for round_index in range(rounds):
+        for sensor in sensors:
+            message = forger.build(
+                MessageType.PEER_LIST_REQUEST,
+                payload=forger.lookup_key(sensor.bot_id),
+            )
+            wire = forger.encrypt(message, sensor.bot_id)
+            observe_zeus(sensor, wire, time, crawler_ip)
+            time += interval
+        if not profile.protocol_logic:
+            # Interleave the other message types like a real bot.
+            for sensor in sensors:
+                message = forger.build(MessageType.VERSION_REQUEST)
+                observe_zeus(sensor, forger.encrypt(message, sensor.bot_id), time, crawler_ip)
+                time += interval
+        if not profile.hard_hitter:
+            time += 35 * MINUTE  # suspend between rounds
+
+
+def add_normal_zeus_background(sensors, bot_count=30, seed=9):
+    """Normal bots: each knows 1-2 sensors, polite cycle timing."""
+    rng = random.Random(seed)
+    for index in range(bot_count):
+        ip = parse_ip("25.0.0.1") + index
+        forger = ZeusForger(ZeusDefectProfile(name="bot"), random.Random(1000 + index))
+        known = rng.sample(sensors, rng.randint(1, 2))
+        time = rng.uniform(0, 60)
+        for cycle in range(20):
+            for sensor in known:
+                mtype = MessageType.VERSION_REQUEST if cycle % 3 else MessageType.PEER_LIST_REQUEST
+                payload = sensor.bot_id if mtype == MessageType.PEER_LIST_REQUEST else b""
+                message = forger.build(mtype, payload=payload)
+                observe_zeus(sensor, forger.encrypt(message, sensor.bot_id), time, ip)
+            time += 30 * MINUTE * rng.uniform(0.9, 1.1)
+
+
+CRAWLER_IP = parse_ip("99.0.0.1")
+
+
+class TestZeusAnalyzer:
+    def analyze_with_profile(self, profile, **crawler_kwargs):
+        sensors = make_zeus_sensors()
+        add_normal_zeus_background(sensors)
+        run_zeus_crawler_against(sensors, profile, CRAWLER_IP, **crawler_kwargs)
+        findings = ZeusAnomalyAnalyzer().analyze(sensors)
+        by_ip = {f.ip: f for f in findings}
+        assert CRAWLER_IP in by_ip, "crawler not among studied sources"
+        return by_ip[CRAWLER_IP], findings
+
+    def test_clean_crawler_shows_no_syntax_defects(self):
+        finding, _ = self.analyze_with_profile(ZeusDefectProfile(name="clean"))
+        syntax_defects = set(finding.defects) - {"hard_hitter", "protocol_logic"}
+        assert syntax_defects == set()
+
+    def test_each_defect_recovered(self):
+        cases = {
+            "rnd_range": dict(rnd_range=True),
+            "ttl_range": dict(ttl_range=True),
+            "lop_range": dict(lop_range=True),
+            "session_range": dict(session_range=True),
+            "session_entropy": dict(session_entropy=True),
+            "random_source": dict(random_source=True),
+            "source_entropy": dict(source_entropy=True),
+            "abnormal_lookup": dict(abnormal_lookup=True),
+            "protocol_logic": dict(protocol_logic=True),
+            "encryption": dict(encryption=True),
+            "hard_hitter": dict(hard_hitter=True),
+        }
+        for defect, kwargs in cases.items():
+            profile = ZeusDefectProfile(name=defect, **kwargs)
+            finding, _ = self.analyze_with_profile(profile)
+            assert finding.has(defect), f"{defect} not recovered: {finding.defects}"
+
+    def test_padding_entropy_recovered(self):
+        # Needs padding present, so not combined with lop_range.
+        profile = ZeusDefectProfile(name="pad", padding_entropy=True)
+        finding, _ = self.analyze_with_profile(profile)
+        assert finding.has("padding_entropy")
+
+    def test_normal_bots_not_flagged(self):
+        sensors = make_zeus_sensors()
+        add_normal_zeus_background(sensors, bot_count=40)
+        findings = ZeusAnomalyAnalyzer().analyze(sensors)
+        defective = [f for f in findings if f.defects]
+        assert defective == []
+
+    def test_coverage_computed(self):
+        finding, _ = self.analyze_with_profile(ZeusDefectProfile(name="clean"))
+        assert finding.coverage == 1.0  # crawler visited every sensor
+
+    def test_sparse_sources_excluded(self):
+        sensors = make_zeus_sensors()
+        run_zeus_crawler_against(
+            sensors[:1], ZeusDefectProfile(name="tiny"), CRAWLER_IP, rounds=1
+        )
+        findings = ZeusAnomalyAnalyzer().analyze(sensors)
+        assert CRAWLER_IP not in {f.ip for f in findings}
+
+    def test_defect_matrix_shape(self):
+        _, findings = self.analyze_with_profile(
+            ZeusDefectProfile(name="x", rnd_range=True, hard_hitter=True)
+        )
+        matrix = defect_matrix(findings, ZEUS_DEFECT_ROWS)
+        assert set(matrix) == set(ZEUS_DEFECT_ROWS)
+        assert all(len(col) == len(findings) for col in matrix.values())
+
+
+def make_sality_sensors(count=10, seed=0):
+    rng = random.Random(seed)
+    return [
+        FakeSensor(node_id=f"s-{i}", bot_id=rng.getrandbits(32).to_bytes(4, "big"))
+        for i in range(count)
+    ]
+
+
+def observe_sality(sensor, wire, time, src_ip, src_port):
+    obs = ObservedSalityMessage(
+        time=time, src_ip=src_ip, src_port=src_port, decode_ok=False
+    )
+    try:
+        decoded = sality_protocol.decode_packet(wire)
+    except sality_protocol.SalityDecodeError:
+        sensor.observations.append(obs)
+        return
+    obs.decode_ok = True
+    obs.command = decoded.command
+    obs.bot_id = decoded.bot_id
+    obs.minor_version = decoded.minor_version
+    obs.padding = decoded.padding
+    sensor.observations.append(obs)
+
+
+def run_sality_crawler_against(sensors, profile, crawler_ip, seed=1, rounds=6):
+    forger = SalityForger(profile, random.Random(seed))
+    rng = random.Random(seed + 1)
+    time = 0.0
+    fixed_port = 7777
+    for round_index in range(rounds):
+        for sensor in sensors:
+            port = fixed_port if profile.port_range else rng.randrange(10240, 65536)
+            message = forger.build(Command.PEER_REQUEST)
+            observe_sality(sensor, forger.encode(message), time, crawler_ip, port)
+            time += 2.0
+        if not profile.protocol_logic:
+            for sensor in sensors:
+                port = fixed_port if profile.port_range else rng.randrange(10240, 65536)
+                message = forger.build(Command.URLPACK_REQUEST, payload=(1).to_bytes(4, "big"))
+                observe_sality(sensor, forger.encode(message), time, crawler_ip, port)
+                time += 2.0
+        if not profile.hard_hitter:
+            time += 45 * MINUTE
+
+
+def add_normal_sality_background(sensors, bot_count=30, seed=9):
+    rng = random.Random(seed)
+    for index in range(bot_count):
+        ip = parse_ip("25.0.0.1") + index
+        forger = SalityForger(SalityDefectProfile(name="bot"), random.Random(2000 + index))
+        known = rng.sample(sensors, rng.randint(1, 2))
+        time = rng.uniform(0, 60)
+        for cycle in range(20):
+            for sensor in known:
+                command = Command.URLPACK_REQUEST if cycle % 2 else Command.PEER_REQUEST
+                payload = (1).to_bytes(4, "big") if command == Command.URLPACK_REQUEST else b""
+                message = forger.build(command, payload=payload)
+                port = rng.randrange(10240, 65536)
+                observe_sality(sensor, forger.encode(message), time, ip, port)
+            time += 40 * MINUTE * rng.uniform(0.9, 1.1)
+
+
+class TestSalityAnalyzer:
+    def analyze_with_profile(self, profile):
+        sensors = make_sality_sensors()
+        add_normal_sality_background(sensors)
+        run_sality_crawler_against(sensors, profile, CRAWLER_IP)
+        findings = SalityAnomalyAnalyzer().analyze(sensors)
+        by_ip = {f.ip: f for f in findings}
+        assert CRAWLER_IP in by_ip
+        return by_ip[CRAWLER_IP], findings
+
+    def test_each_defect_recovered(self):
+        cases = {
+            "random_id": dict(random_id=True),
+            "version": dict(version=True),
+            "lop_range": dict(lop_range=True),
+            "port_range": dict(port_range=True),
+            "hard_hitter": dict(hard_hitter=True),
+            "protocol_logic": dict(protocol_logic=True),
+            "encryption": dict(encryption=True),
+        }
+        for defect, kwargs in cases.items():
+            profile = SalityDefectProfile(name=defect, **kwargs)
+            finding, _ = self.analyze_with_profile(profile)
+            assert finding.has(defect), f"{defect} not recovered: {finding.defects}"
+
+    def test_clean_crawler_shows_no_syntax_defects(self):
+        finding, _ = self.analyze_with_profile(SalityDefectProfile(name="clean"))
+        syntax = set(finding.defects) - {"hard_hitter", "protocol_logic"}
+        assert syntax == set()
+
+    def test_normal_bots_not_flagged(self):
+        sensors = make_sality_sensors()
+        add_normal_sality_background(sensors, bot_count=40)
+        findings = SalityAnomalyAnalyzer().analyze(sensors)
+        assert [f for f in findings if f.defects] == []
+
+    def test_matrix_rows(self):
+        _, findings = self.analyze_with_profile(SalityDefectProfile(name="x", version=True))
+        matrix = defect_matrix(findings, SALITY_DEFECT_ROWS)
+        assert set(matrix) == set(SALITY_DEFECT_ROWS)

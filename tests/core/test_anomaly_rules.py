@@ -1,0 +1,210 @@
+"""Unit tests for the individual anomaly rules."""
+
+import random
+
+import pytest
+
+from repro.core.anomaly.encryption import EncryptionRule
+from repro.core.anomaly.entropy import (
+    is_low_entropy,
+    pooled_entropy,
+    printable_ratio,
+    shannon_entropy,
+)
+from repro.core.anomaly.frequency import HardHitterRule
+from repro.core.anomaly.logic import LookupKeyRule, MessageMixRule, VersionRule
+from repro.core.anomaly.range_rules import (
+    DispersionRule,
+    RangeRule,
+    expected_uniform_distinct,
+)
+from repro.sim.clock import MINUTE
+
+RNG = random.Random(0)
+
+
+def random_bytes(n):
+    return bytes(RNG.getrandbits(8) for _ in range(n))
+
+
+class TestEntropy:
+    def test_empty_is_zero(self):
+        assert shannon_entropy(b"") == 0.0
+
+    def test_constant_is_zero(self):
+        assert shannon_entropy(b"\x00" * 100) == 0.0
+
+    def test_uniform_two_symbols_is_one_bit(self):
+        assert shannon_entropy(b"\x00\x01" * 50) == pytest.approx(1.0)
+
+    def test_random_data_high(self):
+        assert shannon_entropy(random_bytes(4096)) > 7.5
+
+    def test_printable_ratio(self):
+        assert printable_ratio(b"HELLO") == 1.0
+        assert printable_ratio(b"\x00\x01") == 0.0
+        assert printable_ratio(b"") == 0.0
+
+    def test_pooled_entropy_concatenates(self):
+        assert pooled_entropy([b"\x00" * 20, b"\x00" * 20]) == 0.0
+
+    def test_low_entropy_ascii_ids(self):
+        ids = [b"ACME-MALWARE-LAB-07".ljust(20, b"\x00") for _ in range(3)]
+        assert is_low_entropy(ids, min_bytes=20)
+
+    def test_random_hashes_not_low_entropy(self):
+        ids = [random_bytes(20) for _ in range(10)]
+        assert not is_low_entropy(ids, min_bytes=20)
+
+    def test_insufficient_data_not_judged(self):
+        assert not is_low_entropy([b"\x00" * 10], min_bytes=40)
+
+    def test_zeroed_padding_flagged(self):
+        assert is_low_entropy([b"\x00" * 30, b"\x00" * 30], min_bytes=40)
+
+
+class TestRangeRules:
+    def test_constrained_detected(self):
+        rule = RangeRule(min_samples=10, max_distinct=2)
+        assert rule.is_constrained([7] * 50)
+        assert rule.is_constrained([7, 8] * 25)
+
+    def test_randomized_not_constrained(self):
+        rule = RangeRule(min_samples=10, max_distinct=2)
+        values = [RNG.randrange(256) for _ in range(50)]
+        assert not rule.is_constrained(values)
+
+    def test_sparse_traffic_not_judged(self):
+        rule = RangeRule(min_samples=10, max_distinct=2)
+        assert not rule.is_constrained([7] * 9)
+
+    def test_dispersion_detected(self):
+        rule = DispersionRule(min_samples=10, max_normal_distinct=8)
+        assert rule.is_dispersed(list(range(20)))
+
+    def test_stable_id_not_dispersed(self):
+        rule = DispersionRule(min_samples=10, max_normal_distinct=8)
+        assert not rule.is_dispersed([1] * 50)
+
+    def test_nat_sized_variation_tolerated(self):
+        """A handful of IDs per IP is normal (NATed bots share IPs)."""
+        rule = DispersionRule(min_samples=10, max_normal_distinct=8)
+        assert not rule.is_dispersed([1, 2, 3, 4] * 10)
+
+    def test_expected_uniform_distinct(self):
+        assert expected_uniform_distinct(0, 256) == 0.0
+        assert expected_uniform_distinct(1, 256) == pytest.approx(1.0)
+        # 50 draws from 256 values: ~45 distinct expected.
+        assert 40 < expected_uniform_distinct(50, 256) < 50
+
+
+class TestEncryptionRule:
+    def test_interspersed_garbage_flagged(self):
+        rule = EncryptionRule(min_invalid=2, min_valid=1)
+        assert rule.is_anomalous(valid_count=10, invalid_count=3)
+
+    def test_pure_noise_not_flagged(self):
+        rule = EncryptionRule()
+        assert not rule.is_anomalous(valid_count=0, invalid_count=50)
+
+    def test_clean_source_not_flagged(self):
+        rule = EncryptionRule()
+        assert not rule.is_anomalous(valid_count=50, invalid_count=0)
+
+
+class TestMessageMixRule:
+    def test_bare_plr_stream_flagged(self):
+        rule = MessageMixRule(min_samples=10, max_plr_fraction=0.9)
+        assert rule.is_anomalous(plr_count=50, total_count=50)
+
+    def test_normal_mix_not_flagged(self):
+        rule = MessageMixRule(min_samples=10, max_plr_fraction=0.9)
+        assert not rule.is_anomalous(plr_count=10, total_count=30)
+
+    def test_sparse_not_judged(self):
+        rule = MessageMixRule(min_samples=10)
+        assert not rule.is_anomalous(plr_count=5, total_count=5)
+
+
+class TestLookupKeyRule:
+    def test_randomized_lookups_flagged(self):
+        rule = LookupKeyRule(min_samples=5)
+        receiver = b"\x01" * 20
+        keys = [random_bytes(20) for _ in range(10)]
+        assert rule.is_anomalous(keys, receiver)
+
+    def test_correct_lookups_clean(self):
+        rule = LookupKeyRule(min_samples=5)
+        receiver = b"\x01" * 20
+        assert not rule.is_anomalous([receiver] * 10, receiver)
+
+    def test_empty_keys_ignored(self):
+        rule = LookupKeyRule(min_samples=5)
+        assert not rule.is_anomalous([b""] * 10, b"\x01" * 20)
+
+
+class TestVersionRule:
+    def test_stale_minor_flagged(self):
+        rule = VersionRule(min_samples=5)
+        assert rule.is_anomalous([4] * 10, current_minor=9)
+
+    def test_current_minor_clean(self):
+        rule = VersionRule(min_samples=5)
+        assert not rule.is_anomalous([9] * 10, current_minor=9)
+
+
+class TestHardHitterRule:
+    def test_burst_flagged(self):
+        rule = HardHitterRule(suspend_cycle=30 * MINUTE, burst_size=3)
+        assert rule.is_hard_hitter([0.0, 10.0, 20.0])
+
+    def test_suspend_adherent_clean(self):
+        rule = HardHitterRule(suspend_cycle=30 * MINUTE, burst_size=3)
+        times = [i * 30 * MINUTE for i in range(48)]
+        assert not rule.is_hard_hitter(times)
+
+    def test_half_cycle_clean_for_burst_window(self):
+        """Half-suspend crawlers evade *frequency* detection (they
+        are caught by out-degree instead)."""
+        rule = HardHitterRule(suspend_cycle=30 * MINUTE, burst_size=3)
+        times = [i * 15 * MINUTE for i in range(48)]
+        assert not rule.is_hard_hitter(times)
+
+    def test_burst_inside_long_history_found(self):
+        rule = HardHitterRule(suspend_cycle=30 * MINUTE, burst_size=3)
+        times = [0.0, 30 * MINUTE, 60 * MINUTE, 61 * MINUTE, 61.5 * MINUTE, 62 * MINUTE]
+        assert rule.is_hard_hitter(times)
+
+    def test_too_few_requests_clean(self):
+        rule = HardHitterRule(suspend_cycle=30 * MINUTE, burst_size=3)
+        assert not rule.is_hard_hitter([0.0, 1.0])
+
+    def test_unsorted_input_ok(self):
+        rule = HardHitterRule(suspend_cycle=30 * MINUTE, burst_size=3)
+        assert rule.is_hard_hitter([20.0, 0.0, 10.0])
+
+    def test_median_gap(self):
+        rule = HardHitterRule(suspend_cycle=30 * MINUTE)
+        assert rule.median_gap([0.0, 10.0, 20.0]) == 10.0
+        assert rule.median_gap([5.0]) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HardHitterRule(suspend_cycle=0)
+        with pytest.raises(ValueError):
+            HardHitterRule(suspend_cycle=10.0, burst_size=1)
+
+
+class TestRangeRuleGarbageRobustness:
+    def test_few_garbage_samples_do_not_launder_constant_field(self):
+        """Wrongly-keyed (invalid-encryption) messages occasionally
+        decode to random field values; a few such outliers must not
+        hide a constant field (the Table 3 c8 regression)."""
+        rule = RangeRule(min_samples=10, max_distinct=2)
+        values = [0x00] * 500 + [RNG.randrange(256) for _ in range(6)]
+        assert rule.is_constrained(values)
+
+    def test_substantial_noise_defeats_dominance(self):
+        rule = RangeRule(min_samples=10, max_distinct=2)
+        values = [0x00] * 50 + [RNG.randrange(256) for _ in range(50)]
+        assert not rule.is_constrained(values)

@@ -1,0 +1,244 @@
+"""Integration tests: crawlers against small simulated botnets."""
+
+import pytest
+
+from repro.botnets.sality.network import SalityNetwork, SalityNetworkConfig
+from repro.botnets.zeus.network import ZeusNetwork, ZeusNetworkConfig
+from repro.core.crawler import CrawlReport, SalityCrawler, ZeusCrawler
+from repro.core.defects import SalityDefectProfile, ZeusDefectProfile
+from repro.core.stealth import StealthPolicy
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint
+from repro.sim.clock import HOUR
+
+
+def zeus_net(population=80, seed=3):
+    net = ZeusNetwork(
+        ZeusNetworkConfig(
+            population=population, routable_fraction=0.5, bootstrap_peers=10, master_seed=seed
+        )
+    )
+    net.build()
+    net.start_all()
+    net.run_for(HOUR)  # settle
+    return net
+
+
+def sality_net(population=80, seed=3):
+    net = SalityNetwork(
+        SalityNetworkConfig(
+            population=population, routable_fraction=0.5, bootstrap_peers=10, master_seed=seed
+        )
+    )
+    net.build()
+    net.start_all()
+    net.run_for(2 * HOUR)  # settle: goodcounts must accrue
+    return net
+
+
+def make_zeus_crawler(net, policy=None, profile=ZeusDefectProfile(name="test"), port=7777):
+    return ZeusCrawler(
+        name="crawler",
+        endpoint=Endpoint(parse_ip("40.0.0.1"), port),
+        transport=net.transport,
+        scheduler=net.scheduler,
+        rng=net.rngs.stream("crawler"),
+        policy=policy,
+        profile=profile,
+    )
+
+
+def make_sality_crawler(net, policy=None, profile=SalityDefectProfile(name="test")):
+    return SalityCrawler(
+        name="crawler",
+        endpoint=Endpoint(parse_ip("40.0.0.1"), 7777),
+        transport=net.transport,
+        scheduler=net.scheduler,
+        rng=net.rngs.stream("crawler"),
+        policy=policy,
+        profile=profile,
+    )
+
+
+class TestZeusCrawl:
+    def test_full_crawl_finds_most_routable_bots(self):
+        net = zeus_net()
+        crawler = make_zeus_crawler(
+            net, policy=StealthPolicy(per_target_interval=15.0, requests_per_target=4)
+        )
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(4 * HOUR)
+        routable_ips = {bot.endpoint.ip for bot in net.routable_bots}
+        found = set(crawler.report.first_seen_ip) & routable_ips
+        assert len(found) >= 0.8 * len(routable_ips)
+        assert crawler.report.responses_received > 0
+
+    def test_crawl_verifies_responding_bots(self):
+        net = zeus_net()
+        crawler = make_zeus_crawler(net)
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(2 * HOUR)
+        assert len(crawler.report.verified_bots) > 0
+        routable_ids = {bot.bot_id for bot in net.routable_bots}
+        assert crawler.report.verified_bots <= routable_ids
+
+    def test_crawler_cannot_reach_natted_bots(self):
+        """Crawlers cannot contact non-routable bots (Section 2.1)."""
+        net = zeus_net()
+        crawler = make_zeus_crawler(net)
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(4 * HOUR)
+        natted_ids = {bot.bot_id for bot in net.non_routable_bots}
+        assert not (crawler.report.verified_bots & natted_ids)
+
+    def test_crawl_collects_edges(self):
+        net = zeus_net()
+        crawler = make_zeus_crawler(net)
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(2 * HOUR)
+        assert len(crawler.report.edges) > 0
+        for src, dst in crawler.report.edges:
+            assert src != dst or True  # edges are (via, learned) pairs
+
+    def test_contact_ratio_reduces_contacts_and_coverage(self):
+        net_full = zeus_net(seed=4)
+        full = make_zeus_crawler(net_full)
+        full.start(net_full.bootstrap_sample(5, seed=1))
+        net_full.run_for(4 * HOUR)
+
+        net_limited = zeus_net(seed=4)
+        limited = make_zeus_crawler(net_limited, policy=StealthPolicy(contact_ratio=8))
+        limited.start(net_limited.bootstrap_sample(5, seed=1))
+        net_limited.run_for(4 * HOUR)
+
+        assert limited.report.targets_contacted < full.report.targets_contacted
+        assert limited.report.targets_excluded > 0
+        assert limited.report.distinct_ips <= full.report.distinct_ips
+
+    def test_stop_halts_requests(self):
+        net = zeus_net()
+        crawler = make_zeus_crawler(net)
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(0.5 * HOUR)
+        crawler.stop()
+        sent = crawler.report.requests_sent
+        net.run_for(2 * HOUR)
+        assert crawler.report.requests_sent == sent
+
+    def test_start_twice_rejected(self):
+        net = zeus_net()
+        crawler = make_zeus_crawler(net)
+        crawler.start([])
+        with pytest.raises(RuntimeError):
+            crawler.start([])
+
+    def test_distributed_sources_used(self):
+        net = zeus_net()
+        sources = [Endpoint(parse_ip(f"41.{i}.0.1"), 7000) for i in range(4)]
+        crawler = make_zeus_crawler(net, policy=StealthPolicy(source_endpoints=sources))
+        seen_sources = set()
+        net.transport.add_tap(
+            lambda m, ok: seen_sources.add(m.src) if m.src in set(sources) else None
+        )
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(HOUR)
+        assert len(seen_sources) == 4
+
+    def test_coverage_series_monotonic(self):
+        net = zeus_net()
+        crawler = make_zeus_crawler(net)
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(3 * HOUR)
+        series = crawler.report.coverage_series(until=net.scheduler.now, bucket=HOUR / 2)
+        counts = [count for _, count in series]
+        assert counts == sorted(counts)
+        assert counts[-1] == crawler.report.distinct_ips
+
+
+class TestSalityCrawl:
+    def test_crawl_discovers_bots(self):
+        net = sality_net()
+        crawler = make_sality_crawler(
+            net,
+            policy=StealthPolicy(per_target_interval=5.0, requests_per_target=40),
+        )
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(4 * HOUR)
+        routable_ips = {bot.endpoint.ip for bot in net.routable_bots}
+        found = set(crawler.report.first_seen_ip) & routable_ips
+        assert len(found) >= 0.5 * len(routable_ips)
+
+    def test_single_entry_responses_throttle_discovery(self):
+        """With few requests per target, Sality coverage collapses --
+        the Figure 4b effect."""
+        net_fast = sality_net(seed=5)
+        fast = make_sality_crawler(
+            net_fast, policy=StealthPolicy(per_target_interval=5.0, requests_per_target=40)
+        )
+        fast.start(net_fast.bootstrap_sample(5, seed=1))
+        net_fast.run_for(4 * HOUR)
+
+        net_slow = sality_net(seed=5)
+        slow = make_sality_crawler(
+            net_slow, policy=StealthPolicy(per_target_interval=2400.0, requests_per_target=40)
+        )
+        slow.start(net_slow.bootstrap_sample(5, seed=1))
+        net_slow.run_for(4 * HOUR)
+
+        assert slow.report.distinct_ips < fast.report.distinct_ips
+
+    def test_fixed_port_defect_visible_on_wire(self):
+        net = sality_net()
+        crawler = make_sality_crawler(
+            net, profile=SalityDefectProfile(name="fixed", port_range=True)
+        )
+        ports = set()
+        crawler_ip = crawler.endpoint.ip
+        net.transport.add_tap(
+            lambda m, ok: ports.add(m.src.port) if m.src.ip == crawler_ip else None
+        )
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(HOUR)
+        assert ports == {crawler.endpoint.port}
+
+    def test_clean_crawler_randomizes_ports(self):
+        net = sality_net()
+        crawler = make_sality_crawler(net)
+        ports = set()
+        crawler_ip = crawler.endpoint.ip
+        net.transport.add_tap(
+            lambda m, ok: ports.add(m.src.port) if m.src.ip == crawler_ip else None
+        )
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(HOUR)
+        assert len(ports) > 3
+
+    def test_stop_releases_ephemerals(self):
+        net = sality_net()
+        crawler = make_sality_crawler(net)
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(0.2 * HOUR)
+        crawler.stop()
+        assert not crawler._ephemerals
+
+
+class TestCrawlReport:
+    def test_note_discovery_first_wins(self):
+        report = CrawlReport()
+        endpoint = Endpoint(parse_ip("25.0.0.1"), 1000)
+        assert report.note_discovery(1.0, b"A", endpoint)
+        assert not report.note_discovery(2.0, b"A", endpoint)
+        assert report.first_seen_bot[b"A"] == 1.0
+        assert report.first_seen_ip[endpoint.ip] == 1.0
+
+    def test_ips_found_by(self):
+        report = CrawlReport()
+        report.note_discovery(1.0, b"A", Endpoint(parse_ip("25.0.0.1"), 1000))
+        report.note_discovery(5.0, b"B", Endpoint(parse_ip("25.0.0.2"), 1000))
+        assert report.ips_found_by(0.5) == 0
+        assert report.ips_found_by(1.0) == 1
+        assert report.ips_found_by(10.0) == 2
+
+    def test_coverage_series_validation(self):
+        with pytest.raises(ValueError):
+            CrawlReport().coverage_series(until=10.0, bucket=0)

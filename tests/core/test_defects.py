@@ -1,0 +1,179 @@
+"""Unit tests for defect profiles and message forgers."""
+
+import random
+
+import pytest
+
+from repro.botnets.sality import protocol as sality_protocol
+from repro.botnets.zeus import protocol as zeus_protocol
+from repro.botnets.zeus.protocol import MessageType, ZeusDecodeError
+from repro.core.defects import (
+    CLEAN_SALITY,
+    CLEAN_ZEUS,
+    SalityDefectProfile,
+    SalityForger,
+    ZeusDefectProfile,
+    ZeusForger,
+)
+
+
+def zeus_forger(**defects):
+    profile = ZeusDefectProfile(name="test", **defects)
+    return ZeusForger(profile, random.Random(0))
+
+
+def sality_forger(**defects):
+    profile = SalityDefectProfile(name="test", **defects)
+    return SalityForger(profile, random.Random(0))
+
+
+class TestZeusCleanForger:
+    def test_clean_messages_look_normal(self):
+        forger = ZeusForger(CLEAN_ZEUS, random.Random(0))
+        messages = [forger.build(MessageType.VERSION_REQUEST) for _ in range(50)]
+        assert len({m.random_byte for m in messages}) > 10
+        assert len({m.ttl for m in messages}) > 10
+        assert len({m.session_id for m in messages}) == 50
+        assert len({m.source_id for m in messages}) == 1  # stable identity
+        assert len({len(m.padding) for m in messages}) > 5
+
+    def test_clean_lookup_key_is_target_id(self):
+        forger = ZeusForger(CLEAN_ZEUS, random.Random(0))
+        target = zeus_protocol.random_id(random.Random(5))
+        assert forger.lookup_key(target) == target
+
+    def test_clean_encryption_always_correct(self):
+        forger = ZeusForger(CLEAN_ZEUS, random.Random(0))
+        targets = [zeus_protocol.random_id(random.Random(i)) for i in range(20)]
+        for target in targets:
+            message = forger.build(MessageType.VERSION_REQUEST)
+            wire = forger.encrypt(message, target)
+            assert zeus_protocol.decrypt_message(wire, target) == message
+
+    def test_defect_names_empty_for_clean(self):
+        assert CLEAN_ZEUS.defect_names() == []
+        assert CLEAN_SALITY.defect_names() == []
+
+
+class TestZeusRangeDefects:
+    def test_static_random_byte(self):
+        forger = zeus_forger(rnd_range=True)
+        assert {forger.build(0).random_byte for _ in range(30)} == {0x00}
+
+    def test_static_ttl(self):
+        forger = zeus_forger(ttl_range=True)
+        assert {forger.build(0).ttl for _ in range(30)} == {0x40}
+
+    def test_constrained_lop(self):
+        forger = zeus_forger(lop_range=True)
+        assert all(len(forger.build(0).padding) == 0 for _ in range(30))
+
+    def test_session_rotation_small_pool(self):
+        forger = zeus_forger(session_range=True)
+        sessions = {forger.build(0).session_id for _ in range(50)}
+        assert len(sessions) <= 3
+
+    def test_random_source_ids(self):
+        forger = zeus_forger(random_source=True)
+        sources = {forger.build(0).source_id for _ in range(50)}
+        assert len(sources) == 50
+
+
+class TestZeusEntropyDefects:
+    def test_ascii_source_id(self):
+        forger = zeus_forger(source_entropy=True)
+        source = forger.build(0).source_id
+        assert b"ACME" in source
+        assert len(source) == 20
+
+    def test_low_entropy_session(self):
+        forger = zeus_forger(session_entropy=True)
+        session = forger.build(0).session_id
+        assert session.startswith(b"SESSION-")
+
+    def test_zero_padding(self):
+        forger = zeus_forger(padding_entropy=True)
+        padded = [m for m in (forger.build(0) for _ in range(50)) if m.padding]
+        assert padded, "expected some messages with padding"
+        assert all(set(m.padding) == {0} for m in padded)
+
+
+class TestZeusLogicAndEncryptionDefects:
+    def test_abnormal_lookup_randomized(self):
+        forger = zeus_forger(abnormal_lookup=True)
+        target = zeus_protocol.random_id(random.Random(5))
+        keys = {forger.lookup_key(target) for _ in range(20)}
+        assert target not in keys
+        assert len(keys) == 20
+
+    def test_encryption_defect_reuses_stale_keys(self):
+        forger = zeus_forger(encryption=True)
+        targets = [zeus_protocol.random_id(random.Random(i)) for i in range(100)]
+        failures = 0
+        for target in targets:
+            message = forger.build(MessageType.VERSION_REQUEST)
+            wire = forger.encrypt(message, target)
+            try:
+                zeus_protocol.decrypt_message(wire, target)
+            except ZeusDecodeError:
+                failures += 1
+        # ~30% of messages towards new targets use the previous key.
+        assert 10 <= failures <= 60
+
+    def test_first_message_never_misencrypted(self):
+        forger = zeus_forger(encryption=True)
+        target = zeus_protocol.random_id(random.Random(5))
+        message = forger.build(MessageType.VERSION_REQUEST)
+        wire = forger.encrypt(message, target)
+        assert zeus_protocol.decrypt_message(wire, target) == message
+
+
+class TestSalityForger:
+    def test_clean_packets_normal(self):
+        forger = SalityForger(CLEAN_SALITY, random.Random(0))
+        messages = [forger.build(sality_protocol.Command.PEER_REQUEST) for _ in range(50)]
+        assert len({m.bot_id for m in messages}) == 1
+        assert all(m.minor_version == sality_protocol.CURRENT_MINOR_VERSION for m in messages)
+        assert len({len(m.padding) for m in messages}) > 5
+
+    def test_random_id_defect(self):
+        forger = sality_forger(random_id=True)
+        ids = {forger.build(2).bot_id for _ in range(50)}
+        assert len(ids) == 50
+
+    def test_version_defect(self):
+        forger = sality_forger(version=True)
+        assert forger.build(2).minor_version == SalityForger.STALE_MINOR_VERSION
+
+    def test_fixed_padding_defect(self):
+        forger = sality_forger(lop_range=True)
+        assert all(forger.build(2).padding == b"" for _ in range(30))
+
+    def test_encryption_defect_garbles_some_packets(self):
+        forger = sality_forger(encryption=True)
+        failures = 0
+        for _ in range(100):
+            wire = forger.encode(forger.build(sality_protocol.Command.PEER_REQUEST))
+            try:
+                sality_protocol.decode_packet(wire)
+            except sality_protocol.SalityDecodeError:
+                failures += 1
+        assert 10 <= failures <= 60
+
+    def test_clean_packets_always_decode(self):
+        forger = SalityForger(CLEAN_SALITY, random.Random(0))
+        for _ in range(50):
+            message = forger.build(sality_protocol.Command.PEER_REQUEST)
+            assert sality_protocol.decode_packet(forger.encode(message)) == message
+
+
+class TestDefectNames:
+    def test_zeus_defect_names_ordered(self):
+        profile = ZeusDefectProfile(
+            name="x", rnd_range=True, hard_hitter=True, encryption=True
+        )
+        assert profile.defect_names() == ["rnd_range", "hard_hitter", "encryption"]
+
+    def test_sality_defect_names(self):
+        profile = SalityDefectProfile(name="x", version=True, port_range=True)
+        assert profile.defect_names() == ["version", "port_range"]

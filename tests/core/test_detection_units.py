@@ -1,0 +1,327 @@
+"""Unit tests for the distributed-detection building blocks."""
+
+import random
+
+import pytest
+
+from repro.botnets.graph import ConnectivityGraph
+from repro.core.detection.aggregation import (
+    MemberReport,
+    aggregate_group,
+    required_reporters,
+)
+from repro.core.detection.groups import (
+    TreeOverlay,
+    assign_groups,
+    build_tree,
+    elect_leaders,
+    group_of,
+    sample_bit_positions,
+)
+from repro.core.detection.rounds import (
+    AnnouncementSigner,
+    RoundAnnouncement,
+    push_gossip,
+)
+from repro.core.detection.voting import (
+    LeaderBehavior,
+    LeaderVote,
+    majority_count,
+    reliability_bound,
+    retrieve_from_leaders,
+    tally_votes,
+)
+from repro.core.detection.coordinator import ParticipantReport
+from repro.net.address import parse_ip
+
+
+class TestAnnouncements:
+    def make(self, signer):
+        ann = RoundAnnouncement(
+            round_id=7, issued_at=100.0, bit_positions=(1, 5, 9), leaders=("a", "b")
+        )
+        return signer.sign(ann)
+
+    def test_sign_verify_roundtrip(self):
+        signer = AnnouncementSigner(b"botmaster-key")
+        signed = self.make(signer)
+        assert signer.verify(signed, now=200.0)
+
+    def test_forged_signature_rejected(self):
+        signer = AnnouncementSigner(b"botmaster-key")
+        attacker = AnnouncementSigner(b"analyst-key")
+        forged = self.make(attacker)
+        assert not signer.verify(forged, now=200.0)
+
+    def test_tampered_payload_rejected(self):
+        signer = AnnouncementSigner(b"botmaster-key")
+        signed = self.make(signer)
+        tampered = RoundAnnouncement(
+            round_id=signed.round_id,
+            issued_at=signed.issued_at,
+            bit_positions=(0, 1, 2),  # changed
+            leaders=signed.leaders,
+            signature=signed.signature,
+        )
+        assert not signer.verify(tampered, now=200.0)
+
+    def test_replay_rejected(self):
+        """Timestamping prevents replaying old announcements."""
+        signer = AnnouncementSigner(b"botmaster-key")
+        signed = self.make(signer)
+        assert not signer.verify(signed, now=100.0 + 7200.0, max_age=3600.0)
+
+    def test_future_dated_rejected(self):
+        signer = AnnouncementSigner(b"botmaster-key")
+        signed = self.make(signer)
+        assert not signer.verify(signed, now=50.0)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            AnnouncementSigner(b"")
+
+
+class TestGossip:
+    def dense_graph(self, n=50, out_degree=6, seed=0):
+        rng = random.Random(seed)
+        graph = ConnectivityGraph()
+        nodes = [f"bot-{i}" for i in range(n)]
+        for node in nodes:
+            for target in rng.sample([m for m in nodes if m != node], out_degree):
+                graph.add_edge(node, target)
+        return graph, set(nodes)
+
+    def test_gossip_reaches_most_routable_bots(self):
+        graph, routable = self.dense_graph()
+        stats = push_gossip(graph, routable, "bot-0", random.Random(1), fanout=4)
+        assert stats.coverage(len(routable)) > 0.9
+        assert stats.messages_sent > 0
+        assert stats.hops >= 2
+
+    def test_gossip_excludes_non_routable(self):
+        graph, routable = self.dense_graph()
+        natted = {"bot-1", "bot-2", "bot-3"}
+        stats = push_gossip(graph, routable - natted, "bot-0", random.Random(1))
+        assert not (stats.reached & natted)
+
+    def test_origin_must_be_routable(self):
+        graph, routable = self.dense_graph()
+        with pytest.raises(ValueError):
+            push_gossip(graph, routable - {"bot-0"}, "bot-0", random.Random(1))
+
+
+class TestGroups:
+    def test_bit_positions_sorted_unique(self):
+        positions = sample_bit_positions(5, random.Random(0))
+        assert list(positions) == sorted(set(positions))
+        assert len(positions) == 5
+
+    def test_bit_positions_validation(self):
+        with pytest.raises(ValueError):
+            sample_bit_positions(-1, random.Random(0))
+        with pytest.raises(ValueError):
+            sample_bit_positions(200, random.Random(0), id_bits=160)
+
+    def test_group_of_uses_named_bits(self):
+        # id = 0b1010... ; positions 0 and 1 -> group 0b10 = 2
+        bot_id = bytes([0b10100000]) + bytes(19)
+        assert group_of(bot_id, (0, 1)) == 0b10
+        assert group_of(bot_id, (1, 2)) == 0b01
+
+    def test_group_of_zero_bits_single_group(self):
+        assert group_of(b"\xff" * 20, ()) == 0
+
+    def test_group_of_out_of_range_position(self):
+        with pytest.raises(ValueError):
+            group_of(b"\x00" * 4, (40,))
+
+    def test_assignment_partitions_uniformly(self):
+        rng = random.Random(3)
+        members = [
+            ParticipantReport(node_id=f"n{i}", bot_id=bytes(rng.getrandbits(8) for _ in range(20)), requests=())
+            for i in range(800)
+        ]
+        positions = sample_bit_positions(3, rng)
+        groups = assign_groups(members, positions)
+        assert len(groups) == 8
+        assert sum(len(g) for g in groups.values()) == 800
+        sizes = [len(g) for g in groups.values()]
+        assert min(sizes) > 50  # roughly uniform
+
+    def test_leader_election_picks_members(self):
+        rng = random.Random(3)
+        members = [
+            ParticipantReport(node_id=f"n{i}", bot_id=bytes([i]) + bytes(19), requests=())
+            for i in range(16)
+        ]
+        groups = assign_groups(members, (0, 1))
+        leaders = elect_leaders(groups, rng)
+        for index, leader in leaders.items():
+            assert leader in {m.node_id for m in groups[index]}
+
+    def test_tree_overlay_bounded_fanout(self):
+        members = [f"n{i}" for i in range(50)]
+        tree = build_tree(members, leader="n0", fanout=4)
+        assert tree.size == 50
+        for node in members:
+            assert len(tree.children_of(node)) <= 4
+        assert tree.depth() >= 2
+
+    def test_tree_leader_must_be_member(self):
+        with pytest.raises(ValueError):
+            build_tree(["a", "b"], leader="z")
+
+    def test_tree_single_member(self):
+        tree = build_tree(["solo"], leader="solo")
+        assert tree.size == 1
+        assert tree.depth() == 0
+
+
+IP_A = parse_ip("99.0.0.1")
+IP_B = parse_ip("25.0.0.7")
+
+
+class TestAggregation:
+    def reports(self, crawler_fraction=1.0, count=20):
+        """Members all see bot IP_B rarely; a fraction saw IP_A."""
+        out = []
+        for i in range(count):
+            requests = [(10.0, IP_B)] if i == 0 else []
+            if i < crawler_fraction * count:
+                requests.append((20.0, IP_A))
+            out.append(MemberReport(node_id=f"m{i}", requests=tuple(requests)))
+        return out
+
+    def test_threshold_counts(self):
+        assert required_reporters(64, 0.01) == 1
+        assert required_reporters(64, 0.02) == 2
+        assert required_reporters(64, 0.05) == 4
+        assert required_reporters(64, 0.10) == 7
+        assert required_reporters(0, 0.05) == 1
+
+    def test_wide_coverage_flagged(self):
+        # 20 members at t=10% -> 2 reporters required; the lone IP_B
+        # reporter stays clean, the 20-reporter IP_A is flagged.
+        verdict = aggregate_group(0, self.reports(), threshold=0.10, since=0.0, until=100.0)
+        assert IP_A in verdict.suspicious
+        assert IP_B not in verdict.suspicious
+
+    def test_narrow_coverage_not_flagged(self):
+        verdict = aggregate_group(
+            0, self.reports(crawler_fraction=0.1), threshold=0.25, since=0.0, until=100.0
+        )
+        assert IP_A not in verdict.suspicious
+
+    def test_history_window_respected(self):
+        verdict = aggregate_group(0, self.reports(), threshold=0.05, since=30.0, until=100.0)
+        assert verdict.suspicious == set()
+
+    def test_subnet_aggregation_merges_sources(self):
+        """Two /24-distributed crawler addresses fold into one /20 key."""
+        a1, a2 = parse_ip("99.0.1.1"), parse_ip("99.0.2.1")  # same /20
+        reports = [
+            MemberReport(node_id=f"m{i}", requests=((5.0, a1 if i % 2 else a2),))
+            for i in range(20)
+        ]
+        per_ip = aggregate_group(0, reports, threshold=0.9, since=0.0, until=10.0, prefix=32)
+        assert per_ip.suspicious == set()  # each address under threshold
+        per_20 = aggregate_group(0, reports, threshold=0.9, since=0.0, until=10.0, prefix=20)
+        assert len(per_20.suspicious) == 1  # folded key crosses it
+
+    def test_duplicate_requests_counted_once_per_member(self):
+        reports = [
+            MemberReport(node_id="m0", requests=tuple((float(t), IP_A) for t in range(50)))
+        ] + [MemberReport(node_id=f"m{i}", requests=()) for i in range(1, 20)]
+        verdict = aggregate_group(0, reports, threshold=0.10, since=0.0, until=100.0)
+        assert verdict.reporter_counts[IP_A] == 1
+        assert IP_A not in verdict.suspicious
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aggregate_group(0, [], threshold=0.0, since=0.0, until=1.0)
+        with pytest.raises(ValueError):
+            aggregate_group(0, [], threshold=0.05, since=0.0, until=1.0, prefix=4)
+
+
+class TestVoting:
+    def verdicts(self, flag_in_groups, total_groups=8):
+        from repro.core.detection.aggregation import GroupVerdict
+
+        out = []
+        for index in range(total_groups):
+            verdict = GroupVerdict(group_index=index, group_size=10)
+            if index in flag_in_groups:
+                verdict.suspicious = {IP_A}
+            out.append(verdict)
+        return out
+
+    def test_majority_classifies(self):
+        votes = [LeaderVote.from_verdict(v) for v in self.verdicts({0, 1, 2, 3, 4})]
+        assert tally_votes(votes) == {IP_A}
+
+    def test_minority_does_not_classify(self):
+        votes = [LeaderVote.from_verdict(v) for v in self.verdicts({0, 1, 2})]
+        assert tally_votes(votes) == set()
+
+    def test_exact_half_is_not_majority(self):
+        votes = [LeaderVote.from_verdict(v) for v in self.verdicts({0, 1, 2, 3})]
+        assert tally_votes(votes) == set()
+
+    def test_majority_count(self):
+        assert majority_count(8, 0.5) == 5
+        assert majority_count(7, 0.5) == 4
+
+    def test_suppressing_leaders_tolerated_below_majority(self):
+        verdicts = self.verdicts({0, 1, 2, 3, 4, 5, 6, 7})
+        votes = [
+            LeaderVote.from_verdict(
+                v, behavior=LeaderBehavior.SUPPRESS if v.group_index < 3 else LeaderBehavior.HONEST
+            )
+            for v in verdicts
+        ]
+        assert tally_votes(votes) == {IP_A}
+
+    def test_framing_leaders_tolerated_below_majority(self):
+        verdicts = self.verdicts(set())
+        votes = [
+            LeaderVote.from_verdict(
+                v,
+                behavior=LeaderBehavior.FRAME if v.group_index < 3 else LeaderBehavior.HONEST,
+                framed_keys=[IP_B],
+            )
+            for v in verdicts
+        ]
+        assert IP_B not in tally_votes(votes)
+
+    def test_framing_majority_wins(self):
+        """If adversaries do hold a majority, the algorithm fails --
+        exactly the |A| < n*m boundary."""
+        verdicts = self.verdicts(set())
+        votes = [
+            LeaderVote.from_verdict(
+                v,
+                behavior=LeaderBehavior.FRAME if v.group_index < 5 else LeaderBehavior.HONEST,
+                framed_keys=[IP_B],
+            )
+            for v in verdicts
+        ]
+        assert IP_B in tally_votes(votes)
+
+    def test_retrieval_majority_filter(self):
+        honest = [{IP_A} for _ in range(6)]
+        faulty = [{IP_B} for _ in range(2)]
+        result = retrieve_from_leaders(honest + faulty, sample_size=8, rng=random.Random(0))
+        assert result == {IP_A}
+
+    def test_retrieval_empty_leaders(self):
+        assert retrieve_from_leaders([], sample_size=3, rng=random.Random(0)) == set()
+
+    def test_reliability_bound(self):
+        assert reliability_bound(adversarial=2, sample_size=8, majority_fraction=0.5)
+        assert not reliability_bound(adversarial=4, sample_size=8, majority_fraction=0.5)
+
+    def test_tally_validation(self):
+        with pytest.raises(ValueError):
+            tally_votes([LeaderVote(group_index=0, keys=frozenset())], majority_fraction=1.5)
+        with pytest.raises(ValueError):
+            retrieve_from_leaders([{IP_A}], sample_size=0, rng=random.Random(0))

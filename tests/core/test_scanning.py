@@ -1,0 +1,125 @@
+"""Tests for Internet-wide scanning (Section 7, Table 5)."""
+
+import random
+
+import pytest
+
+from repro.core.scanning import (
+    PROBE_MAGIC,
+    InternetScanner,
+    ProbeResponder,
+    ScanUnsupportedError,
+    susceptibility_report,
+)
+from repro.net.address import Subnet, parse_ip
+from repro.net.transport import Endpoint, Transport, TransportConfig
+from repro.sim.scheduler import Scheduler
+
+
+def make_world():
+    sched = Scheduler()
+    transport = Transport(sched, random.Random(0), config=TransportConfig(loss_rate=0.0))
+    return sched, transport
+
+
+class TestSusceptibilityReport:
+    def test_matches_table5(self):
+        rows = {row.family: row for row in susceptibility_report()}
+        assert not rows["Zeus"].susceptible
+        assert not rows["Zeus"].probe_constructible
+        assert not rows["Sality"].susceptible
+        assert rows["ZeroAccess"].susceptible
+        assert rows["Kelihos/Hlux"].susceptible
+        assert not rows["Waledac"].susceptible
+        assert not rows["Storm"].susceptible
+
+    def test_all_families_covered(self):
+        assert len(susceptibility_report()) == 6
+
+
+class TestScanner:
+    def test_scan_finds_zeroaccess_responders(self):
+        sched, transport = make_world()
+        block = Subnet.parse("80.0.0.0/28")
+        # Infect 5 of the 16 addresses (fixed ZeroAccess port 16471).
+        responders = [
+            ProbeResponder(Endpoint(block.network + i, 16471), transport) for i in range(5)
+        ]
+        scanner = InternetScanner(
+            endpoint=Endpoint(parse_ip("90.0.0.1"), 40000),
+            transport=transport,
+            scheduler=sched,
+            rng=random.Random(1),
+            probes_per_second=10000,
+        )
+        result = scanner.scan("ZeroAccess", [block])
+        assert result.addresses_probed == 16
+        assert result.probes_sent == 16
+        assert result.hosts_found == 5
+        assert all(r.probes_answered == 1 for r in responders)
+
+    def test_zeus_scan_rejected_no_probe(self):
+        sched, transport = make_world()
+        scanner = InternetScanner(
+            Endpoint(parse_ip("90.0.0.1"), 40000), transport, sched, random.Random(1)
+        )
+        with pytest.raises(ScanUnsupportedError, match="per-bot knowledge"):
+            scanner.scan("Zeus", [Subnet.parse("80.0.0.0/30")])
+
+    def test_sality_scan_rejected_port_range(self):
+        sched, transport = make_world()
+        scanner = InternetScanner(
+            Endpoint(parse_ip("90.0.0.1"), 40000), transport, sched, random.Random(1)
+        )
+        with pytest.raises(ScanUnsupportedError, match="candidate ports"):
+            scanner.scan("Sality", [Subnet.parse("80.0.0.0/30")])
+
+    def test_wide_port_range_opt_in_probes_all_ports(self):
+        """Forcing a wide-range scan shows the probe-count blowup that
+        makes it impractical (Section 7)."""
+        sched, transport = make_world()
+        scanner = InternetScanner(
+            Endpoint(parse_ip("90.0.0.1"), 40000),
+            transport,
+            sched,
+            random.Random(1),
+            probes_per_second=10_000_000,
+        )
+        result = scanner.scan(
+            "Waledac", [Subnet.parse("80.0.0.0/31")], allow_wide_port_ranges=True
+        )
+        ports = 65535 - 1024 + 1
+        assert result.probes_sent == 2 * ports
+
+    def test_kelihos_scan_single_port(self):
+        sched, transport = make_world()
+        block = Subnet.parse("80.0.0.0/29")
+        ProbeResponder(Endpoint(block.network + 2, 80), transport)
+        scanner = InternetScanner(
+            Endpoint(parse_ip("90.0.0.1"), 40000), transport, sched, random.Random(1)
+        )
+        result = scanner.scan("Kelihos/Hlux", [block])
+        assert result.hosts_found == 1
+
+    def test_uninfected_hosts_silent(self):
+        sched, transport = make_world()
+        # A host listening on the right port but NOT infected: binds a
+        # different service that ignores the probe.
+        bystander = Endpoint(parse_ip("80.0.0.1"), 16471)
+        transport.bind(bystander, lambda m: None)
+        scanner = InternetScanner(
+            Endpoint(parse_ip("90.0.0.1"), 40000), transport, sched, random.Random(1)
+        )
+        result = scanner.scan("ZeroAccess", [Subnet.parse("80.0.0.0/30")])
+        assert result.hosts_found == 0
+
+    def test_scanner_validation(self):
+        sched, transport = make_world()
+        with pytest.raises(ValueError):
+            InternetScanner(
+                Endpoint(parse_ip("90.0.0.1"), 40000),
+                transport,
+                sched,
+                random.Random(1),
+                probes_per_second=0,
+            )

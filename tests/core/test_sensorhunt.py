@@ -1,0 +1,86 @@
+"""Tests for in-degree ranking + active sensor probing (Section 4.2)."""
+
+import pytest
+
+from repro.core.sensor import SensorDefectProfile
+from repro.core.sensorhunt import Candidate, SensorProber, rank_by_in_degree
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint
+from repro.sim.clock import HOUR
+from repro.workloads.population import zeus_config
+from repro.workloads.scenarios import build_zeus_scenario
+from repro.workloads.sensor_profiles import ZEUS_SENSOR_PROFILES
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    scenario = build_zeus_scenario(
+        zeus_config("tiny", master_seed=8),
+        sensor_count=10,
+        sensor_profiles=ZEUS_SENSOR_PROFILES,
+        announce_hours=3.0,
+    )
+    scenario.run_for(9 * HOUR)
+    return scenario
+
+
+class TestRanking:
+    def test_sensors_rank_high_in_degree(self, scenario):
+        candidates = rank_by_in_degree(list(scenario.net.bots.values()), top=15)
+        sensor_endpoints = {sensor.endpoint for sensor in scenario.sensors}
+        hits = [c for c in candidates if c.endpoint in sensor_endpoints]
+        assert len(hits) >= 5, "announced sensors should rank among top in-degrees"
+
+    def test_legitimate_bots_also_rank_high(self, scenario):
+        """High in-degree alone is NOT a sensor signal (Section 4.2):
+        well-reachable legitimate bots rank high too."""
+        candidates = rank_by_in_degree(list(scenario.net.bots.values()), top=30)
+        sensor_endpoints = {sensor.endpoint for sensor in scenario.sensors}
+        legit = [c for c in candidates if c.endpoint not in sensor_endpoints]
+        assert legit, "expected legitimate high-in-degree bots among candidates"
+
+    def test_ranking_ordered(self, scenario):
+        candidates = rank_by_in_degree(list(scenario.net.bots.values()), top=10)
+        degrees = [c.in_degree for c in candidates]
+        assert degrees == sorted(degrees, reverse=True)
+
+
+class TestProbing:
+    def probe(self, scenario, candidates):
+        prober = SensorProber(
+            endpoint=Endpoint(parse_ip("98.0.0.1"), 9000),
+            transport=scenario.net.transport,
+            scheduler=scenario.net.scheduler,
+            rng=scenario.net.rngs.stream("prober"),
+            current_version=scenario.net.zconfig.zeus.version,
+        )
+        return prober.probe(candidates)
+
+    def test_defective_sensors_flagged(self, scenario):
+        sensor_candidates = [
+            Candidate(bot_id=s.bot_id, endpoint=s.endpoint, in_degree=50)
+            for s in scenario.sensors
+        ]
+        verdicts = self.probe(scenario, sensor_candidates)
+        suspects = [v for v in verdicts if v.is_sensor_suspect]
+        # Every in-the-wild sensor profile has probe-visible anomalies.
+        assert len(suspects) == len(scenario.sensors)
+        anomalies = set().union(*(set(v.anomalies) for v in suspects))
+        assert "no_proxy_reply" in anomalies
+        assert "no_update_reply" in anomalies
+        assert "empty_peer_list" in anomalies or "duplicate_peers" in anomalies
+
+    def test_legitimate_bot_not_flagged(self, scenario):
+        bot = scenario.net.routable_bots[0]
+        candidates = [Candidate(bot_id=bot.bot_id, endpoint=bot.endpoint, in_degree=40)]
+        verdicts = self.probe(scenario, candidates)
+        assert verdicts[0].responded
+        assert not verdicts[0].is_sensor_suspect
+
+    def test_dead_candidate_not_flagged(self, scenario):
+        ghost = Candidate(
+            bot_id=b"\x99" * 20, endpoint=Endpoint(parse_ip("97.0.0.1"), 1234), in_degree=60
+        )
+        verdicts = self.probe(scenario, [ghost])
+        assert not verdicts[0].responded
+        assert not verdicts[0].is_sensor_suspect

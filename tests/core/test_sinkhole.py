@@ -1,0 +1,142 @@
+"""Tests for the sinkholing campaign (the takedown recon serves)."""
+
+import random
+
+import pytest
+
+from repro.core.sinkhole import SinkholeCampaign, spread_endpoints
+from repro.net.address import parse_ip, subnet_key
+from repro.net.transport import Endpoint
+from repro.sim.clock import HOUR, MINUTE
+from repro.workloads.population import zeus_config
+from repro.workloads.scenarios import build_zeus_scenario
+
+SINKHOLE_BASE = parse_ip("44.0.0.1")
+
+
+def make_campaign(scenario, count=8, per_slash20=True, interval=10 * MINUTE):
+    net = scenario.net
+    return SinkholeCampaign(
+        transport=net.transport,
+        scheduler=net.scheduler,
+        rng=random.Random(99),
+        sinkhole_endpoints=spread_endpoints(SINKHOLE_BASE, count, per_slash20=per_slash20),
+        poison_interval=interval,
+    )
+
+
+def full_target_list(net):
+    return [(bot.bot_id, bot.endpoint) for bot in net.routable_bots]
+
+
+class TestSpreadEndpoints:
+    def test_diverse_endpoints_one_per_slash20(self):
+        endpoints = spread_endpoints(SINKHOLE_BASE, 8, per_slash20=True)
+        keys = {subnet_key(e.ip, 20) for e in endpoints}
+        assert len(keys) == 8
+
+    def test_packed_endpoints_share_slash20(self):
+        endpoints = spread_endpoints(SINKHOLE_BASE, 8, per_slash20=False)
+        keys = {subnet_key(e.ip, 20) for e in endpoints}
+        assert len(keys) == 1
+
+
+class TestCampaign:
+    def test_poisoning_spreads_into_peer_lists(self):
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=81), sensor_count=2, announce_hours=1.0
+        )
+        campaign = make_campaign(scenario)
+        before = campaign.capture_snapshot(scenario.net.routable_bots)
+        assert before.reach == 0.0
+        campaign.start(full_target_list(scenario.net))
+        scenario.run_for(6 * HOUR)
+        after = campaign.capture_snapshot(scenario.net.routable_bots)
+        assert after.reach > 0.5
+        assert after.mean_sinkhole_share > 0.0
+        assert campaign.pushes_sent > 0
+
+    def test_sinkholes_answer_with_poison_only(self):
+        """Bots that ask a sinkhole for peers receive only sinkholes."""
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=82), sensor_count=2, announce_hours=1.0
+        )
+        campaign = make_campaign(scenario)
+        campaign.start(full_target_list(scenario.net))
+        scenario.run_for(8 * HOUR)
+        assert sum(node.poison_responses for node in campaign.nodes) > 0
+        # Any sinkhole-sourced entry a bot holds must BE a sinkhole.
+        sinkhole_ids = campaign.sinkhole_ids
+        for bot in scenario.net.routable_bots:
+            learned_from_poison = [
+                entry for entry in bot.peer_list if entry.bot_id in sinkhole_ids
+            ]
+            for entry in learned_from_poison:
+                assert entry.bot_id in sinkhole_ids
+
+    def test_slash20_filter_caps_single_subnet_campaigns(self):
+        """The Zeus /20 peer-list filter is takedown resistance: a
+        campaign whose sinkholes share one /20 occupies at most one
+        slot per bot, so its peer-list share is capped far below a
+        subnet-diverse campaign's."""
+        scenario_a = build_zeus_scenario(
+            zeus_config("tiny", master_seed=83), sensor_count=2, announce_hours=1.0
+        )
+        diverse = make_campaign(scenario_a, count=8, per_slash20=True)
+        diverse.start(full_target_list(scenario_a.net))
+        scenario_a.run_for(8 * HOUR)
+        share_diverse = diverse.capture_snapshot(scenario_a.net.routable_bots).mean_sinkhole_share
+
+        scenario_b = build_zeus_scenario(
+            zeus_config("tiny", master_seed=83), sensor_count=2, announce_hours=1.0
+        )
+        packed = make_campaign(scenario_b, count=8, per_slash20=False)
+        packed.start(full_target_list(scenario_b.net))
+        scenario_b.run_for(8 * HOUR)
+        share_packed = packed.capture_snapshot(scenario_b.net.routable_bots).mean_sinkhole_share
+
+        assert share_diverse > 2 * share_packed
+        # Packed: never more than one sinkhole entry per bot.
+        sinkhole_ids = packed.sinkhole_ids
+        for bot in scenario_b.net.routable_bots:
+            poisoned = sum(1 for e in bot.peer_list if e.bot_id in sinkhole_ids)
+            assert poisoned <= 1
+
+    def test_partial_recon_caps_reach(self):
+        """Takedown reach is bounded by recon completeness: poisoning
+        only a 25% target list reaches far fewer bots directly."""
+        scenario_a = build_zeus_scenario(
+            zeus_config("tiny", master_seed=84), sensor_count=2, announce_hours=1.0
+        )
+        full = make_campaign(scenario_a)
+        full.start(full_target_list(scenario_a.net))
+        scenario_a.run_for(4 * HOUR)
+        reach_full = full.capture_snapshot(scenario_a.net.routable_bots).reach
+
+        scenario_b = build_zeus_scenario(
+            zeus_config("tiny", master_seed=84), sensor_count=2, announce_hours=1.0
+        )
+        partial_targets = full_target_list(scenario_b.net)
+        partial = make_campaign(scenario_b)
+        partial.start(partial_targets[: len(partial_targets) // 4])
+        scenario_b.run_for(4 * HOUR)
+        reach_partial = partial.capture_snapshot(scenario_b.net.routable_bots).reach
+
+        assert reach_full > reach_partial
+
+    def test_lifecycle_guards(self):
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=85), sensor_count=2, announce_hours=1.0
+        )
+        campaign = make_campaign(scenario)
+        campaign.start(full_target_list(scenario.net))
+        with pytest.raises(RuntimeError):
+            campaign.start([])
+        campaign.stop()
+        with pytest.raises(ValueError):
+            SinkholeCampaign(
+                transport=scenario.net.transport,
+                scheduler=scenario.net.scheduler,
+                rng=random.Random(0),
+                sinkhole_endpoints=[],
+            )

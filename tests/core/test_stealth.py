@@ -1,0 +1,86 @@
+"""Unit tests for stealth policies."""
+
+import pytest
+
+from repro.core.stealth import (
+    StealthPolicy,
+    aggressive_policy,
+    contact_hash,
+    suspend_cycle_policy,
+)
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint
+
+SOURCES = [Endpoint(parse_ip(f"30.{i}.0.1"), 5000) for i in range(4)]
+
+
+class TestContactHash:
+    def test_stable(self):
+        assert contact_hash(b"abc") == contact_hash(b"abc")
+
+    def test_distinct_inputs_differ(self):
+        assert contact_hash(b"abc") != contact_hash(b"abd")
+
+
+class TestContactRatio:
+    def test_ratio_one_contacts_everyone(self):
+        policy = StealthPolicy(contact_ratio=1)
+        assert all(policy.should_contact(bytes([i]) * 20) for i in range(50))
+
+    def test_ratio_filters_deterministic_subset(self):
+        policy = StealthPolicy(contact_ratio=4)
+        ids = [i.to_bytes(20, "big") for i in range(4000)]
+        selected = [bot_id for bot_id in ids if policy.should_contact(bot_id)]
+        # Deterministic...
+        assert selected == [bot_id for bot_id in ids if policy.should_contact(bot_id)]
+        # ... and close to 1/4 of the population.
+        assert 800 <= len(selected) <= 1200
+
+    def test_higher_ratio_selects_subset_sizes(self):
+        ids = [i.to_bytes(20, "big") for i in range(8000)]
+        sizes = {}
+        for ratio in (2, 8, 32):
+            policy = StealthPolicy(contact_ratio=ratio)
+            sizes[ratio] = sum(policy.should_contact(i) for i in ids)
+        assert sizes[2] > sizes[8] > sizes[32] > 0
+
+
+class TestSources:
+    def test_no_sources_returns_none(self):
+        assert StealthPolicy().source_for(0, 0.0) is None
+
+    def test_round_robin(self):
+        policy = StealthPolicy(source_endpoints=SOURCES)
+        picks = [policy.source_for(i, 0.0) for i in range(8)]
+        assert picks == SOURCES + SOURCES
+
+    def test_rotation_by_time(self):
+        policy = StealthPolicy(source_endpoints=SOURCES, rotation_interval=100.0)
+        assert policy.source_for(0, 0.0) == SOURCES[0]
+        assert policy.source_for(99, 99.0) == SOURCES[0]
+        assert policy.source_for(1, 150.0) == SOURCES[1]
+        assert policy.source_for(1, 450.0) == SOURCES[0]  # wraps
+
+
+class TestValidationAndFactories:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StealthPolicy(contact_ratio=0)
+        with pytest.raises(ValueError):
+            StealthPolicy(per_target_interval=-1)
+        with pytest.raises(ValueError):
+            StealthPolicy(requests_per_target=0)
+        with pytest.raises(ValueError):
+            StealthPolicy(rotation_interval=0)
+
+    def test_aggressive_policy_blacklist_aware(self):
+        policy = aggressive_policy()
+        assert policy.per_target_interval >= 10.0
+
+    def test_suspend_cycle_policy(self):
+        full = suspend_cycle_policy(1800.0, fraction=1.0)
+        half = suspend_cycle_policy(1800.0, fraction=0.5)
+        assert full.per_target_interval == 1800.0
+        assert half.per_target_interval == 900.0
+        with pytest.raises(ValueError):
+            suspend_cycle_policy(1800.0, fraction=0.0)

@@ -1,0 +1,180 @@
+"""Failure-injection tests: the recon stack under hostile conditions.
+
+Lossy links, churning populations, mid-crawl blacklisting, garbage
+traffic, disinformation floods -- each must degrade results gracefully
+rather than crash or corrupt state.
+"""
+
+import random
+
+import pytest
+
+from repro.botnets.antirecon import DisinformationPolicy
+from repro.botnets.zeus.network import ZeusNetwork, ZeusNetworkConfig
+from repro.core.anomaly import ZeusAnomalyAnalyzer
+from repro.core.crawler import ZeusCrawler
+from repro.core.defects import ZeusDefectProfile
+from repro.core.stealth import StealthPolicy
+from repro.net.address import is_reserved, parse_ip
+from repro.net.churn import ChurnConfig
+from repro.net.transport import Endpoint, TransportConfig
+from repro.sim.clock import HOUR
+from repro.workloads.population import zeus_config
+from repro.workloads.scenarios import build_zeus_scenario
+
+
+def make_crawler(net, profile=None, policy=None, ip="99.0.0.1"):
+    return ZeusCrawler(
+        name="crawler",
+        endpoint=Endpoint(parse_ip(ip), 7000),
+        transport=net.transport,
+        scheduler=net.scheduler,
+        rng=random.Random(1),
+        policy=policy or StealthPolicy(per_target_interval=15.0, requests_per_target=4),
+        profile=profile or ZeusDefectProfile(name="test"),
+    )
+
+
+class TestLossyNetwork:
+    def test_crawl_survives_heavy_loss(self):
+        """20% packet loss slows a crawl but never wedges it."""
+        config = zeus_config("tiny", master_seed=71)
+        config.transport.loss_rate = 0.20
+        scenario = build_zeus_scenario(config, sensor_count=4, announce_hours=1.0)
+        crawler = make_crawler(scenario.net)
+        crawler.start(scenario.net.bootstrap_sample(5, seed=1))
+        scenario.run_for(6 * HOUR)
+        routable = {bot.endpoint.ip for bot in scenario.net.routable_bots}
+        found = set(crawler.report.first_seen_ip) & routable
+        assert len(found) >= 0.5 * len(routable)
+
+    def test_botnet_survives_heavy_loss(self):
+        config = zeus_config("tiny", master_seed=72)
+        config.transport.loss_rate = 0.30
+        scenario = build_zeus_scenario(config, sensor_count=2, announce_hours=1.0)
+        scenario.run_for(8 * HOUR)
+        assert all(len(bot.peer_list) > 0 for bot in scenario.net.bots.values())
+
+
+class TestChurningPopulation:
+    def test_crawl_during_churn(self):
+        """Bots leaving mid-conversation must not wedge the crawler."""
+        config = zeus_config(
+            "tiny", master_seed=73, churn=ChurnConfig(mean_session=2 * HOUR, mean_offline=HOUR)
+        )
+        scenario = build_zeus_scenario(config, sensor_count=4, announce_hours=1.0)
+        crawler = make_crawler(scenario.net)
+        crawler.start(scenario.net.bootstrap_sample(8, seed=1))
+        scenario.run_for(10 * HOUR)
+        assert crawler.report.requests_sent > 0
+        assert crawler.report.distinct_ips > 10
+        # Offline bots never respond, so they are not "verified".
+        assert len(crawler.report.verified_bots) <= crawler.report.distinct_bots
+
+
+class TestBlacklistedMidCrawl:
+    def test_hard_hitter_gets_starved(self):
+        """Once auto-blacklisted everywhere, a hard hitter's responses
+        dry up while a polite crawler's continue."""
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=74), sensor_count=4, announce_hours=1.0
+        )
+        net = scenario.net
+        # Far beyond the blacklisting budget: 1-second bursts.
+        hard = make_crawler(
+            net,
+            policy=StealthPolicy(per_target_interval=1.0, requests_per_target=60),
+            ip="99.0.0.1",
+        )
+        polite = make_crawler(
+            net,
+            policy=StealthPolicy(per_target_interval=15.0, requests_per_target=4),
+            ip="99.16.0.1",
+        )
+        hard.start(net.bootstrap_sample(5, seed=1))
+        polite.start(net.bootstrap_sample(5, seed=1))
+        scenario.run_for(4 * HOUR)
+        blocked_on = sum(
+            1 for bot in net.routable_bots
+            if bot.auto_blacklister.is_blocked(hard.endpoint.ip)
+        )
+        assert blocked_on >= 0.5 * len(net.routable_bots)
+        hard_rate = hard.report.responses_received / max(1, hard.report.requests_sent)
+        polite_rate = polite.report.responses_received / max(1, polite.report.requests_sent)
+        assert hard_rate < polite_rate
+
+
+class TestGarbageTraffic:
+    def test_bots_and_sensors_shrug_off_garbage(self):
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=75), sensor_count=3, announce_hours=1.0
+        )
+        net = scenario.net
+        noise_source = Endpoint(parse_ip("97.0.0.1"), 1234)
+        net.transport.bind(noise_source, lambda m: None)
+        rng = random.Random(0)
+        targets = [bot.endpoint for bot in net.routable_bots[:10]]
+        targets += [sensor.endpoint for sensor in scenario.sensors]
+        for k in range(200):
+            blob = bytes(rng.getrandbits(8) for _ in range(rng.randrange(1, 120)))
+            net.transport.send(noise_source, rng.choice(targets), blob)
+        scenario.run_for(2 * HOUR)
+        # Garbage is counted and dropped, never crashes dispatch.
+        assert sum(bot.undecryptable for bot in net.bots.values()) > 0
+        assert all(len(bot.peer_list) > 0 for bot in net.bots.values())
+        # Pure-noise sources are not "invalid encryption" crawlers:
+        # that defect needs interspersed valid traffic.
+        findings = ZeusAnomalyAnalyzer().analyze(scenario.sensors)
+        noise_findings = [f for f in findings if f.ip == noise_source.ip]
+        for finding in noise_findings:
+            assert "encryption" not in finding.defects
+
+
+class TestDisinformation:
+    def test_polluted_network_inflates_crawl_with_junk(self):
+        """Disinformation feeds crawlers unverifiable junk addresses;
+        recon code must be able to quantify the pollution."""
+        rng = random.Random(0)
+        config = ZeusNetworkConfig(
+            population=120,
+            routable_fraction=0.5,
+            bootstrap_peers=8,
+            master_seed=76,
+            disinformation=DisinformationPolicy(rng, junk_ratio=0.3),
+        )
+        net = ZeusNetwork(config)
+        net.build()
+        net.start_all()
+        crawler = make_crawler(net)
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(6 * HOUR)
+        junk_space = config.disinformation.junk_space
+        junk_found = [ip for ip in crawler.report.first_seen_ip if ip in junk_space]
+        assert junk_found, "disinformation never reached the crawler"
+        # Junk addresses are never verified (nothing answers there).
+        verified_ips = {
+            crawler.report.bot_endpoints[b].ip for b in crawler.report.verified_bots
+        }
+        assert not (set(junk_found) & verified_ips)
+
+
+class TestSensorEviction:
+    def test_dead_sensor_evicted_from_peer_lists(self):
+        """A sensor that stops responding is evicted -- the pressure
+        that forces sensors to implement the full protocol (§2.2)."""
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=77), sensor_count=3, announce_hours=2.0
+        )
+        net = scenario.net
+        victim = scenario.sensors[0]
+        scenario.run_for(4 * HOUR)
+        holders_before = sum(
+            1 for bot in net.bots.values() if victim.bot_id in bot.peer_list
+        )
+        assert holders_before > 0
+        victim.stop()
+        scenario.run_for(12 * HOUR)
+        holders_after = sum(
+            1 for bot in net.bots.values() if victim.bot_id in bot.peer_list
+        )
+        assert holders_after < holders_before

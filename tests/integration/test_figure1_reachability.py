@@ -1,0 +1,138 @@
+"""Figure 1 of the paper, as an executable scenario.
+
+The figure shows bots a..e where c, d, e are non-routable; e has no
+incoming edge from any routable bot.  Consequences:
+
+* a crawler can contact and verify only a and b;
+* it can *learn about* c and d (they appear in a/b's peer lists) but
+  never verify them;
+* e is undiscoverable by any crawler, regardless of protocol;
+* a sensor, once announced, hears from every bot that knows it --
+  including the non-routable c, d, and e.
+"""
+
+import random
+
+import pytest
+
+from repro.botnets.zeus import protocol
+from repro.botnets.zeus.bot import ZeusBot, ZeusConfig
+from repro.core.crawler import ZeusCrawler
+from repro.core.sensor import ZeusSensor
+from repro.core.stealth import StealthPolicy
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint, Transport, TransportConfig
+from repro.sim.clock import HOUR
+from repro.sim.scheduler import Scheduler
+
+
+@pytest.fixture()
+def figure1():
+    scheduler = Scheduler()
+    transport = Transport(
+        scheduler, random.Random(0), config=TransportConfig(loss_rate=0.0)
+    )
+    bots = {}
+    layout = {  # name -> (ip, routable)
+        "a": ("25.0.0.1", True),
+        "b": ("25.16.0.1", True),
+        "c": ("60.0.0.1", False),
+        "d": ("60.16.0.1", False),
+        "e": ("60.32.0.1", False),
+    }
+    for index, (name, (ip, routable)) in enumerate(layout.items()):
+        rng = random.Random(100 + index)
+        bots[name] = ZeusBot(
+            node_id=name,
+            bot_id=protocol.random_id(rng),
+            endpoint=Endpoint(parse_ip(ip), 3000 + index),
+            transport=transport,
+            scheduler=scheduler,
+            rng=rng,
+            routable=routable,
+        )
+    # Figure 1 edges ("an arrow from a to b indicates that a knows b"):
+    #   a -> b, a -> c;  b -> a, b -> d;  c -> a, c -> d;
+    #   d -> b, d -> e;  e -> c
+    # NOTE: e is known only by d (non-routable), so no routable bot
+    # ever advertises e.
+    edges = {
+        "a": ["b", "c"],
+        "b": ["a", "d"],
+        "c": ["a", "d"],
+        "d": ["b", "e"],
+        "e": ["c"],
+    }
+    for src, dsts in edges.items():
+        bots[src].seed_peers([(bots[d].bot_id, bots[d].endpoint) for d in dsts])
+    for bot in bots.values():
+        bot.start()
+    return scheduler, transport, bots
+
+
+class TestFigure1Crawler:
+    def crawl(self, scheduler, transport, bots, hours=8):
+        crawler = ZeusCrawler(
+            name="crawler",
+            endpoint=Endpoint(parse_ip("99.0.0.1"), 7000),
+            transport=transport,
+            scheduler=scheduler,
+            rng=random.Random(1),
+            policy=StealthPolicy(per_target_interval=60.0, requests_per_target=6),
+        )
+        crawler.start([(bots["a"].bot_id, bots["a"].endpoint)])
+        scheduler.run_until(scheduler.now + hours * HOUR)
+        return crawler
+
+    def test_crawler_verifies_only_routable_bots(self, figure1):
+        scheduler, transport, bots = figure1
+        crawler = self.crawl(scheduler, transport, bots)
+        verified_names = {
+            name for name, bot in bots.items() if bot.bot_id in crawler.report.verified_bots
+        }
+        assert verified_names == {"a", "b"}
+
+    def test_crawler_learns_c_and_d_but_cannot_verify(self, figure1):
+        scheduler, transport, bots = figure1
+        crawler = self.crawl(scheduler, transport, bots)
+        learned = {
+            name for name, bot in bots.items() if bot.bot_id in crawler.report.first_seen_bot
+        }
+        assert {"c", "d"} <= learned
+
+    def test_e_is_undetectable_to_crawlers(self, figure1):
+        """e has no in-edge from a routable bot: no crawler can ever
+        learn it exists."""
+        scheduler, transport, bots = figure1
+        crawler = self.crawl(scheduler, transport, bots, hours=16)
+        assert bots["e"].bot_id not in crawler.report.first_seen_bot
+
+
+class TestFigure1Sensor:
+    def test_sensor_hears_from_non_routable_bots(self, figure1):
+        scheduler, transport, bots = figure1
+        rng = random.Random(9)
+        sensor = ZeusSensor(
+            node_id="sensor",
+            bot_id=protocol.random_id(rng),
+            endpoint=Endpoint(parse_ip("45.0.0.1"), 6000),
+            transport=transport,
+            scheduler=scheduler,
+            rng=rng,
+            announce_duration=4 * HOUR,
+        )
+        # The sensor announces itself to the two routable bots, whose
+        # peer lists then propagate it to everyone -- including e.
+        sensor.seed_peers(
+            [(bots[name].bot_id, bots[name].endpoint) for name in ("a", "b")]
+        )
+        sensor.start()
+        scheduler.run_until(scheduler.now + 48 * HOUR)
+        heard = {
+            name
+            for name, bot in bots.items()
+            if bot.endpoint.ip in sensor.observed_ips()
+        }
+        # Verifiable contact with non-routable bots -- the sensor
+        # advantage of Section 2.2.
+        assert {"c", "d", "e"} & heard, heard

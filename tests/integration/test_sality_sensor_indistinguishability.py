@@ -1,0 +1,93 @@
+"""Section 4.2's Sality finding, as an executable claim.
+
+"In our analysis, we were unable to identify any sensors in Sality,
+precisely because no nodes with unusually high in-degree were present,
+and all high in-degree nodes responded correctly to probes for all
+packet types."  A full-protocol Sality sensor answers hellos, peer
+exchanges, and URL packs exactly like a bot -- so the probe battery
+that exposes defective Zeus sensors has nothing to bite on.
+"""
+
+import random
+
+import pytest
+
+from repro.botnets.sality import protocol
+from repro.botnets.sality.protocol import Command, SalityDecodeError
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint
+from repro.sim.clock import HOUR
+from repro.workloads.population import sality_config
+from repro.workloads.scenarios import build_sality_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    scenario = build_sality_scenario(
+        sality_config("tiny", master_seed=66), sensor_count=6, announce_hours=3.0
+    )
+    scenario.run_for(12 * HOUR)
+    return scenario
+
+
+def probe_battery(scenario, target_endpoint):
+    """Probe one node with every Sality packet type; return the set of
+    commands it answered correctly."""
+    net = scenario.net
+    prober = Endpoint(parse_ip("98.0.0.1"), 9000)
+    replies = []
+    net.transport.bind(prober, replies.append)
+    rng = random.Random(5)
+    bot_id = rng.getrandbits(32)
+    batteries = [
+        (Command.HELLO, protocol.encode_hello(9000)),
+        (Command.PEER_REQUEST, b""),
+        (Command.URLPACK_REQUEST, (1).to_bytes(4, "big")),
+    ]
+    for attempt in range(3):  # retries defeat transport loss
+        for command, payload in batteries:
+            message = protocol.make_message(command, bot_id, rng, payload=payload)
+            net.transport.send(prober, target_endpoint, protocol.encode_packet(message))
+        scenario.run_for(30.0)
+    net.transport.unbind(prober)
+    answered = set()
+    for reply in replies:
+        try:
+            decoded = protocol.decode_packet(reply.payload)
+        except SalityDecodeError:
+            continue
+        answered.add(decoded.command)
+    return answered
+
+EXPECTED = {int(Command.HELLO), int(Command.PEER_RESPONSE), int(Command.URLPACK_RESPONSE)}
+
+
+class TestIndistinguishability:
+    def test_sensor_answers_all_packet_types(self, scenario):
+        sensor = scenario.sensors[0]
+        assert probe_battery(scenario, sensor.endpoint) == EXPECTED
+
+    def test_bot_answers_all_packet_types(self, scenario):
+        bot = scenario.net.routable_bots[0]
+        assert probe_battery(scenario, bot.endpoint) == EXPECTED
+
+    def test_probe_responses_identical_in_kind(self, scenario):
+        """The probe battery cannot separate sensors from bots."""
+        sensor_answers = probe_battery(scenario, scenario.sensors[1].endpoint)
+        bot_answers = probe_battery(scenario, scenario.net.routable_bots[1].endpoint)
+        assert sensor_answers == bot_answers
+
+    def test_sensor_in_degree_within_population_range(self, scenario):
+        """Sensors do not stick out by in-degree alone: well-reachable
+        legitimate bots reach comparable in-degrees."""
+        holders = {}
+        for bot in scenario.net.bots.values():
+            for entry in bot.peer_list:
+                holders[entry.bot_id] = holders.get(entry.bot_id, 0) + 1
+        sensor_degrees = [
+            holders.get(sensor.bot_id, 0) for sensor in scenario.sensors
+        ]
+        bot_degrees = [
+            holders.get(bot.bot_id, 0) for bot in scenario.net.routable_bots
+        ]
+        assert max(sensor_degrees) <= max(bot_degrees)

@@ -1,0 +1,160 @@
+"""Unit tests for IPv4 addressing primitives."""
+
+import random
+
+import pytest
+
+from repro.net.address import (
+    AddressPool,
+    Subnet,
+    format_ip,
+    ip_in_any,
+    is_reserved,
+    parse_ip,
+    prefix_mask,
+    subnet_key,
+)
+
+
+class TestParseFormat:
+    def test_roundtrip(self):
+        for text in ("0.0.0.0", "10.0.0.1", "255.255.255.255", "192.0.2.55"):
+            assert format_ip(parse_ip(text)) == text
+
+    def test_parse_rejects_bad_quad(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                parse_ip(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            format_ip(2**32)
+        with pytest.raises(ValueError):
+            format_ip(-1)
+
+
+class TestMasks:
+    def test_prefix_mask_extremes(self):
+        assert prefix_mask(0) == 0
+        assert prefix_mask(32) == 0xFFFFFFFF
+
+    def test_prefix_mask_20(self):
+        assert prefix_mask(20) == parse_ip("255.255.240.0")
+
+    def test_subnet_key_slash20(self):
+        a = parse_ip("198.51.100.7")
+        b = parse_ip("198.51.111.250")  # same /20 as a (198.51.96.0/20)
+        c = parse_ip("198.51.112.1")  # next /20
+        assert subnet_key(a, 20) == subnet_key(b, 20)
+        assert subnet_key(a, 20) != subnet_key(c, 20)
+
+    def test_slash32_is_identity(self):
+        ip = parse_ip("1.2.3.4")
+        assert subnet_key(ip, 32) == ip
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            prefix_mask(33)
+
+
+class TestSubnet:
+    def test_parse_and_str(self):
+        net = Subnet.parse("198.51.100.0/24")
+        assert str(net) == "198.51.100.0/24"
+        assert net.size == 256
+
+    def test_parse_masks_host_bits(self):
+        assert Subnet.parse("198.51.100.77/24").network == parse_ip("198.51.100.0")
+
+    def test_host_bits_rejected_in_constructor(self):
+        with pytest.raises(ValueError):
+            Subnet(parse_ip("198.51.100.1"), 24)
+
+    def test_missing_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            Subnet.parse("198.51.100.0")
+
+    def test_contains(self):
+        net = Subnet.parse("198.51.100.0/24")
+        assert parse_ip("198.51.100.255") in net
+        assert parse_ip("198.51.101.0") not in net
+
+    def test_iteration_covers_block(self):
+        net = Subnet.parse("198.51.100.0/30")
+        assert list(net) == [net.network + i for i in range(4)]
+
+    def test_random_ip_inside(self):
+        net = Subnet.parse("198.51.100.0/24")
+        rng = random.Random(0)
+        assert all(net.random_ip(rng) in net for _ in range(100))
+
+    def test_subdivide(self):
+        parts = Subnet.parse("198.51.96.0/20").subdivide(24)
+        assert len(parts) == 16
+        assert parts[0] == Subnet.parse("198.51.96.0/24")
+        assert parts[-1] == Subnet.parse("198.51.111.0/24")
+
+    def test_subdivide_shorter_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            Subnet.parse("198.51.100.0/24").subdivide(20)
+
+
+class TestReserved:
+    def test_private_and_loopback_reserved(self):
+        for text in ("10.1.2.3", "127.0.0.1", "192.168.1.1", "224.0.0.5", "0.1.2.3"):
+            assert is_reserved(parse_ip(text)), text
+
+    def test_public_not_reserved(self):
+        for text in ("8.8.8.8", "198.51.96.1", "93.184.216.34"):
+            assert not is_reserved(parse_ip(text)), text
+
+    def test_ip_in_any(self):
+        blocks = [Subnet.parse("198.51.100.0/24"), Subnet.parse("203.0.113.0/24")]
+        assert ip_in_any(parse_ip("203.0.113.9"), blocks)
+        assert not ip_in_any(parse_ip("8.8.8.8"), blocks)
+
+
+class TestAddressPool:
+    def make_pool(self, cidrs=("198.51.100.0/28",)):
+        return AddressPool([Subnet.parse(c) for c in cidrs], random.Random(1))
+
+    def test_allocations_unique(self):
+        pool = self.make_pool()
+        seen = {pool.allocate() for _ in range(16)}
+        assert len(seen) == 16
+
+    def test_exhaustion_raises(self):
+        pool = self.make_pool()
+        for _ in range(16):
+            pool.allocate()
+        with pytest.raises(RuntimeError):
+            pool.allocate()
+
+    def test_release_recycles(self):
+        pool = self.make_pool()
+        ips = [pool.allocate() for _ in range(16)]
+        pool.release(ips[0])
+        assert pool.allocate() == ips[0]
+
+    def test_allocate_within_block(self):
+        pool = self.make_pool(cidrs=("198.51.100.0/24",))
+        within = Subnet.parse("198.51.100.0/28")
+        ip = pool.allocate(within=within)
+        assert ip in within
+
+    def test_allocate_within_foreign_block_rejected(self):
+        pool = self.make_pool()
+        with pytest.raises(ValueError):
+            pool.allocate(within=Subnet.parse("203.0.113.0/24"))
+
+    def test_reserved_addresses_never_allocated(self):
+        pool = AddressPool([Subnet.parse("192.168.0.0/30")], random.Random(1))
+        with pytest.raises(RuntimeError):
+            pool.allocate()  # whole block is reserved space
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            AddressPool([], random.Random(1))
+
+    def test_capacity(self):
+        assert self.make_pool().capacity == 16

@@ -1,0 +1,103 @@
+"""Unit tests for churn models."""
+
+import random
+
+import pytest
+
+from repro.net.churn import ChurnConfig, ChurnProcess, DiurnalModel, IpChurnProcess
+from repro.sim.clock import DAY, HOUR
+from repro.sim.scheduler import Scheduler
+
+
+class TestDiurnalModel:
+    def test_probability_in_bounds_all_day(self):
+        model = DiurnalModel()
+        for hour in range(25):
+            p = model.online_probability(hour * HOUR)
+            assert model.min_p <= p <= model.max_p
+
+    def test_peak_at_peak_hour(self):
+        model = DiurnalModel(peak_hour=20.0)
+        peak = model.online_probability(20 * HOUR)
+        trough = model.online_probability(8 * HOUR)
+        assert peak > trough
+
+    def test_period_is_one_day(self):
+        model = DiurnalModel()
+        assert model.online_probability(3 * HOUR) == pytest.approx(
+            model.online_probability(3 * HOUR + DAY)
+        )
+
+
+class TestChurnProcess:
+    def make(self, seed=0, **kwargs):
+        sched = Scheduler()
+        ups, downs = [], []
+        proc = ChurnProcess(
+            sched,
+            random.Random(seed),
+            ChurnConfig(**kwargs),
+            on_up=ups.append,
+            on_down=downs.append,
+        )
+        return sched, proc, ups, downs
+
+    def test_nodes_flip_state_over_time(self):
+        sched, proc, ups, downs = self.make(mean_session=HOUR, mean_offline=HOUR)
+        for i in range(20):
+            proc.add_node(f"bot-{i}")
+        sched.run_until(DAY)
+        assert proc.transitions > 0
+        assert len(downs) > 0
+
+    def test_duplicate_node_rejected(self):
+        _, proc, _, _ = self.make()
+        proc.add_node("bot-0")
+        with pytest.raises(ValueError):
+            proc.add_node("bot-0")
+
+    def test_online_count_tracks_states(self):
+        sched, proc, ups, downs = self.make(mean_session=HOUR, mean_offline=HOUR)
+        for i in range(50):
+            proc.add_node(f"bot-{i}", online=True)
+        assert proc.online_count() == 50
+        sched.run_until(2 * DAY)
+        assert proc.online_count() == 50 - len(downs) + len(ups)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(mean_session=0)
+
+    def test_diurnal_bias_reduces_trough_population(self):
+        """With a strong diurnal model, fewer bots are online at the trough."""
+        diurnal = DiurnalModel(base=0.5, amplitude=0.45, peak_hour=20.0)
+        sched = Scheduler()
+        proc = ChurnProcess(
+            sched,
+            random.Random(7),
+            ChurnConfig(mean_session=2 * HOUR, mean_offline=2 * HOUR, diurnal=diurnal),
+            on_up=lambda n: None,
+            on_down=lambda n: None,
+        )
+        for i in range(400):
+            proc.add_node(f"bot-{i}")
+        sched.run_until(8 * HOUR)  # trough (peak 20:00)
+        trough = proc.online_count()
+        sched.run_until(20 * HOUR)  # peak
+        peak = proc.online_count()
+        assert peak > trough
+
+
+class TestIpChurn:
+    def test_reassignments_fire(self):
+        sched = Scheduler()
+        seen = []
+        churn = IpChurnProcess(sched, random.Random(0), seen.append, mean_lease=6 * HOUR)
+        for i in range(10):
+            churn.add_node(f"bot-{i}")
+        sched.run_until(2 * DAY)
+        assert churn.reassignments == len(seen) > 0
+
+    def test_invalid_lease_rejected(self):
+        with pytest.raises(ValueError):
+            IpChurnProcess(Scheduler(), random.Random(0), lambda n: None, mean_lease=0)

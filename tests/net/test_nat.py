@@ -1,0 +1,93 @@
+"""Unit tests for routability and NAT punch-holes."""
+
+import pytest
+
+from repro.net.address import parse_ip
+from repro.net.nat import NatGateway, RoutabilityTable, build_nat_gateways
+
+BOT = (parse_ip("198.51.100.5"), 4000)
+NATTED = (parse_ip("203.0.113.9"), 40001)
+REMOTE_IP = parse_ip("192.0.2.77")
+
+
+class TestRoutabilityTable:
+    def test_unregistered_endpoint_unreachable(self):
+        table = RoutabilityTable()
+        assert not table.inbound_allowed(BOT, REMOTE_IP, now=0.0)
+
+    def test_routable_endpoint_reachable(self):
+        table = RoutabilityTable()
+        table.register(BOT, routable=True)
+        assert table.inbound_allowed(BOT, REMOTE_IP, now=0.0)
+
+    def test_non_routable_blocked_without_hole(self):
+        table = RoutabilityTable()
+        table.register(NATTED, routable=False)
+        assert not table.inbound_allowed(NATTED, REMOTE_IP, now=0.0)
+
+    def test_outbound_opens_hole_for_that_remote_only(self):
+        table = RoutabilityTable()
+        table.register(NATTED, routable=False)
+        table.note_outbound(NATTED, REMOTE_IP, now=0.0)
+        assert table.inbound_allowed(NATTED, REMOTE_IP, now=1.0)
+        assert not table.inbound_allowed(NATTED, parse_ip("8.8.8.8"), now=1.0)
+
+    def test_hole_expires(self):
+        table = RoutabilityTable(hole_ttl=10.0)
+        table.register(NATTED, routable=False)
+        table.note_outbound(NATTED, REMOTE_IP, now=0.0)
+        assert table.inbound_allowed(NATTED, REMOTE_IP, now=9.9)
+        assert not table.inbound_allowed(NATTED, REMOTE_IP, now=10.1)
+
+    def test_outbound_refreshes_hole(self):
+        table = RoutabilityTable(hole_ttl=10.0)
+        table.register(NATTED, routable=False)
+        table.note_outbound(NATTED, REMOTE_IP, now=0.0)
+        table.note_outbound(NATTED, REMOTE_IP, now=8.0)
+        assert table.inbound_allowed(NATTED, REMOTE_IP, now=15.0)
+
+    def test_routable_endpoint_opens_no_holes(self):
+        table = RoutabilityTable()
+        table.register(BOT, routable=True)
+        table.note_outbound(BOT, REMOTE_IP, now=0.0)
+        assert table.open_holes(BOT, now=1.0) == set()
+
+    def test_unregister_clears_holes(self):
+        table = RoutabilityTable()
+        table.register(NATTED, routable=False)
+        table.note_outbound(NATTED, REMOTE_IP, now=0.0)
+        table.unregister(NATTED)
+        table.register(NATTED, routable=False)
+        assert not table.inbound_allowed(NATTED, REMOTE_IP, now=1.0)
+
+    def test_open_holes_listing(self):
+        table = RoutabilityTable()
+        table.register(NATTED, routable=False)
+        table.note_outbound(NATTED, REMOTE_IP, now=0.0)
+        table.note_outbound(NATTED, parse_ip("8.8.4.4"), now=0.0)
+        assert table.open_holes(NATTED, now=1.0) == {REMOTE_IP, parse_ip("8.8.4.4")}
+
+
+class TestNatGateway:
+    def test_hosts_share_ip_with_distinct_ports(self):
+        gw = NatGateway(public_ip=parse_ip("203.0.113.9"))
+        a = gw.map_host()
+        b = gw.map_host()
+        assert a[0] == b[0] == parse_ip("203.0.113.9")
+        assert a[1] != b[1]
+        assert gw.occupancy == 2
+
+    def test_port_exhaustion(self):
+        gw = NatGateway(public_ip=parse_ip("203.0.113.9"), base_port=65535)
+        gw.map_host()
+        with pytest.raises(RuntimeError):
+            gw.map_host()
+
+    def test_build_nat_gateways(self):
+        ips = [parse_ip("203.0.113.1"), parse_ip("203.0.113.2")]
+        gws = build_nat_gateways(ips, [3, 1])
+        assert [g.occupancy for g in gws] == [3, 1]
+
+    def test_build_nat_gateways_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            build_nat_gateways([parse_ip("203.0.113.1")], [1, 2])

@@ -1,0 +1,155 @@
+"""Unit tests for the message transport."""
+
+import random
+
+import pytest
+
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint, Transport, TransportConfig
+from repro.sim.scheduler import Scheduler
+
+A = Endpoint(parse_ip("198.51.100.1"), 5000)
+B = Endpoint(parse_ip("198.51.100.2"), 5001)
+NATTED = Endpoint(parse_ip("203.0.113.9"), 40001)
+
+
+def make_transport(loss_rate=0.0, seed=0):
+    sched = Scheduler()
+    config = TransportConfig(latency_min=0.01, latency_max=0.05, loss_rate=loss_rate)
+    return sched, Transport(sched, random.Random(seed), config=config)
+
+
+class TestEndpoint:
+    def test_str(self):
+        assert str(A) == "198.51.100.1:5000"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Endpoint(-1, 80)
+        with pytest.raises(ValueError):
+            Endpoint(parse_ip("1.2.3.4"), 0)
+        with pytest.raises(ValueError):
+            Endpoint(parse_ip("1.2.3.4"), 70000)
+
+    def test_ordering_and_hashing(self):
+        assert A < B
+        assert len({A, A, B}) == 2
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        sched, transport = make_transport()
+        inbox = []
+        transport.bind(A, inbox.append)
+        transport.bind(B, lambda m: None)
+        assert transport.send(B, A, b"hello")
+        sched.run()
+        assert len(inbox) == 1
+        assert inbox[0].payload == b"hello"
+        assert inbox[0].src == B
+        assert inbox[0].delivered_at >= inbox[0].sent_at
+
+    def test_latency_within_bounds(self):
+        sched, transport = make_transport()
+        inbox = []
+        transport.bind(A, inbox.append)
+        transport.bind(B, lambda m: None)
+        transport.send(B, A, b"x")
+        sched.run()
+        delay = inbox[0].delivered_at - inbox[0].sent_at
+        assert 0.01 <= delay <= 0.05
+
+    def test_unbound_source_rejected(self):
+        """Non-spoofable identity: cannot send from an address not bound."""
+        sched, transport = make_transport()
+        transport.bind(A, lambda m: None)
+        assert not transport.send(B, A, b"spoof")
+        assert transport.stats.rejected_unbound_src == 1
+
+    def test_unbound_destination_dropped(self):
+        sched, transport = make_transport()
+        transport.bind(B, lambda m: None)
+        assert transport.send(B, A, b"x")  # accepted...
+        sched.run()
+        assert transport.stats.dropped_unbound_dst == 1
+
+    def test_double_bind_rejected(self):
+        _, transport = make_transport()
+        transport.bind(A, lambda m: None)
+        with pytest.raises(ValueError):
+            transport.bind(A, lambda m: None)
+
+    def test_loss(self):
+        sched, transport = make_transport(loss_rate=0.5, seed=3)
+        received = []
+        transport.bind(A, received.append)
+        transport.bind(B, lambda m: None)
+        for _ in range(200):
+            transport.send(B, A, b"x")
+        sched.run()
+        assert transport.stats.dropped_loss > 50
+        assert len(received) == transport.stats.delivered
+        assert transport.stats.delivered + transport.stats.dropped_loss == 200
+
+
+class TestNatSemantics:
+    def test_unsolicited_to_natted_dropped(self):
+        sched, transport = make_transport()
+        inbox = []
+        transport.bind(NATTED, inbox.append, routable=False)
+        transport.bind(A, lambda m: None)
+        transport.send(A, NATTED, b"probe")
+        sched.run()
+        assert inbox == []
+        assert transport.stats.dropped_unroutable == 1
+
+    def test_reply_through_punch_hole(self):
+        sched, transport = make_transport()
+        natted_inbox = []
+        transport.bind(NATTED, natted_inbox.append, routable=False)
+        transport.bind(A, lambda m: transport.send(A, m.src, b"reply"))
+        transport.send(NATTED, A, b"hello")  # opens the hole
+        sched.run()
+        assert len(natted_inbox) == 1
+        assert natted_inbox[0].payload == b"reply"
+
+
+class TestRebind:
+    def test_rebind_moves_traffic(self):
+        sched, transport = make_transport()
+        inbox = []
+        transport.bind(A, inbox.append)
+        transport.bind(B, lambda m: None)
+        new = Endpoint(parse_ip("198.51.100.77"), 5000)
+        transport.rebind(A, new)
+        transport.send(B, new, b"x")
+        sched.run()
+        assert len(inbox) == 1
+        assert not transport.is_bound(A)
+
+    def test_rebind_preserves_routability(self):
+        sched, transport = make_transport()
+        transport.bind(NATTED, lambda m: None, routable=False)
+        transport.bind(A, lambda m: None)
+        new = Endpoint(parse_ip("203.0.113.50"), 40001)
+        transport.rebind(NATTED, new)
+        transport.send(A, new, b"probe")
+        sched.run()
+        assert transport.stats.dropped_unroutable == 1
+
+    def test_rebind_unbound_rejected(self):
+        _, transport = make_transport()
+        with pytest.raises(ValueError):
+            transport.rebind(A, B)
+
+
+class TestTaps:
+    def test_tap_sees_delivered_and_dropped(self):
+        sched, transport = make_transport()
+        observed = []
+        transport.add_tap(lambda m, ok: observed.append((m.payload, ok)))
+        transport.bind(A, lambda m: None)
+        transport.bind(NATTED, lambda m: None, routable=False)
+        transport.send(A, NATTED, b"blocked")
+        sched.run()
+        assert observed == [(b"blocked", False)]

@@ -1,0 +1,53 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import DAY, HOUR, MINUTE, Clock, format_time
+
+
+class TestClock:
+    def test_starts_at_zero_by_default(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(start=5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(start=-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = Clock()
+        clock.advance(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_allowed(self):
+        clock = Clock(start=3.0)
+        clock.advance(3.0)
+        assert clock.now == 3.0
+
+    def test_advance_backwards_rejected(self):
+        clock = Clock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance(9.999)
+
+
+class TestTimeConstants:
+    def test_units_compose(self):
+        assert MINUTE == 60.0
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+
+
+class TestFormatTime:
+    def test_zero(self):
+        assert format_time(0) == "00:00:00"
+
+    def test_mixed(self):
+        assert format_time(3661) == "01:01:01"
+
+    def test_past_one_day_keeps_counting_hours(self):
+        assert format_time(DAY + HOUR) == "25:00:00"
+
+    def test_fractional_seconds_truncated(self):
+        assert format_time(59.9) == "00:00:59"

@@ -1,0 +1,60 @@
+"""Unit tests for the event log."""
+
+import pytest
+
+from repro.sim.events import Event, EventLog
+
+
+def make_log():
+    log = EventLog()
+    log.record(1.0, "a.request", source="s1", target="t1", size=3)
+    log.record(2.0, "a.request", source="s2", target="t1")
+    log.record(3.0, "b.reply", source="t1", target="s1")
+    return log
+
+
+class TestAppend:
+    def test_record_builds_event(self):
+        log = EventLog()
+        event = log.record(1.0, "x", source="a", target="b", foo=1)
+        assert event.kind == "x"
+        assert event.data == {"foo": 1}
+        assert len(log) == 1
+
+    def test_out_of_order_append_rejected(self):
+        log = EventLog()
+        log.record(2.0, "x")
+        with pytest.raises(ValueError):
+            log.append(Event(time=1.0, kind="y"))
+
+    def test_equal_time_append_allowed(self):
+        log = EventLog()
+        log.record(2.0, "x")
+        log.record(2.0, "y")
+        assert len(log) == 2
+
+
+class TestFilter:
+    def test_by_kind(self):
+        assert len(make_log().filter(kind="a.request")) == 2
+
+    def test_by_source_and_target(self):
+        hits = make_log().filter(source="s1", target="t1")
+        assert len(hits) == 1
+        assert hits[0].time == 1.0
+
+    def test_time_window_is_half_open(self):
+        log = make_log()
+        assert [e.time for e in log.filter(since=1.0, until=3.0)] == [1.0, 2.0]
+
+    def test_predicate(self):
+        hits = make_log().filter(predicate=lambda e: e.data.get("size") == 3)
+        assert len(hits) == 1
+
+    def test_kinds_histogram(self):
+        assert make_log().kinds() == {"a.request": 2, "b.reply": 1}
+
+    def test_indexing_and_iteration(self):
+        log = make_log()
+        assert log[0].time == 1.0
+        assert [e.kind for e in log] == ["a.request", "a.request", "b.reply"]

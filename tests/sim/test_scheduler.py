@@ -1,0 +1,128 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.clock import HOUR
+from repro.sim.scheduler import Scheduler
+
+
+class TestScheduling:
+    def test_call_at_runs_at_absolute_time(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_at(5.0, lambda: fired.append(sched.now))
+        sched.run()
+        assert fired == [5.0]
+
+    def test_call_later_runs_relative_to_now(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_at(2.0, lambda: sched.call_later(3.0, lambda: fired.append(sched.now)))
+        sched.run()
+        assert fired == [5.0]
+
+    def test_args_passed_through(self):
+        sched = Scheduler()
+        seen = []
+        sched.call_later(1.0, lambda a, b: seen.append((a, b)), "x", 2)
+        sched.run()
+        assert seen == [("x", 2)]
+
+    def test_past_scheduling_rejected(self):
+        sched = Scheduler()
+        sched.call_at(10.0, lambda: None)
+        sched.run()
+        with pytest.raises(ValueError):
+            sched.call_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().call_later(-1.0, lambda: None)
+
+
+class TestOrdering:
+    def test_events_fire_in_time_order(self):
+        sched = Scheduler()
+        order = []
+        sched.call_at(3.0, lambda: order.append(3))
+        sched.call_at(1.0, lambda: order.append(1))
+        sched.call_at(2.0, lambda: order.append(2))
+        sched.run()
+        assert order == [1, 2, 3]
+
+    def test_ties_broken_by_insertion_order(self):
+        sched = Scheduler()
+        order = []
+        for tag in ("a", "b", "c"):
+            sched.call_at(1.0, order.append, tag)
+        sched.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestCancellation:
+    def test_cancelled_timer_does_not_fire(self):
+        sched = Scheduler()
+        fired = []
+        timer = sched.call_at(1.0, lambda: fired.append(1))
+        timer.cancel()
+        sched.run()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self):
+        sched = Scheduler()
+        keep = sched.call_at(1.0, lambda: None)
+        drop = sched.call_at(2.0, lambda: None)
+        drop.cancel()
+        assert sched.pending == 1
+        assert keep is not drop
+
+
+class TestRunUntil:
+    def test_runs_only_due_events(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_at(1.0, lambda: fired.append(1))
+        sched.call_at(5.0, lambda: fired.append(5))
+        count = sched.run_until(2.0)
+        assert count == 1
+        assert fired == [1]
+        assert sched.now == 2.0
+
+    def test_event_exactly_at_boundary_included(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_at(2.0, lambda: fired.append(2))
+        sched.run_until(2.0)
+        assert fired == [2]
+
+    def test_clock_lands_on_target_with_no_events(self):
+        sched = Scheduler()
+        sched.run_until(HOUR)
+        assert sched.now == HOUR
+
+    def test_consecutive_windows_tile(self):
+        sched = Scheduler()
+        fired = []
+        for t in (0.5, 1.5, 2.5):
+            sched.call_at(t, fired.append, t)
+        sched.run_until(1.0)
+        assert fired == [0.5]
+        sched.run_until(2.0)
+        assert fired == [0.5, 1.5]
+
+    def test_runaway_loop_detected(self):
+        sched = Scheduler()
+
+        def loop():
+            sched.call_later(0.0, loop)
+
+        sched.call_later(0.0, loop)
+        with pytest.raises(RuntimeError):
+            sched.run_until(1.0, max_events=100)
+
+    def test_dispatched_counter(self):
+        sched = Scheduler()
+        for t in (1.0, 2.0):
+            sched.call_at(t, lambda: None)
+        sched.run()
+        assert sched.dispatched == 2

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table", "5"])
+        assert args.number == 5
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table", "2"])  # heavy exhibits are benches
+
+    def test_crawl_defaults(self):
+        args = build_parser().parse_args(["crawl"])
+        assert args.scale == "tiny"
+        assert args.contact_ratio == 1
+        assert not args.hard_hitter
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestTableCommand:
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Anti-recon measures" in out
+
+    def test_table5(self, capsys):
+        assert main(["table", "5"]) == 0
+        assert "ZeroAccess" in capsys.readouterr().out
+
+    def test_table6(self, capsys):
+        assert main(["table", "6"]) == 0
+        assert "Sensor injection" in capsys.readouterr().out
+
+
+class TestCrawlCommand:
+    def test_crawl_runs(self, capsys):
+        assert main(["crawl", "--hours", "2", "--sensors", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct IPs" in out
+        assert "edges collected" in out
+
+    def test_detect_runs(self, capsys):
+        assert main(
+            ["detect", "--hours", "3", "--sensors", "16", "--seed", "3", "--hard-hitter"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "coverage-based detection" in out
+        assert "DETECTED" in out

@@ -1,0 +1,277 @@
+"""Property-based tests (hypothesis) on core data structures and
+protocol invariants."""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.botnets.graph import ConnectivityGraph
+from repro.botnets.base import PeerEntry, PeerList
+from repro.botnets.sality import protocol as sality_protocol
+from repro.botnets.zeus import protocol as zeus_protocol
+from repro.botnets.zeus.crypto import (
+    KeystreamCache,
+    visual_decode,
+    visual_encode,
+    zeus_decrypt,
+    zeus_encrypt,
+)
+from repro.core.anomaly.entropy import printable_ratio, shannon_entropy
+from repro.core.detection.aggregation import MemberReport, aggregate_group, required_reporters
+from repro.core.detection.groups import group_of, sample_bit_positions
+from repro.core.detection.voting import LeaderVote, retrieve_from_leaders, tally_votes
+from repro.net.address import MAX_IP, format_ip, parse_ip, prefix_mask, subnet_key
+from repro.net.transport import Endpoint
+from repro.sim.scheduler import Scheduler
+
+ips = st.integers(min_value=0, max_value=MAX_IP)
+ports = st.integers(min_value=1, max_value=65535)
+ids20 = st.binary(min_size=20, max_size=20)
+ids4 = st.binary(min_size=4, max_size=4)
+
+
+class TestAddressProperties:
+    @given(ips)
+    def test_parse_format_roundtrip(self, ip):
+        assert parse_ip(format_ip(ip)) == ip
+
+    @given(ips, st.integers(min_value=0, max_value=32))
+    def test_subnet_key_idempotent(self, ip, prefix):
+        key = subnet_key(ip, prefix)
+        assert subnet_key(key, prefix) == key
+
+    @given(ips, st.integers(min_value=0, max_value=32), st.integers(min_value=0, max_value=32))
+    def test_subnet_key_nesting(self, ip, a, b):
+        """A shorter prefix's key absorbs a longer prefix's key."""
+        short, long_ = min(a, b), max(a, b)
+        assert subnet_key(subnet_key(ip, long_), short) == subnet_key(ip, short)
+
+    @given(ips, st.integers(min_value=0, max_value=32))
+    def test_key_preserves_masked_bits(self, ip, prefix):
+        assert subnet_key(ip, prefix) == ip & prefix_mask(prefix)
+
+
+class TestCryptoProperties:
+    @given(st.binary(max_size=512))
+    def test_visual_roundtrip(self, data):
+        assert visual_decode(visual_encode(data)) == data
+
+    @given(ids20, st.binary(max_size=512))
+    def test_zeus_encrypt_roundtrip(self, key, plaintext):
+        assert zeus_decrypt(key, zeus_encrypt(key, plaintext)) == plaintext
+
+    @given(ids20, st.binary(min_size=1, max_size=256))
+    def test_keystream_xor_involution(self, key, data):
+        cache = KeystreamCache()
+        assert cache.xor(key, cache.xor(key, data)) == data
+
+    @given(ids20, ids20, st.binary(min_size=8, max_size=256))
+    def test_distinct_keys_distinct_ciphertexts(self, key_a, key_b, plaintext):
+        assume(key_a != key_b)
+        assert zeus_encrypt(key_a, plaintext) != zeus_encrypt(key_b, plaintext)
+
+
+class TestZeusCodecProperties:
+    @given(
+        st.sampled_from(sorted(zeus_protocol.MessageType)),
+        ids20,
+        ids20,
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+        st.binary(max_size=zeus_protocol.MAX_LOP - 1),
+    )
+    def test_encode_decode_roundtrip(self, msg_type, session, source, rnd, ttl, padding):
+        payload = self._payload_for(msg_type)
+        message = zeus_protocol.ZeusMessage(
+            msg_type=int(msg_type),
+            session_id=session,
+            source_id=source,
+            payload=payload,
+            random_byte=rnd,
+            ttl=ttl,
+            padding=padding,
+        )
+        decoded = zeus_protocol.decode_message(zeus_protocol.encode_message(message))
+        assert decoded == message
+
+    @staticmethod
+    def _payload_for(msg_type):
+        if msg_type == zeus_protocol.MessageType.PEER_LIST_REQUEST:
+            return b"\x05" * 20
+        if msg_type in (
+            zeus_protocol.MessageType.PEER_LIST_REPLY,
+            zeus_protocol.MessageType.PROXY_REPLY,
+        ):
+            return zeus_protocol.encode_peer_entries([])
+        if msg_type == zeus_protocol.MessageType.VERSION_REPLY:
+            return zeus_protocol.encode_version_reply(1, 2)
+        if msg_type == zeus_protocol.MessageType.DATA_REQUEST:
+            return b"\x01"
+        if msg_type == zeus_protocol.MessageType.DATA_REPLY:
+            return zeus_protocol.encode_data_reply(1, b"x")
+        return b""
+
+    @given(st.lists(st.tuples(ids20, ips, ports), max_size=20))
+    def test_peer_entries_roundtrip(self, raw):
+        entries = [(bot_id, Endpoint(ip, port)) for bot_id, ip, port in raw]
+        payload = zeus_protocol.encode_peer_entries(entries)
+        assert zeus_protocol.decode_peer_entries(payload) == entries
+
+    @given(ids20, ids20)
+    def test_xor_distance_metric(self, a, b):
+        assert zeus_protocol.xor_distance(a, b) == zeus_protocol.xor_distance(b, a)
+        assert zeus_protocol.xor_distance(a, a) == 0
+        if a != b:
+            assert zeus_protocol.xor_distance(a, b) > 0
+
+
+class TestSalityCodecProperties:
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=255),
+        st.binary(max_size=sality_protocol.MAX_PADDING),
+    )
+    def test_packet_roundtrip(self, bot_id, nonce, minor, padding):
+        message = sality_protocol.SalityMessage(
+            command=int(sality_protocol.Command.PEER_REQUEST),
+            bot_id=bot_id,
+            nonce=nonce,
+            payload=b"",
+            minor_version=minor,
+            padding=padding,
+        )
+        wire = sality_protocol.encode_packet(message)
+        assert sality_protocol.decode_packet(wire) == message
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF), ips, ports)
+    def test_peer_entry_roundtrip(self, bot_id, ip, port):
+        payload = sality_protocol.encode_peer_entry(bot_id, Endpoint(ip, port))
+        assert sality_protocol.decode_peer_entry(payload) == (bot_id, Endpoint(ip, port))
+
+
+class TestGraphProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),
+                st.integers(min_value=0, max_value=15),
+                st.integers(min_value=0, max_value=15),
+            ),
+            max_size=60,
+        )
+    )
+    def test_degree_sum_invariant(self, operations):
+        """sum(out) == sum(in) == |E| under any add/remove sequence."""
+        graph = ConnectivityGraph()
+        for add, a, b in operations:
+            if a == b:
+                continue
+            if add:
+                graph.add_edge(f"n{a}", f"n{b}")
+            else:
+                graph.remove_edge(f"n{a}", f"n{b}")
+        edges = graph.check_degree_sum()
+        assert edges == graph.edge_count
+        assert edges == sum(graph.out_degree(n) for n in graph.nodes)
+
+
+class TestPeerListProperties:
+    @given(
+        st.integers(min_value=1, max_value=10),
+        st.lists(st.tuples(ids4, ips, st.floats(min_value=0, max_value=1000)), max_size=60),
+    )
+    def test_capacity_never_exceeded(self, capacity, additions):
+        peer_list = PeerList(capacity=capacity)
+        for bot_id, ip, last_seen in additions:
+            peer_list.add(PeerEntry(bot_id=bot_id, endpoint=Endpoint(ip, 1000), last_seen=last_seen))
+        assert len(peer_list) <= capacity
+
+    @given(st.lists(st.tuples(ids4, ips, st.floats(min_value=0, max_value=1000)), max_size=60))
+    def test_subnet_filter_invariant(self, additions):
+        """At most one entry per /20 with the Zeus filter."""
+        peer_list = PeerList(capacity=100, ip_filter_prefix=20)
+        for bot_id, ip, last_seen in additions:
+            peer_list.add(PeerEntry(bot_id=bot_id, endpoint=Endpoint(ip, 1000), last_seen=last_seen))
+        keys = [subnet_key(entry.endpoint.ip, 20) for entry in peer_list]
+        assert len(keys) == len(set(keys))
+
+
+class TestSchedulerProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1000), max_size=50))
+    def test_dispatch_order_is_time_order(self, times):
+        scheduler = Scheduler()
+        fired = []
+        for time in times:
+            scheduler.call_at(time, lambda t=time: fired.append(t))
+        scheduler.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+
+class TestEntropyProperties:
+    @given(st.binary(max_size=2048))
+    def test_entropy_bounds(self, data):
+        entropy = shannon_entropy(data)
+        assert 0.0 <= entropy <= 8.0 + 1e-9
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=1, max_value=500))
+    def test_constant_data_zero_entropy(self, byte, length):
+        assert shannon_entropy(bytes([byte] * length)) == 0.0
+
+    @given(st.binary(max_size=512))
+    def test_printable_ratio_bounds(self, data):
+        assert 0.0 <= printable_ratio(data) <= 1.0
+
+
+class TestDetectionProperties:
+    @given(st.integers(min_value=0, max_value=10_000), st.floats(min_value=0.001, max_value=1.0))
+    def test_required_reporters_bounds(self, group_size, threshold):
+        required = required_reporters(group_size, threshold)
+        assert required >= 1
+        if group_size:
+            assert required <= group_size + 1
+
+    @given(st.binary(min_size=20, max_size=20), st.integers(min_value=0, max_value=8))
+    def test_group_of_in_range(self, bot_id, g):
+        positions = sample_bit_positions(g, random.Random(0))
+        assert 0 <= group_of(bot_id, positions) < 2 ** g
+
+    @given(
+        st.lists(st.frozensets(st.integers(min_value=0, max_value=30), max_size=6), max_size=10),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_tally_votes_subset_of_union(self, key_sets, majority):
+        votes = [LeaderVote(group_index=i, keys=keys) for i, keys in enumerate(key_sets)]
+        result = tally_votes(votes, majority_fraction=majority)
+        union = set().union(*key_sets) if key_sets else set()
+        assert result <= union
+
+    @given(
+        st.lists(st.sets(st.integers(min_value=0, max_value=30), max_size=6), min_size=1, max_size=10),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_retrieval_subset_of_union(self, leader_lists, sample_size):
+        result = retrieve_from_leaders(leader_lists, sample_size, random.Random(0))
+        assert result <= set().union(*leader_lists)
+
+    @given(
+        st.lists(
+            st.lists(st.tuples(st.floats(min_value=0, max_value=100), ips), max_size=8),
+            min_size=1,
+            max_size=20,
+        ),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_aggregation_flags_subset_of_reported(self, member_requests, threshold):
+        reports = [
+            MemberReport(node_id=f"m{i}", requests=tuple(reqs))
+            for i, reqs in enumerate(member_requests)
+        ]
+        verdict = aggregate_group(0, reports, threshold, since=0.0, until=200.0)
+        reported = {ip for reqs in member_requests for _, ip in reqs}
+        assert verdict.suspicious <= reported
+        # Flagged keys meet the reporter threshold by construction.
+        for key in verdict.suspicious:
+            assert verdict.reporter_counts[key] >= verdict.threshold_count

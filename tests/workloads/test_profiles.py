@@ -1,0 +1,105 @@
+"""Tests that the transcribed crawler/sensor profiles satisfy every
+aggregate count the paper states in Sections 4.1 and 4.2."""
+
+from repro.workloads.crawler_profiles import (
+    SALITY_CRAWLERS,
+    SALITY_CRAWLER_INSTANCES,
+    ZEUS_CRAWLERS,
+    sality_aggregate_counts,
+    zeus_aggregate_counts,
+)
+from repro.workloads.sensor_profiles import ZEUS_SENSOR_PROFILES
+
+
+class TestZeusFleet:
+    def test_fleet_size(self):
+        assert len(ZEUS_CRAWLERS) == 21
+
+    def test_prose_counts(self):
+        counts = zeus_aggregate_counts()
+        assert counts["lop_range"] == 14       # constrained padding length
+        assert counts["rnd_range"] == 10       # static/constrained random byte
+        assert counts["ttl_range"] == 10       # static/constrained TTL
+        assert counts["session_range"] == 11   # static/small-pool sessions
+        assert counts["session_entropy"] == 3
+        assert counts["random_source"] == 3
+        assert counts["source_entropy"] == 5
+        assert counts["padding_entropy"] == 5
+        assert counts["encryption"] == 7
+        assert counts["protocol_logic"] == 17
+        assert counts["hard_hitter"] == 9
+
+    def test_range_anomaly_in_20_of_21(self):
+        range_rows = {"rnd_range", "ttl_range", "lop_range", "session_range", "random_source"}
+        with_range = [
+            p for p in ZEUS_CRAWLERS if range_rows & set(p.defect_names())
+        ]
+        assert len(with_range) == 20
+
+    def test_coverage_distribution(self):
+        coverages = [p.coverage for p in ZEUS_CRAWLERS]
+        assert max(coverages) == 0.92
+        at_least_20 = sum(1 for c in coverages if c >= 0.20)
+        assert at_least_20 >= 17  # "nearly all crawlers cover at least 20%"
+        at_least_50 = sum(1 for c in coverages if c >= 0.50)
+        assert at_least_50 >= 11  # "most crawlers cover 50% or more"
+        assert min(coverages) <= 0.02  # the open-source crawler
+
+    def test_padding_entropy_never_with_constrained_lop(self):
+        """A crawler with zero padding has no padding bytes to judge."""
+        for profile in ZEUS_CRAWLERS:
+            assert not (profile.padding_entropy and profile.lop_range), profile.name
+
+    def test_random_source_and_ascii_source_mutually_exclusive(self):
+        for profile in ZEUS_CRAWLERS:
+            assert not (profile.random_source and profile.source_entropy), profile.name
+
+    def test_names_unique(self):
+        names = [p.name for p in ZEUS_CRAWLERS]
+        assert len(set(names)) == 21
+
+
+class TestSalityFleet:
+    def test_eleven_instances_in_six_columns(self):
+        assert len(SALITY_CRAWLERS) == 6
+        assert sum(count for _, count in SALITY_CRAWLER_INSTANCES) == 11
+        assert SALITY_CRAWLER_INSTANCES[0][1] == 6  # the grouped subnet
+
+    def test_prose_counts(self):
+        counts = sality_aggregate_counts()
+        assert counts["lop_range"] == 11   # all constrained/fixed padding
+        assert counts["port_range"] == 10  # 10 of 11 fixed source port
+        assert counts["hard_hitter"] == 11
+        assert counts["protocol_logic"] == 9
+        assert counts["version"] == 9      # only 2 valid minor versions
+
+    def test_no_id_or_encryption_anomalies(self):
+        counts = sality_aggregate_counts()
+        assert "random_id" not in counts
+        assert "encryption" not in counts
+
+    def test_grouped_column_coverage(self):
+        assert SALITY_CRAWLERS[0].coverage == 0.69
+        assert all(p.coverage == 1.0 for p in SALITY_CRAWLERS[1:])
+
+
+class TestSensorProfiles:
+    def test_ten_organizations(self):
+        assert len(ZEUS_SENSOR_PROFILES) == 10
+
+    def test_all_lack_proxy_and_update_support(self):
+        assert all(p.no_proxy_reply for p in ZEUS_SENSOR_PROFILES)
+        assert all(p.no_update_support for p in ZEUS_SENSOR_PROFILES)
+
+    def test_all_but_three_return_empty_peer_lists(self):
+        empty = [p for p in ZEUS_SENSOR_PROFILES if p.empty_peer_lists]
+        assert len(empty) == 7
+
+    def test_non_empty_responders_serve_duplicates(self):
+        for profile in ZEUS_SENSOR_PROFILES:
+            if not profile.empty_peer_lists:
+                assert profile.duplicate_peers
+
+    def test_only_three_valid_versions(self):
+        valid = [p for p in ZEUS_SENSOR_PROFILES if not p.stale_version]
+        assert len(valid) == 3

@@ -1,0 +1,106 @@
+"""Integration tests for the canned scenarios (small scale)."""
+
+import pytest
+
+from repro.core.anomaly import SalityAnomalyAnalyzer, ZeusAnomalyAnalyzer
+from repro.core.detection import SensorLogDataset
+from repro.workloads.crawler_profiles import SALITY_CRAWLER_INSTANCES, ZEUS_CRAWLERS
+from repro.workloads.population import SCALES, sality_config, zeus_config
+from repro.workloads.scenarios import (
+    build_sality_scenario,
+    build_zeus_scenario,
+    crawler_endpoint,
+    launch_sality_fleet,
+    launch_zeus_fleet,
+    sensor_endpoint,
+)
+from repro.net.address import subnet_key
+from repro.sim.clock import HOUR
+
+
+class TestEndpoints:
+    def test_sensor_endpoints_distinct_slash20s(self):
+        keys = {subnet_key(sensor_endpoint(i).ip, 20) for i in range(512)}
+        assert len(keys) == 512
+
+    def test_crawler_instances_share_slash24(self):
+        a = crawler_endpoint(0, instance=0)
+        b = crawler_endpoint(0, instance=5)
+        assert subnet_key(a.ip, 24) == subnet_key(b.ip, 24)
+        assert a.ip != b.ip
+
+    def test_out_of_block_rejected(self):
+        with pytest.raises(ValueError):
+            sensor_endpoint(10**6)
+        with pytest.raises(ValueError):
+            crawler_endpoint(10**6)
+
+
+class TestPopulationPresets:
+    def test_scales_exist(self):
+        for scale in ("tiny", "small", "medium", "large"):
+            assert scale in SCALES
+
+    def test_config_builders(self):
+        config = zeus_config("tiny", master_seed=5)
+        assert config.population == 120
+        assert config.master_seed == 5
+        sconfig = sality_config("tiny", routable_fraction=0.9)
+        assert sconfig.routable_fraction == 0.9
+
+
+class TestZeusScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=2), sensor_count=24, announce_hours=3.0
+        )
+        launch_zeus_fleet(scenario, ZEUS_CRAWLERS[:4])
+        scenario.run_for(6 * HOUR)
+        return scenario
+
+    def test_sensors_receive_traffic(self, scenario):
+        contacted = [s for s in scenario.sensors if s.observations]
+        assert len(contacted) >= 20
+
+    def test_crawlers_reach_sensors(self, scenario):
+        crawler_ips = scenario.crawler_ips
+        seen = set()
+        for sensor in scenario.sensors:
+            seen |= sensor.observed_ips() & crawler_ips
+        assert len(seen) >= 3
+
+    def test_analyzer_finds_fleet(self, scenario):
+        findings = ZeusAnomalyAnalyzer().analyze(scenario.sensors)
+        flagged = {f.ip for f in findings if f.defects}
+        assert flagged & scenario.crawler_ips
+
+    def test_dataset_construction(self, scenario):
+        dataset = SensorLogDataset.from_zeus_sensors(scenario.sensors)
+        assert dataset.sensor_count == 24
+        assert dataset.request_count() > 0
+
+
+class TestSalityScenario:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        scenario = build_sality_scenario(
+            sality_config("tiny", master_seed=2), sensor_count=16, announce_hours=3.0
+        )
+        launch_sality_fleet(scenario, SALITY_CRAWLER_INSTANCES[:2])
+        scenario.run_for(6 * HOUR)
+        return scenario
+
+    def test_instances_launched(self, scenario):
+        assert len(scenario.crawlers) == 7  # 6 grouped + 1
+
+    def test_sensors_log_crawler_traffic(self, scenario):
+        crawler_ips = scenario.crawler_ips
+        seen = set()
+        for sensor in scenario.sensors:
+            seen |= sensor.observed_ips() & crawler_ips
+        assert seen
+
+    def test_analyzer_runs(self, scenario):
+        findings = SalityAnomalyAnalyzer().analyze(scenario.sensors)
+        assert isinstance(findings, list)
