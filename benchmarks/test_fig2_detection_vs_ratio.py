@@ -5,6 +5,11 @@ Runs the distributed detector offline over the flagship sensor logs,
 simulating crawler contact-ratio limiting by excluding crawler
 requests per sensor subset -- the paper's Section 6.1 methodology.
 
+The sweep itself executes on the experiment runner
+(:mod:`repro.runner`): each (threshold, ratio) cell is one sweep
+point, dispatched serially here and re-dispatched across a worker
+pool to assert the sharded path reproduces the serial grid exactly.
+
 Threshold note: the paper's sensors were 0.25% of a 200k-bot
 population; ours are ~30% of a 4k one, so ordinary bots touch
 proportionally more sensors and the FP-free operating point shifts
@@ -14,32 +19,98 @@ from t=5% to t=10%.  The sweep includes both (EXPERIMENTS.md).
 import random
 
 from repro.analysis.metrics import detection_series
-from repro.analysis.tables import render_fig2
 from repro.core.detection import DetectionConfig
-from repro.core.detection.offline import detection_grid
+from repro.core.detection.offline import detection_grid, evaluate_detection
+from repro.runner import (
+    ProcessExecutor,
+    SerialExecutor,
+    SweepSpec,
+    fig2_grid,
+    fig2_series,
+    make_points,
+    register_point,
+    render_fig2_sweep,
+)
 
 THRESHOLDS = (0.01, 0.02, 0.05, 0.10)
 RATIOS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 
+#: Closure state for the flagship point: the session-scoped capture is
+#: built by the fixture, so the point function reads it from here
+#: (workers inherit it via fork, since pools start inside ``run()``).
+_FLAGSHIP = {}
+
+
+@register_point("fig2-flagship-cell")
+def _flagship_cell(params, seed):
+    """One flagship Figure 2 cell, same calls as ``detection_grid``:
+    fresh ``random.Random(detection_seed)`` per cell, shared dataset."""
+    dataset = _FLAGSHIP["dataset"]
+    truth = _FLAGSHIP["truth"]
+    config = DetectionConfig(
+        group_bits=3, threshold=params["threshold"], aggregation_prefix=32
+    )
+    result = evaluate_detection(
+        dataset,
+        truth,
+        config,
+        random.Random(params["detection_seed"]),
+        contact_ratio=params["ratio"],
+    )
+    return {
+        "threshold": params["threshold"],
+        "ratio": params["ratio"],
+        "detection_rate": result.detection_rate,
+        "false_positives": result.false_positives,
+        "detected": len(result.detected_crawlers),
+        "truth": len(truth),
+    }
+
+
+def _flagship_spec():
+    params_list = [
+        {"threshold": threshold, "ratio": ratio, "detection_seed": 0}
+        for threshold in THRESHOLDS
+        for ratio in RATIOS
+    ]
+    return SweepSpec(
+        name="fig2-flagship",
+        root_seed=0,
+        points=make_points(0, "fig2-flagship-cell", params_list),
+        aggregator="fig2",
+    )
+
 
 def test_fig2_detection_vs_contact_ratio(benchmark, zeus_flagship, exhibit_writer):
-    dataset = zeus_flagship.dataset
+    _FLAGSHIP["dataset"] = zeus_flagship.dataset
+    _FLAGSHIP["truth"] = zeus_flagship.active_fleet_ips
     truth = zeus_flagship.active_fleet_ips
     assert len(truth) == 18  # the paper's active ground-truth count
 
-    def sweep():
-        return detection_grid(
-            dataset, truth, thresholds=THRESHOLDS, ratios=RATIOS, group_bits=3
-        )
-
-    grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    series = {t: detection_series(grid, t) for t in THRESHOLDS}
-    text = render_fig2(series)
+    spec = _flagship_spec()
+    result = benchmark.pedantic(
+        lambda: SerialExecutor().run(spec), rounds=1, iterations=1
+    )
+    grid = fig2_grid(result)
+    series = fig2_series(result)
+    text = render_fig2_sweep(result)
     exhibit_writer("fig2_detection_vs_ratio", text)
+
+    # The runner path is a pure re-plumbing of detection_grid: the
+    # direct grid and the sweep records agree cell for cell.
+    direct = detection_grid(
+        zeus_flagship.dataset, truth, thresholds=THRESHOLDS, ratios=RATIOS, group_bits=3
+    )
+    assert set(grid) == set(direct)
+    for key, cell in direct.items():
+        assert grid[key]["detection_rate"] == cell.detection_rate, key
+        assert grid[key]["false_positives"] == cell.false_positives, key
+    for threshold in THRESHOLDS:
+        assert series[threshold] == detection_series(direct, threshold)
 
     # Full-contact crawlers are always caught, at every threshold.
     for threshold in THRESHOLDS:
-        assert grid[(threshold, 1)].detection_rate == 1.0
+        assert grid[(threshold, 1)]["detection_rate"] == 1.0
 
     # Detection degrades monotonically (modulo grouping noise) with
     # the contact ratio, per threshold -- the Figure 2 shape.
@@ -64,3 +135,16 @@ def test_fig2_detection_vs_contact_ratio(benchmark, zeus_flagship, exhibit_write
     assert ideal[1] == 100.0
     assert ideal[4] >= 50.0
     assert ideal[64] <= 50.0
+
+
+def test_fig2_parallel_matches_serial(zeus_flagship):
+    """The sharded (multi-worker) sweep reproduces the serial grid
+    byte-for-byte: scheduling cannot leak into the exhibit."""
+    _FLAGSHIP["dataset"] = zeus_flagship.dataset
+    _FLAGSHIP["truth"] = zeus_flagship.active_fleet_ips
+
+    spec = _flagship_spec()
+    serial = SerialExecutor().run(spec)
+    parallel = ProcessExecutor(workers=2).run(spec)
+    assert serial.values() == parallel.values()
+    assert render_fig2_sweep(serial) == render_fig2_sweep(parallel)

@@ -1,100 +1,66 @@
 """Figure 3: bots crawled in 24 hours for varying contact ratio
 (Zeus in (a), Sality in (b)), plus the C rows of Table 4.
 
-All ratio-limited crawls of one family run *in parallel* against the
-same simulated botnet, exactly as in the paper ("we ran all of the
-crawling tests in parallel ... to ensure that performance differences
-did not result from churn").
+Ported onto the experiment runner (:mod:`repro.runner`): each ratio
+is one sweep point running a full simulation from the sweep's shared
+capture seed, so every crawl faces a *bit-identical* botnet -- the
+sharded equivalent of the paper running all crawling tests "in
+parallel ... to ensure that performance differences did not result
+from churn", with the added isolation that crawls cannot perturb each
+other through shared peer lists.  The same specs are what
+``repro sweep fig3-zeus`` / ``fig3-sality`` shard across workers; the
+tier-1 suite asserts the serial and pooled paths are byte-identical.
 """
 
 import pytest
 
-from repro.analysis.coverage import relative_coverage_series
-from repro.analysis.tables import render_series_figure
-from repro.core.crawler import SalityCrawler, ZeusCrawler
-from repro.core.defects import SalityDefectProfile, ZeusDefectProfile
-from repro.core.stealth import StealthPolicy
-from repro.net.address import parse_ip
-from repro.net.transport import Endpoint
-from repro.sim.clock import DAY, HOUR
-from repro.workloads.population import sality_config, zeus_config
-from repro.workloads.scenarios import build_sality_scenario, build_zeus_scenario
+from repro.runner import (
+    build_sweep,
+    coverage_relative,
+    coverage_series,
+    render_fig3_sweep,
+    run_sweep,
+)
 
 RATIOS = (1, 2, 4, 8, 16, 32)
 
 
 @pytest.fixture(scope="module")
-def zeus_ratio_crawls():
-    scenario = build_zeus_scenario(
-        zeus_config("small", master_seed=21), sensor_count=8, announce_hours=2.0
+def zeus_sweep_result():
+    spec = build_sweep(
+        "fig3-zeus",
+        root_seed=21,
+        scale="small",
+        sensors=8,
+        announce_hours=2.0,
+        hours=24.0,
+        ratios=RATIOS,
     )
-    net = scenario.net
-    crawlers = {}
-    for index, ratio in enumerate(RATIOS):
-        crawler = ZeusCrawler(
-            name=f"ratio-1/{ratio}",
-            endpoint=Endpoint(parse_ip(f"99.{index}.0.1"), 7000),
-            transport=net.transport,
-            scheduler=net.scheduler,
-            rng=net.rngs.fork(f"zcr-{ratio}").stream("crawl"),
-            policy=StealthPolicy(
-                contact_ratio=ratio, per_target_interval=15.0, requests_per_target=4
-            ),
-            profile=ZeusDefectProfile(name=f"r{ratio}"),
-        )
-        crawler.start(net.bootstrap_sample(10, seed=50 + index))
-        crawlers[f"1/{ratio}"] = crawler
-    scenario.run_for(DAY)
-    return scenario, crawlers
+    return run_sweep(spec, workers=1)
 
 
 @pytest.fixture(scope="module")
-def sality_ratio_crawls():
-    scenario = build_sality_scenario(
-        sality_config("small", master_seed=22), sensor_count=8, announce_hours=2.0
+def sality_sweep_result():
+    spec = build_sweep(
+        "fig3-sality",
+        root_seed=22,
+        scale="small",
+        sensors=8,
+        announce_hours=2.0,
+        hours=24.0,
+        ratios=RATIOS,
     )
-    net = scenario.net
-    crawlers = {}
-    for index, ratio in enumerate(RATIOS):
-        crawler = SalityCrawler(
-            name=f"ratio-1/{ratio}",
-            endpoint=Endpoint(parse_ip(f"99.{index}.0.1"), 7000),
-            transport=net.transport,
-            scheduler=net.scheduler,
-            rng=net.rngs.fork(f"scr-{ratio}").stream("crawl"),
-            policy=StealthPolicy(
-                contact_ratio=ratio, per_target_interval=60.0, requests_per_target=40
-            ),
-            profile=SalityDefectProfile(name=f"r{ratio}"),
-        )
-        crawler.start(net.bootstrap_sample(10, seed=60 + index))
-        crawlers[f"1/{ratio}"] = crawler
-    scenario.run_for(DAY)
-    return scenario, crawlers
+    return run_sweep(spec, workers=1)
 
 
-def _series(scenario, crawlers, bucket):
-    until = scenario.net.scheduler.now
-    return {
-        label: crawler.report.coverage_series(until=until, bucket=bucket)
-        for label, crawler in crawlers.items()
-    }
+def test_fig3a_zeus_contact_ratio(benchmark, zeus_sweep_result, exhibit_writer):
+    result = zeus_sweep_result
 
-
-def test_fig3a_zeus_contact_ratio(benchmark, zeus_ratio_crawls, exhibit_writer):
-    scenario, crawlers = zeus_ratio_crawls
-
-    def analyze():
-        reports = {label: crawler.report for label, crawler in crawlers.items()}
-        return relative_coverage_series(reports, baseline="1/1")
-
-    relative = benchmark(analyze)
-    text = render_series_figure(
+    relative = benchmark(lambda: coverage_relative(result))
+    text = render_fig3_sweep(
+        result,
         "Figure 3a: Zeus bots crawled in 24h for varying contact ratio",
-        _series(scenario, crawlers, bucket=2 * HOUR),
-    )
-    text += "\n\nC_Zeus (relative coverage): " + "  ".join(
-        f"{label}={value * 100:.0f}%" for label, value in relative.items()
+        "Zeus",
     )
     exhibit_writer("fig3a_zeus_contact_ratio", text)
 
@@ -105,38 +71,31 @@ def test_fig3a_zeus_contact_ratio(benchmark, zeus_ratio_crawls, exhibit_writer):
     assert all(a >= b - 0.05 for a, b in zip(values, values[1:])), values
     assert values[1] >= 0.5          # 1/2 still reasonably complete
     assert values[-1] <= values[1]   # 1/32 clearly degraded
-    assert values[-1] < 0.9
+    assert values[-1] <= 0.6
 
 
-def test_fig3b_sality_contact_ratio(benchmark, sality_ratio_crawls, exhibit_writer):
-    scenario, crawlers = sality_ratio_crawls
+def test_fig3b_sality_contact_ratio(benchmark, sality_sweep_result, exhibit_writer):
+    result = sality_sweep_result
 
-    def analyze():
-        reports = {label: crawler.report for label, crawler in crawlers.items()}
-        return relative_coverage_series(reports, baseline="1/1")
-
-    relative = benchmark(analyze)
-    text = render_series_figure(
+    relative = benchmark(lambda: coverage_relative(result))
+    text = render_fig3_sweep(
+        result,
         "Figure 3b: Sality bots crawled in 24h for varying contact ratio",
-        _series(scenario, crawlers, bucket=2 * HOUR),
-    )
-    text += "\n\nC_Sality (relative coverage): " + "  ".join(
-        f"{label}={value * 100:.0f}%" for label, value in relative.items()
+        "Sality",
     )
     exhibit_writer("fig3b_sality_contact_ratio", text)
 
+    # Sality's pull-based exchange degrades more gently than Zeus
+    # (Table 4 C_Sality: 100, 92, 80, 71, 54, 41).
     values = [relative[f"1/{ratio}"] for ratio in RATIOS]
     assert values[0] == 1.0
     assert all(a >= b - 0.05 for a, b in zip(values, values[1:])), values
-    assert values[-1] < values[0]
+    assert values[1] >= 0.7
+    assert values[-1] <= 0.7
 
 
-def test_fig3_curves_monotone_in_time(zeus_ratio_crawls):
+def test_fig3_curves_monotone_in_time(zeus_sweep_result):
     """Every coverage curve is cumulative, hence non-decreasing."""
-    scenario, crawlers = zeus_ratio_crawls
-    for crawler in crawlers.values():
-        series = crawler.report.coverage_series(
-            until=scenario.net.scheduler.now, bucket=HOUR
-        )
+    for label, series in coverage_series(zeus_sweep_result).items():
         counts = [count for _, count in series]
-        assert counts == sorted(counts)
+        assert counts == sorted(counts), label

@@ -5,15 +5,19 @@ Usage::
     python -m repro table {1,5,6}     # print a qualitative table
     python -m repro crawl [options]   # crawl a simulated Zeus botnet
     python -m repro detect [options]  # crawl + distributed detection
+    python -m repro sweep fig2 -w 4   # sharded parameter sweep
 
 The heavyweight exhibits (Tables 2-4, Figures 2-4) are benchmark
 targets -- see ``pytest benchmarks/ --benchmark-only`` -- because they
-re-run the paper's 24-hour measurement windows.
+re-run the paper's 24-hour measurement windows.  ``repro sweep`` runs
+scaled-down versions of the same scans, sharded across worker
+processes with bit-identical results at any worker count.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional
@@ -100,6 +104,46 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runner import ConsoleProgress, SWEEPS, build_sweep, render_result, run_sweep
+
+    if args.list:
+        for name in sorted(SWEEPS):
+            print(name)
+        return 0
+    if args.name is None:
+        print("sweep: a sweep name is required (or --list)", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("sweep: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.max_retries < 0:
+        print("sweep: --max-retries must be >= 0", file=sys.stderr)
+        return 2
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.ratios:
+        overrides["ratios"] = tuple(args.ratios)
+    try:
+        spec = build_sweep(args.name, root_seed=args.seed, **overrides)
+    except KeyError as exc:
+        print(f"sweep: {exc.args[0]}", file=sys.stderr)
+        return 2
+    progress = None if args.no_progress else ConsoleProgress()
+    result = run_sweep(
+        spec,
+        workers=args.workers,
+        max_retries=args.max_retries,
+        progress=progress,
+    )
+    if args.json:
+        print(json.dumps(result.values(), indent=2, sort_keys=True))
+    else:
+        print(render_result(result))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -130,6 +174,41 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--threshold", type=float, default=0.30)
     detect.add_argument("--group-bits", type=int, default=2)
     detect.set_defaults(func=_cmd_detect)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a named parameter sweep, sharded across worker processes",
+        description=(
+            "Shard a paper sweep (e.g. fig2, fig3-zeus) across a process "
+            "pool.  Results are bit-identical for a given --seed at any "
+            "--workers count: every point's RNG seed is derived from the "
+            "root seed and the point's index, never from scheduling."
+        ),
+    )
+    sweep.add_argument("name", nargs="?", help="sweep name (see --list)")
+    sweep.add_argument("--list", action="store_true", help="list available sweeps")
+    sweep.add_argument(
+        "-w", "--workers", type=int, default=1,
+        help="worker processes (1 = serial in-process execution)",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed; child seeds are derived per point index",
+    )
+    sweep.add_argument("--scale", choices=sorted(SCALES), default=None)
+    sweep.add_argument(
+        "--ratios", type=int, nargs="+", default=None,
+        help="override the sweep's contact-ratio axis",
+    )
+    sweep.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retry budget per point for failing/crashed workers",
+    )
+    sweep.add_argument("--json", action="store_true", help="emit raw records as JSON")
+    sweep.add_argument(
+        "--no-progress", action="store_true", help="suppress per-point progress lines"
+    )
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -1,0 +1,78 @@
+"""Sharded experiment runner.
+
+Fans parameter sweeps (the work lists behind Figures 2-4 and Table 4)
+out across a ``multiprocessing`` pool -- or runs them serially through
+the identical API -- with per-point deterministic seed derivation, so
+aggregated results are bit-identical regardless of worker count or
+scheduling order.  See DESIGN notes in :mod:`repro.runner.sweep`.
+
+Quick use::
+
+    from repro.runner import build_sweep, run_sweep, render_result
+
+    result = run_sweep(build_sweep("fig2", root_seed=0), workers=4)
+    print(render_result(result))
+"""
+
+from repro.runner.aggregate import (
+    AGGREGATORS,
+    coverage_relative,
+    coverage_series,
+    fig2_grid,
+    fig2_series,
+    render_fig2_sweep,
+    render_fig3_sweep,
+    render_result,
+)
+from repro.runner.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    SweepExecutionError,
+    run_sweep,
+)
+from repro.runner.progress import ConsoleProgress, ProgressEvent
+from repro.runner.registry import register_point, registered_points, resolve_point
+from repro.runner.sweep import (
+    PointRecord,
+    SweepMetrics,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    make_points,
+    merge_records,
+    point_seed,
+)
+from repro.runner.sweeps import SWEEPS, build_sweep
+
+# Importing the library registers the paper's point functions.
+from repro.runner import points as _points  # noqa: F401
+
+__all__ = [
+    "AGGREGATORS",
+    "ConsoleProgress",
+    "coverage_relative",
+    "coverage_series",
+    "fig2_grid",
+    "fig2_series",
+    "render_fig2_sweep",
+    "render_fig3_sweep",
+    "PointRecord",
+    "ProcessExecutor",
+    "ProgressEvent",
+    "SerialExecutor",
+    "SweepExecutionError",
+    "SweepMetrics",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "SWEEPS",
+    "build_sweep",
+    "make_points",
+    "merge_records",
+    "point_seed",
+    "register_point",
+    "registered_points",
+    "render_result",
+    "resolve_point",
+    "run_sweep",
+]

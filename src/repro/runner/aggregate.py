@@ -1,0 +1,121 @@
+"""Merge sweep records into the existing analysis-layer outputs.
+
+The runner's records are plain per-point mappings; this module folds
+them back into the shapes :mod:`repro.analysis` already renders --
+Figure 2 threshold series, Figure 3 coverage curves with Table 4 C
+rows -- so a sharded sweep and the serial benchmarks produce the same
+exhibit text.  Only ``record.values`` (the deterministic payload) is
+read; wall times and worker ids never reach an exhibit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.analysis.coverage import relative_coverage_series
+from repro.analysis.tables import render_fig2, render_series_figure
+from repro.runner.sweep import SweepResult
+
+
+def fig2_series(result: SweepResult) -> Dict[float, List[Tuple[int, float]]]:
+    """Group detection-cell records into per-threshold Figure 2 lines:
+    ``{threshold: [(ratio, % detected), ...]}``."""
+    series: Dict[float, List[Tuple[int, float]]] = {}
+    for values in result.values():
+        series.setdefault(values["threshold"], []).append(
+            (values["ratio"], values["detection_rate"] * 100.0)
+        )
+    return {threshold: sorted(points) for threshold, points in series.items()}
+
+
+def fig2_grid(result: SweepResult) -> Dict[Tuple[float, int], Dict[str, float]]:
+    """Records keyed like ``detection_grid`` output: (threshold, ratio)
+    -> the cell's value mapping."""
+    return {
+        (values["threshold"], values["ratio"]): values for values in result.values()
+    }
+
+
+def render_fig2_sweep(result: SweepResult) -> str:
+    return render_fig2(fig2_series(result))
+
+
+def ratio_label(ratio: int) -> str:
+    return f"1/{ratio}"
+
+
+def coverage_relative(result: SweepResult) -> Dict[str, float]:
+    """Table 4 C row from ratio-crawl records: coverage of each
+    ratio-limited crawl relative to the unrestricted (ratio 1) one."""
+    counts = {ratio_label(v["ratio"]): v["distinct_ips"] for v in result.values()}
+    baseline = counts.get(ratio_label(1))
+    if not baseline:
+        raise ValueError("coverage_relative needs a ratio-1 baseline point")
+    return {label: count / baseline for label, count in counts.items()}
+
+
+def coverage_series(result: SweepResult) -> Dict[str, List[Tuple[float, int]]]:
+    """Per-ratio cumulative coverage curves (Figure 3 lines)."""
+    return {
+        ratio_label(values["ratio"]): [
+            (time, count) for time, count in values["series"]
+        ]
+        for values in result.values()
+    }
+
+
+def render_fig3_sweep(result: SweepResult, title: str, family: str) -> str:
+    text = render_series_figure(title, coverage_series(result))
+    relative = coverage_relative(result)
+    text += f"\n\nC_{family} (relative coverage): " + "  ".join(
+        f"{label}={value * 100:.0f}%" for label, value in relative.items()
+    )
+    return text
+
+
+def render_generic(result: SweepResult) -> str:
+    """Fallback renderer: one aligned row of values per point."""
+    rows = result.values()
+    if not rows:
+        return "(empty sweep)"
+    columns = sorted({key for values in rows for key in values})
+    cells = [[_fmt(values.get(column)) for column in columns] for values in rows]
+    widths = [
+        max(len(column), max(len(row[i]) for row in cells)) + 2
+        for i, column in enumerate(columns)
+    ]
+    lines = ["".join(c.rjust(w) for c, w in zip(columns, widths))]
+    for row in cells:
+        lines.append("".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, dict)):
+        return f"<{len(value)} items>"
+    return str(value)
+
+
+#: CLI renderers by aggregator name (see SweepSpec.aggregator).
+AGGREGATORS: Dict[str, Callable[[SweepResult], str]] = {
+    "fig2": render_fig2_sweep,
+    "fig3-zeus": lambda result: render_fig3_sweep(
+        result,
+        "Figure 3a: Zeus bots crawled for varying contact ratio (sweep runner)",
+        "Zeus",
+    ),
+    "fig3-sality": lambda result: render_fig3_sweep(
+        result,
+        "Figure 3b: Sality bots crawled for varying contact ratio (sweep runner)",
+        "Sality",
+    ),
+    "generic": render_generic,
+}
+
+
+def render_result(result: SweepResult) -> str:
+    """Render a sweep with its spec's aggregator (generic fallback)."""
+    renderer = AGGREGATORS.get(result.spec.aggregator or "generic", render_generic)
+    return renderer(result)

@@ -1,0 +1,303 @@
+"""Sweep executors: serial reference and sharded multiprocessing.
+
+Both executors expose the same ``run(spec, progress=...)`` API and are
+interchangeable by construction: a point's record depends only on its
+``(point, params, seed)`` triple (see :mod:`repro.runner.sweep`), and
+the aggregation gate reorders records by point index.  The serial
+executor is the cheap path for tests and small runs; the process
+executor shards points across a worker pool and adds bounded-retry
+handling for failing points and crashed workers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import multiprocessing
+
+from repro.runner.progress import (
+    POINT_DONE,
+    POINT_RETRY,
+    POOL_RESTART,
+    SWEEP_DONE,
+    SWEEP_START,
+    ProgressEvent,
+    ProgressHook,
+)
+from repro.runner.registry import resolve_point
+from repro.runner.sweep import (
+    PointRecord,
+    SweepMetrics,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    merge_records,
+)
+
+#: One bundled point execution request; plain data so it pickles.
+_Task = Tuple[str, Dict[str, Any], int, int, int]
+
+
+class SweepExecutionError(RuntimeError):
+    """A point kept failing after its retry budget was spent."""
+
+
+def _execute_point(task: _Task) -> PointRecord:
+    """Run one point in the current process (worker or serial caller).
+
+    Top-level so the parallel executor can ship it to workers; the
+    record's ``values`` depend only on (point, params, seed) while
+    ``wall_time``/``worker``/``attempts`` are observability metadata.
+    """
+    point_name, params, seed, index, attempt = task
+    fn = resolve_point(point_name)
+    start = time.perf_counter()
+    values = fn(params, seed)
+    return PointRecord(
+        index=index,
+        point=point_name,
+        params=params,
+        seed=seed,
+        values=dict(values),
+        wall_time=time.perf_counter() - start,
+        worker=f"pid:{os.getpid()}",
+        attempts=attempt,
+    )
+
+
+def _task_for(point: SweepPoint, attempt: int) -> _Task:
+    return (point.point, dict(point.params), point.seed, point.index, attempt)
+
+
+class _ExecutorBase:
+    """Shared retry bookkeeping and progress emission."""
+
+    def __init__(self, max_retries: int = 2) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.max_retries = max_retries
+
+    @staticmethod
+    def _emit(progress: Optional[ProgressHook], event: ProgressEvent) -> None:
+        if progress is not None:
+            progress(event)
+
+    def _attempts_allowed(self) -> int:
+        return self.max_retries + 1
+
+    def _finish(
+        self,
+        spec: SweepSpec,
+        records: Mapping[int, PointRecord],
+        metrics: SweepMetrics,
+        started: float,
+        progress: Optional[ProgressHook],
+    ) -> SweepResult:
+        metrics.wall_time = time.perf_counter() - started
+        merged = merge_records(list(records.values()), len(spec))
+        self._emit(
+            progress,
+            ProgressEvent(
+                kind=SWEEP_DONE,
+                completed=metrics.points_completed,
+                total=metrics.points_total,
+                detail=metrics.summary(),
+            ),
+        )
+        return SweepResult(spec=spec, records=merged, metrics=metrics)
+
+
+class SerialExecutor(_ExecutorBase):
+    """In-process reference executor: one point at a time, in index
+    order.  Supports every registered point function, including
+    closures tests or benchmarks register locally."""
+
+    workers = 1
+
+    def run(self, spec: SweepSpec, progress: Optional[ProgressHook] = None) -> SweepResult:
+        started = time.perf_counter()
+        metrics = SweepMetrics(workers=1, points_total=len(spec))
+        self._emit(progress, ProgressEvent(SWEEP_START, 0, len(spec)))
+        records: Dict[int, PointRecord] = {}
+        for point in spec.points:
+            for attempt in range(1, self._attempts_allowed() + 1):
+                try:
+                    record = _execute_point(_task_for(point, attempt))
+                except Exception as exc:
+                    if attempt >= self._attempts_allowed():
+                        raise SweepExecutionError(
+                            f"point {point.label()} failed after {attempt} attempts"
+                        ) from exc
+                    metrics.retries += 1
+                    self._emit(
+                        progress,
+                        ProgressEvent(
+                            POINT_RETRY,
+                            metrics.points_completed,
+                            len(spec),
+                            point=point,
+                            detail=repr(exc),
+                        ),
+                    )
+                else:
+                    records[point.index] = record
+                    metrics.points_completed += 1
+                    metrics.point_wall_times.append(record.wall_time)
+                    self._emit(
+                        progress,
+                        ProgressEvent(
+                            POINT_DONE,
+                            metrics.points_completed,
+                            len(spec),
+                            point=point,
+                            record=record,
+                        ),
+                    )
+                    break
+        return self._finish(spec, records, metrics, started, progress)
+
+
+class ProcessExecutor(_ExecutorBase):
+    """Shard points across a ``multiprocessing`` pool.
+
+    Failure handling is bounded-retry at two levels: a point whose
+    function raises is resubmitted up to ``max_retries`` times, and a
+    worker crash hard enough to break the pool (``os._exit``, signal)
+    triggers a pool restart with every unfinished point resubmitted.
+    Either way a point that keeps failing surfaces as
+    :class:`SweepExecutionError` instead of hanging the sweep.
+
+    The default ``fork`` start method (on platforms that support it)
+    keeps locally registered point functions visible to workers; pass
+    ``mp_context="spawn"`` for importable-only registries.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        max_retries: int = 2,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        super().__init__(max_retries=max_retries)
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else methods[0]
+        self._mp_context = mp_context
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context(self._mp_context),
+        )
+
+    def run(self, spec: SweepSpec, progress: Optional[ProgressHook] = None) -> SweepResult:
+        started = time.perf_counter()
+        metrics = SweepMetrics(workers=self.workers, points_total=len(spec))
+        self._emit(progress, ProgressEvent(SWEEP_START, 0, len(spec)))
+        records: Dict[int, PointRecord] = {}
+        attempts: Dict[int, int] = {point.index: 0 for point in spec.points}
+        pending: List[SweepPoint] = list(spec.points)
+        pool = self._new_pool()
+        try:
+            while pending:
+                futures = {}
+                for point in pending:
+                    attempts[point.index] += 1
+                    futures[
+                        pool.submit(_task_wrapper, _task_for(point, attempts[point.index]))
+                    ] = point
+                retry_round: List[SweepPoint] = []
+                pool_broken: Optional[BaseException] = None
+                for future in as_completed(futures):
+                    point = futures[future]
+                    try:
+                        record = future.result()
+                    except BrokenExecutor as exc:
+                        # The whole pool died; every in-flight point
+                        # lands here.  Resubmit survivors, bounded by
+                        # the same per-point attempt budget.
+                        pool_broken = exc
+                        if attempts[point.index] >= self._attempts_allowed():
+                            raise SweepExecutionError(
+                                f"point {point.label()} kept crashing its worker "
+                                f"({attempts[point.index]} attempts)"
+                            ) from exc
+                        retry_round.append(point)
+                    except Exception as exc:
+                        if attempts[point.index] >= self._attempts_allowed():
+                            raise SweepExecutionError(
+                                f"point {point.label()} failed after "
+                                f"{attempts[point.index]} attempts"
+                            ) from exc
+                        metrics.retries += 1
+                        self._emit(
+                            progress,
+                            ProgressEvent(
+                                POINT_RETRY,
+                                metrics.points_completed,
+                                len(spec),
+                                point=point,
+                                detail=repr(exc),
+                            ),
+                        )
+                        retry_round.append(point)
+                    else:
+                        records[point.index] = record
+                        metrics.points_completed += 1
+                        metrics.point_wall_times.append(record.wall_time)
+                        self._emit(
+                            progress,
+                            ProgressEvent(
+                                POINT_DONE,
+                                metrics.points_completed,
+                                len(spec),
+                                point=point,
+                                record=record,
+                            ),
+                        )
+                if pool_broken is not None:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    pool = self._new_pool()
+                    metrics.pool_restarts += 1
+                    self._emit(
+                        progress,
+                        ProgressEvent(
+                            POOL_RESTART,
+                            metrics.points_completed,
+                            len(spec),
+                            detail=repr(pool_broken),
+                        ),
+                    )
+                pending = sorted(retry_round, key=lambda p: p.index)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return self._finish(spec, records, metrics, started, progress)
+
+
+def _task_wrapper(task: _Task) -> PointRecord:
+    """Worker-side entry point (separate name so tracebacks read
+    clearly in retry diagnostics)."""
+    return _execute_point(task)
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    max_retries: int = 2,
+    progress: Optional[ProgressHook] = None,
+    mp_context: Optional[str] = None,
+) -> SweepResult:
+    """Run ``spec`` with the executor matching ``workers``: serial for
+    1 (no process machinery at all), sharded otherwise."""
+    if workers <= 1:
+        return SerialExecutor(max_retries=max_retries).run(spec, progress=progress)
+    executor = ProcessExecutor(
+        workers=workers, max_retries=max_retries, mp_context=mp_context
+    )
+    return executor.run(spec, progress=progress)

@@ -1,0 +1,62 @@
+"""Progress hooks for sweep execution.
+
+Executors emit :class:`ProgressEvent` objects to an optional callback;
+:class:`ConsoleProgress` is the CLI's line-per-point renderer.  Hooks
+are observability only -- they never influence results.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, TextIO
+
+from repro.runner.sweep import PointRecord, SweepPoint
+
+#: Event kinds, in lifecycle order.
+SWEEP_START = "sweep-start"
+POINT_DONE = "point-done"
+POINT_RETRY = "point-retry"
+POOL_RESTART = "pool-restart"
+SWEEP_DONE = "sweep-done"
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    kind: str
+    completed: int
+    total: int
+    point: Optional[SweepPoint] = None
+    record: Optional[PointRecord] = None
+    detail: str = ""
+
+
+ProgressHook = Callable[[ProgressEvent], Any]
+
+
+class ConsoleProgress:
+    """Print one line per lifecycle event to ``stream`` (stderr by
+    default so piped sweep output stays clean)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, event: ProgressEvent) -> None:
+        if event.kind == SWEEP_START:
+            line = f"sweep: {event.total} points"
+        elif event.kind == POINT_DONE and event.record is not None:
+            line = (
+                f"[{event.completed}/{event.total}] "
+                f"{event.point.label() if event.point else event.record.point} "
+                f"({event.record.wall_time:.2f}s)"
+            )
+        elif event.kind == POINT_RETRY and event.point is not None:
+            line = f"retry {event.point.label()}: {event.detail}"
+        elif event.kind == POOL_RESTART:
+            line = f"worker pool restarted: {event.detail}"
+        elif event.kind == SWEEP_DONE:
+            line = f"sweep done: {event.detail}"
+        else:  # pragma: no cover - future event kinds degrade gracefully
+            line = f"{event.kind}: {event.detail}"
+        print(line, file=self.stream)
+        self.stream.flush()

@@ -1,0 +1,48 @@
+"""Point-function registry.
+
+Sweep points reference their work by *name* rather than by callable so
+a point can cross a process boundary as plain data.  Workers resolve
+the name back to a function at execution time; under the default fork
+start method, functions registered before the pool spins up (including
+test-local closures) are visible in every worker.
+
+A point function has the signature::
+
+    fn(params: Mapping[str, Any], seed: int) -> Mapping[str, Any]
+
+It must draw all randomness from ``seed`` and return a plain picklable
+mapping; the runner guarantees nothing else about its environment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping
+
+PointFunction = Callable[[Mapping[str, Any], int], Mapping[str, Any]]
+
+_POINTS: Dict[str, PointFunction] = {}
+
+
+def register_point(name: str) -> Callable[[PointFunction], PointFunction]:
+    """Decorator: register ``fn`` as the point function ``name``."""
+
+    def wrap(fn: PointFunction) -> PointFunction:
+        if name in _POINTS and _POINTS[name] is not fn:
+            raise ValueError(f"point function {name!r} already registered")
+        _POINTS[name] = fn
+        return fn
+
+    return wrap
+
+
+def resolve_point(name: str) -> PointFunction:
+    try:
+        return _POINTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown point function {name!r}; registered: {sorted(_POINTS)}"
+        ) from None
+
+
+def registered_points() -> List[str]:
+    return sorted(_POINTS)

@@ -1,0 +1,142 @@
+"""Named sweep builders: the paper's parameter scans as work lists.
+
+Each builder materializes a :class:`~repro.runner.sweep.SweepSpec`
+from a root seed plus size knobs.  Seeds are derived, never passed
+raw: the *capture* seed (one per sweep, shared by every point so all
+points measure the same world) and the per-point child seeds (index-
+derived, see ``point_seed``) both come from the root seed, so one
+integer reproduces an entire sweep bit-for-bit at any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from repro.runner.sweep import SweepSpec, make_points
+from repro.sim.rng import derive_seed
+
+#: Figure 2 defaults (trimmed ratio axis; the flagship benchmark
+#: still sweeps the paper's full 1/1..1/256 axis).
+FIG2_THRESHOLDS = (0.02, 0.05, 0.10)
+FIG2_RATIOS = (1, 2, 4, 8, 16)
+
+#: Figure 3 defaults (the paper's 1/1..1/32 axis).
+FIG3_RATIOS = (1, 2, 4, 8, 16, 32)
+
+
+def fig2_sweep(
+    root_seed: int = 0,
+    scale: str = "tiny",
+    sensors: int = 24,
+    announce_hours: float = 2.0,
+    measure_hours: float = 6.0,
+    thresholds: Sequence[float] = FIG2_THRESHOLDS,
+    ratios: Sequence[int] = FIG2_RATIOS,
+    fleet_size: int = 8,
+    group_bits: int = 3,
+    truth_min_coverage: float = 0.2,
+) -> SweepSpec:
+    """Figure 2, sharded: one point per (threshold, contact ratio)
+    cell over one shared capture."""
+    capture = {
+        "scale": scale,
+        "capture_seed": derive_seed(root_seed, "fig2-capture"),
+        "sensors": sensors,
+        "announce_hours": announce_hours,
+        "measure_hours": measure_hours,
+        "fleet_size": fleet_size,
+        "truth_min_coverage": truth_min_coverage,
+        "group_bits": group_bits,
+        "detection_seed": derive_seed(root_seed, "fig2-detection"),
+    }
+    params_list: List[Mapping[str, Any]] = [
+        {**capture, "threshold": threshold, "ratio": ratio}
+        for threshold in thresholds
+        for ratio in ratios
+    ]
+    return SweepSpec(
+        name="fig2",
+        root_seed=root_seed,
+        points=make_points(root_seed, "zeus-detection-cell", params_list),
+        aggregator="fig2",
+    )
+
+
+def _fig3_sweep(
+    family: str,
+    point: str,
+    root_seed: int,
+    scale: str,
+    sensors: int,
+    announce_hours: float,
+    hours: float,
+    ratios: Sequence[int],
+) -> SweepSpec:
+    capture = {
+        "scale": scale,
+        "capture_seed": derive_seed(root_seed, f"fig3-{family}-capture"),
+        "sensors": sensors,
+        "announce_hours": announce_hours,
+        "hours": hours,
+    }
+    params_list: List[Mapping[str, Any]] = [
+        {**capture, "ratio": ratio} for ratio in ratios
+    ]
+    return SweepSpec(
+        name=f"fig3-{family}",
+        root_seed=root_seed,
+        points=make_points(root_seed, point, params_list),
+        aggregator=f"fig3-{family}",
+    )
+
+
+def fig3_zeus_sweep(
+    root_seed: int = 0,
+    scale: str = "tiny",
+    sensors: int = 8,
+    announce_hours: float = 2.0,
+    hours: float = 8.0,
+    ratios: Sequence[int] = FIG3_RATIOS,
+) -> SweepSpec:
+    """Figure 3a, sharded: one point per contact ratio, each a full
+    Zeus simulation from the same capture seed (identical churn)."""
+    return _fig3_sweep(
+        "zeus", "zeus-ratio-crawl", root_seed, scale, sensors, announce_hours, hours, ratios
+    )
+
+
+def fig3_sality_sweep(
+    root_seed: int = 0,
+    scale: str = "tiny",
+    sensors: int = 8,
+    announce_hours: float = 2.0,
+    hours: float = 8.0,
+    ratios: Sequence[int] = FIG3_RATIOS,
+) -> SweepSpec:
+    """Figure 3b, sharded: as :func:`fig3_zeus_sweep` for Sality."""
+    return _fig3_sweep(
+        "sality",
+        "sality-ratio-crawl",
+        root_seed,
+        scale,
+        sensors,
+        announce_hours,
+        hours,
+        ratios,
+    )
+
+
+SWEEPS: Dict[str, Callable[..., SweepSpec]] = {
+    "fig2": fig2_sweep,
+    "fig3-zeus": fig3_zeus_sweep,
+    "fig3-sality": fig3_sality_sweep,
+}
+
+
+def build_sweep(name: str, root_seed: int = 0, **overrides: Any) -> SweepSpec:
+    """Materialize a named sweep (CLI entry point)."""
+    try:
+        builder = SWEEPS[name]
+    except KeyError:
+        raise KeyError(f"unknown sweep {name!r}; available: {sorted(SWEEPS)}") from None
+    return builder(root_seed=root_seed, **overrides)

@@ -17,19 +17,34 @@ class Timer:
     """Handle for a scheduled callback; supports cancellation.
 
     Cancellation is lazy: the heap entry stays in place and is skipped
-    at dispatch time, which keeps ``cancel()`` O(1).
+    at dispatch time, which keeps ``cancel()`` O(1).  The owning
+    scheduler counts cancellations and compacts its heap once dead
+    entries pile up, so heavy cancel churn cannot grow the heap
+    without bound.
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled")
+    __slots__ = ("time", "callback", "args", "cancelled", "_scheduler")
 
-    def __init__(self, time: float, callback: Callable[..., Any], args: Tuple[Any, ...]):
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: Tuple[Any, ...],
+        scheduler: Optional["Scheduler"] = None,
+    ):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._note_cancelled()
+            self._scheduler = None
 
 
 class Scheduler:
@@ -42,11 +57,23 @@ class Scheduler:
         sched.run_until(DAY)
     """
 
-    def __init__(self, clock: Optional[Clock] = None) -> None:
+    #: Never compact below this many dead entries: tiny heaps are not
+    #: worth the heapify, and the threshold keeps compaction amortized
+    #: O(1) per cancellation.
+    COMPACTION_MIN = 64
+
+    def __init__(
+        self, clock: Optional[Clock] = None, compaction_min: Optional[int] = None
+    ) -> None:
         self.clock = clock if clock is not None else Clock()
         self._heap: List[Tuple[float, int, Timer]] = []
         self._sequence = 0
         self._dispatched = 0
+        self._cancelled = 0
+        self._compactions = 0
+        self._compaction_min = (
+            self.COMPACTION_MIN if compaction_min is None else compaction_min
+        )
 
     @property
     def now(self) -> float:
@@ -56,7 +83,38 @@ class Scheduler:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) scheduled events."""
-        return sum(1 for _, _, t in self._heap if not t.cancelled)
+        return len(self._heap) - self._cancelled
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, dead entries included (for tests)."""
+        return len(self._heap)
+
+    @property
+    def compactions(self) -> int:
+        """Times the heap has been compacted since construction."""
+        return self._compactions
+
+    def _note_cancelled(self) -> None:
+        """A live heap entry was cancelled; compact once the dead
+        outnumber the living (and exceed the minimum threshold)."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= self._compaction_min
+            and self._cancelled * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant.
+
+        Entries keep their (time, sequence) keys, so dispatch order --
+        including insertion-order tie-breaking -- is unchanged.
+        """
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        self._compactions += 1
 
     @property
     def dispatched(self) -> int:
@@ -69,7 +127,7 @@ class Scheduler:
             raise ValueError(
                 f"cannot schedule in the past ({time:.6f} < {self.clock.now:.6f})"
             )
-        timer = Timer(time, callback, args)
+        timer = Timer(time, callback, args, scheduler=self)
         heapq.heappush(self._heap, (time, self._sequence, timer))
         self._sequence += 1
         return timer
@@ -84,7 +142,11 @@ class Scheduler:
         while self._heap:
             _, _, timer = heapq.heappop(self._heap)
             if not timer.cancelled:
+                # Dispatching detaches the handle: a late cancel() is a
+                # no-op and must not skew the dead-entry count.
+                timer._scheduler = None
                 return timer
+            self._cancelled -= 1
         return None
 
     def step(self) -> bool:
@@ -136,6 +198,7 @@ class Scheduler:
             time, _, timer = self._heap[0]
             if timer.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled -= 1
                 continue
             return time
         return None

@@ -1,0 +1,27 @@
+"""Test-suite configuration: hypothesis profiles.
+
+Profiles are selected with ``HYPOTHESIS_PROFILE=<name> pytest ...``:
+
+* ``default`` -- hypothesis defaults (local development).
+* ``ci`` -- derandomized with a bounded example budget, so CI runs
+  are reproducible and fast; the property jobs in the GitHub Actions
+  workflow pin this profile.
+* ``thorough`` -- a larger randomized budget for occasional deep
+  local runs.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile("default", settings())
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("thorough", max_examples=500, deadline=None)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -1,0 +1,149 @@
+"""Byzantine edge cases for leader voting (Section 4.3).
+
+Covers the corners the paper's reliability argument turns on: exact
+tie votes, unanimously malicious leader sets (suppression and
+framing), and degenerate single-leader groups.
+"""
+
+import random
+
+import pytest
+
+from repro.core.detection.aggregation import GroupVerdict
+from repro.core.detection.voting import (
+    LeaderBehavior,
+    LeaderVote,
+    majority_count,
+    reliability_bound,
+    retrieve_from_leaders,
+    tally_votes,
+)
+
+
+def _verdict(suspicious, group_index=0):
+    return GroupVerdict(
+        group_index=group_index, group_size=8, suspicious=set(suspicious)
+    )
+
+
+def _votes(*key_sets):
+    return [
+        LeaderVote(group_index=i, keys=frozenset(keys))
+        for i, keys in enumerate(key_sets)
+    ]
+
+
+class TestMajorityCount:
+    def test_strict_majority_even_total(self):
+        # 4 leaders at m=0.5: exactly half (2) is NOT a majority.
+        assert majority_count(4, 0.5) == 3
+
+    def test_strict_majority_odd_total(self):
+        assert majority_count(5, 0.5) == 3
+
+    def test_single_voter(self):
+        assert majority_count(1, 0.5) == 1
+
+    def test_supermajority_fraction(self):
+        assert majority_count(10, 0.66) == 7
+
+
+class TestTieVotes:
+    def test_even_split_is_not_a_majority(self):
+        # 2 of 4 leaders flag key 7: a tie, so key 7 must NOT be
+        # classified (majority is strictly more than half).
+        votes = _votes({7}, {7}, set(), set())
+        assert tally_votes(votes) == set()
+
+    def test_one_over_the_tie_classifies(self):
+        votes = _votes({7}, {7}, {7}, set())
+        assert tally_votes(votes) == {7}
+
+    def test_tie_with_disjoint_framings(self):
+        # Two adversaries frame different victims; neither reaches a
+        # majority of the 4-leader vote.
+        votes = _votes({1}, {2}, {9}, {9})
+        assert tally_votes(votes) == set()
+
+
+class TestAllLeadersMalicious:
+    def test_unanimous_suppression_reports_nothing(self):
+        verdicts = [_verdict({5, 6}, i) for i in range(5)]
+        votes = [
+            LeaderVote.from_verdict(v, behavior=LeaderBehavior.SUPPRESS)
+            for v in verdicts
+        ]
+        assert all(vote.keys == frozenset() for vote in votes)
+        assert tally_votes(votes) == set()
+
+    def test_unanimous_framing_classifies_victims(self):
+        # When every leader is adversarial the majority defence is
+        # void by construction: framed innocents are classified.
+        verdicts = [_verdict({5}, i) for i in range(3)]
+        votes = [
+            LeaderVote.from_verdict(
+                v, behavior=LeaderBehavior.FRAME, framed_keys=(42,)
+            )
+            for v in verdicts
+        ]
+        assert tally_votes(votes) == {5, 42}
+
+    def test_reliability_bound_flags_overrun(self):
+        # |A| < n*m is the paper's condition; an all-malicious sample
+        # violates it, a minority satisfies it.
+        assert not reliability_bound(adversarial=3, sample_size=3)
+        assert not reliability_bound(adversarial=2, sample_size=3)
+        assert reliability_bound(adversarial=1, sample_size=3)
+
+    def test_retrieval_from_unanimous_framers(self):
+        lists = [{42} for _ in range(4)]
+        got = retrieve_from_leaders(lists, sample_size=3, rng=random.Random(0))
+        assert got == {42}
+
+    def test_minority_framers_filtered_on_retrieval(self):
+        # 1 adversarial list in a sample of 3: the framed key cannot
+        # reach the majority of 2.
+        lists = [{1, 2}, {1, 2}, {1, 2, 99}]
+        got = retrieve_from_leaders(lists, sample_size=3, rng=random.Random(0))
+        assert got == {1, 2}
+
+
+class TestSingleLeaderGroups:
+    def test_single_honest_leader_classifies_alone(self):
+        votes = [LeaderVote.from_verdict(_verdict({3, 4}))]
+        assert tally_votes(votes) == {3, 4}
+
+    def test_single_framing_leader_is_unchecked(self):
+        vote = LeaderVote.from_verdict(
+            _verdict({3}), behavior=LeaderBehavior.FRAME, framed_keys=(8,)
+        )
+        assert tally_votes([vote]) == {3, 8}
+
+    def test_retrieval_sample_of_one(self):
+        got = retrieve_from_leaders([{9}], sample_size=1, rng=random.Random(1))
+        assert got == {9}
+
+    def test_sample_larger_than_leader_set_is_clamped(self):
+        lists = [{4}, {4}]
+        got = retrieve_from_leaders(lists, sample_size=10, rng=random.Random(2))
+        assert got == {4}
+
+
+class TestValidation:
+    def test_no_votes_tallies_empty(self):
+        assert tally_votes([]) == set()
+
+    def test_majority_fraction_bounds(self):
+        votes = _votes({1})
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                tally_votes(votes, majority_fraction=bad)
+
+    def test_retrieval_sample_size_validated(self):
+        with pytest.raises(ValueError):
+            retrieve_from_leaders([{1}], sample_size=0, rng=random.Random(0))
+
+    def test_retrieval_no_leaders(self):
+        assert (
+            retrieve_from_leaders([], sample_size=3, rng=random.Random(0)) == set()
+        )

@@ -1,0 +1,43 @@
+"""Shared test point functions for the runner suite.
+
+Registered at conftest import so every module in tests/runner/ (and
+any forked worker process) can resolve them by name.
+"""
+
+import os
+
+from repro.runner.registry import register_point
+
+
+@register_point("t-square")
+def _square(params, seed):
+    return {"x": params["x"], "square": params["x"] ** 2, "seed": seed}
+
+
+@register_point("t-flaky")
+def _flaky(params, seed):
+    # Fails until its marker file exists; the first attempt creates it,
+    # so attempt 2 succeeds -- in this process or any forked worker.
+    marker = params["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("attempted")
+        raise RuntimeError("flaky point: first attempt fails")
+    return {"x": params["x"], "recovered": True}
+
+
+@register_point("t-hard-crash")
+def _hard_crash(params, seed):
+    # Kills the worker outright (no exception, no cleanup) on the
+    # first attempt: exercises BrokenExecutor pool recovery.
+    marker = params["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("crashed")
+        os._exit(17)
+    return {"x": params["x"], "survived": True}
+
+
+@register_point("t-always-fail")
+def _always_fail(params, seed):
+    raise RuntimeError("this point never succeeds")

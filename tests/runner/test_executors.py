@@ -1,0 +1,214 @@
+"""Executor tests: serial/parallel equivalence, retries, crash
+recovery, and progress reporting.
+
+The worker-pool tests rely on the default ``fork`` start method so
+point functions registered by this module are visible to workers.
+"""
+
+import os
+
+import pytest
+
+from repro.runner.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    SweepExecutionError,
+    run_sweep,
+)
+from repro.runner.progress import (
+    POINT_DONE,
+    POINT_RETRY,
+    SWEEP_DONE,
+    SWEEP_START,
+    ConsoleProgress,
+    ProgressEvent,
+)
+from repro.runner.registry import register_point, registered_points, resolve_point
+from repro.runner.sweep import SweepSpec, make_points
+
+
+def _square_spec(n=6, root_seed=3):
+    return SweepSpec(
+        name="squares",
+        root_seed=root_seed,
+        points=make_points(root_seed, "t-square", [{"x": i} for i in range(n)]),
+    )
+
+
+class TestRegistry:
+    def test_resolve_known(self):
+        assert resolve_point("t-square")({"x": 3}, 0)["square"] == 9
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError, match="unknown point function"):
+            resolve_point("no-such-point")
+
+    def test_reregistration_conflict_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_point("t-square")(lambda params, seed: {})
+
+    def test_library_points_registered(self):
+        names = registered_points()
+        assert "zeus-detection-cell" in names
+        assert "zeus-ratio-crawl" in names
+        assert "sality-ratio-crawl" in names
+
+
+class TestSerialExecutor:
+    def test_runs_all_points_in_order(self):
+        result = SerialExecutor().run(_square_spec())
+        assert [v["square"] for v in result.values()] == [i * i for i in range(6)]
+        assert result.metrics.points_completed == 6
+        assert result.metrics.workers == 1
+
+    def test_retry_then_success(self, tmp_path):
+        spec = SweepSpec(
+            name="flaky",
+            root_seed=0,
+            points=make_points(
+                0, "t-flaky", [{"x": 1, "marker": str(tmp_path / "m1")}]
+            ),
+        )
+        result = SerialExecutor(max_retries=2).run(spec)
+        assert result.values()[0]["recovered"] is True
+        assert result.metrics.retries == 1
+        assert result.records[0].attempts == 2
+
+    def test_retry_budget_exhausted(self):
+        spec = SweepSpec(
+            name="fail",
+            root_seed=0,
+            points=make_points(0, "t-always-fail", [{}]),
+        )
+        with pytest.raises(SweepExecutionError, match="after 3 attempts"):
+            SerialExecutor(max_retries=2).run(spec)
+
+    def test_zero_retries_allowed(self):
+        spec = SweepSpec(
+            name="fail", root_seed=0, points=make_points(0, "t-always-fail", [{}])
+        )
+        with pytest.raises(SweepExecutionError, match="after 1 attempts"):
+            SerialExecutor(max_retries=0).run(spec)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            SerialExecutor(max_retries=-1)
+
+
+class TestProcessExecutor:
+    def test_matches_serial_results(self):
+        spec = _square_spec(n=10)
+        serial = SerialExecutor().run(spec)
+        parallel = ProcessExecutor(workers=3).run(spec)
+        assert serial.values() == parallel.values()
+        assert parallel.metrics.workers == 3
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(workers=0)
+
+    def test_retry_in_worker(self, tmp_path):
+        points = [{"x": 0, "marker": str(tmp_path / "w0")}]
+        spec = SweepSpec(
+            name="flaky", root_seed=0, points=make_points(0, "t-flaky", points)
+        )
+        result = ProcessExecutor(workers=2).run(spec)
+        assert result.values()[0]["recovered"] is True
+        assert result.metrics.retries == 1
+
+    def test_hard_crash_recovery(self, tmp_path):
+        # One point kills its worker; healthy points complete and the
+        # pool is rebuilt so the crasher's second attempt succeeds.
+        from repro.runner.sweep import SweepPoint, point_seed
+
+        spec = SweepSpec(
+            name="crashy",
+            root_seed=0,
+            points=(
+                SweepPoint(0, "t-square", {"x": 7}, point_seed(0, 0)),
+                SweepPoint(
+                    1,
+                    "t-hard-crash",
+                    {"x": 1, "marker": str(tmp_path / "crash-once")},
+                    point_seed(0, 1),
+                ),
+            ),
+        )
+        result = ProcessExecutor(workers=2).run(spec)
+        assert result.values()[0]["square"] == 49
+        assert result.values()[1]["survived"] is True
+        assert result.metrics.pool_restarts >= 1
+
+    def test_persistent_crasher_raises(self, tmp_path):
+        from repro.runner.sweep import SweepPoint, point_seed
+
+        # Marker path in a missing directory: creation fails, so the
+        # point crashes the worker on every attempt.
+        spec = SweepSpec(
+            name="doomed",
+            root_seed=0,
+            points=(
+                SweepPoint(
+                    0,
+                    "t-hard-crash",
+                    {"x": 0, "marker": str(tmp_path / "no-dir" / "m")},
+                    point_seed(0, 0),
+                ),
+            ),
+        )
+        with pytest.raises(SweepExecutionError):
+            ProcessExecutor(workers=2, max_retries=1).run(spec)
+
+
+class TestRunSweep:
+    def test_workers_one_uses_serial(self):
+        result = run_sweep(_square_spec(), workers=1)
+        assert result.metrics.workers == 1
+
+    def test_workers_many_matches_serial(self):
+        spec = _square_spec(n=8)
+        assert run_sweep(spec, workers=1).values() == run_sweep(spec, workers=4).values()
+
+
+class TestProgress:
+    def test_event_lifecycle(self):
+        events = []
+        SerialExecutor().run(_square_spec(n=3), progress=events.append)
+        kinds = [event.kind for event in events]
+        assert kinds[0] == SWEEP_START
+        assert kinds[-1] == SWEEP_DONE
+        assert kinds.count(POINT_DONE) == 3
+        done = [event for event in events if event.kind == POINT_DONE]
+        assert [event.completed for event in done] == [1, 2, 3]
+        assert all(event.total == 3 for event in events)
+
+    def test_retry_event_emitted(self, tmp_path):
+        events = []
+        spec = SweepSpec(
+            name="flaky",
+            root_seed=0,
+            points=make_points(
+                0, "t-flaky", [{"x": 1, "marker": str(tmp_path / "p")}]
+            ),
+        )
+        SerialExecutor().run(spec, progress=events.append)
+        assert POINT_RETRY in [event.kind for event in events]
+
+    def test_console_progress_writes_lines(self, tmp_path, capsys):
+        import io
+
+        stream = io.StringIO()
+        hook = ConsoleProgress(stream=stream)
+        SerialExecutor().run(_square_spec(n=2), progress=hook)
+        lines = stream.getvalue().splitlines()
+        assert lines[0].startswith("sweep: 2 points")
+        assert any("[2/2]" in line for line in lines)
+        assert lines[-1].startswith("sweep done")
+
+    def test_console_progress_handles_all_kinds(self):
+        import io
+
+        stream = io.StringIO()
+        hook = ConsoleProgress(stream=stream)
+        hook(ProgressEvent(kind="pool-restart", completed=0, total=1, detail="x"))
+        assert "restarted" in stream.getvalue()

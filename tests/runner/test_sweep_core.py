@@ -1,0 +1,151 @@
+"""Unit tests for sweep types, seed derivation, and aggregation."""
+
+import pytest
+
+from repro.runner.aggregate import (
+    coverage_relative,
+    coverage_series,
+    fig2_grid,
+    fig2_series,
+    render_fig2_sweep,
+    render_generic,
+    render_result,
+)
+from repro.runner.sweep import (
+    PointRecord,
+    SweepMetrics,
+    SweepResult,
+    SweepSpec,
+    make_points,
+    merge_records,
+    point_seed,
+)
+
+
+def _record(index, values, point="echo", seed=0):
+    return PointRecord(
+        index=index, point=point, params={}, seed=seed, values=values
+    )
+
+
+class TestPointSeeds:
+    def test_deterministic(self):
+        assert point_seed(42, 7) == point_seed(42, 7)
+
+    def test_distinct_across_indices(self):
+        seeds = [point_seed(0, i) for i in range(1000)]
+        assert len(set(seeds)) == 1000
+
+    def test_distinct_across_roots(self):
+        assert point_seed(0, 3) != point_seed(1, 3)
+
+    def test_make_points_assigns_index_derived_seeds(self):
+        points = make_points(9, "echo", [{"a": 1}, {"a": 2}, {"a": 3}])
+        assert [p.index for p in points] == [0, 1, 2]
+        assert [p.seed for p in points] == [point_seed(9, i) for i in range(3)]
+        assert all(p.point == "echo" for p in points)
+
+
+class TestMergeRecords:
+    def test_orders_by_index(self):
+        records = [_record(2, {"v": 2}), _record(0, {"v": 0}), _record(1, {"v": 1})]
+        merged = merge_records(records, 3)
+        assert [r.index for r in merged] == [0, 1, 2]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_records([_record(0, {}), _record(0, {})], 2)
+
+    def test_missing_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            merge_records([_record(0, {}), _record(2, {})], 3)
+
+
+class TestMetrics:
+    def test_utilization_bounds(self):
+        metrics = SweepMetrics(workers=2, points_total=4)
+        assert metrics.utilization() == 0.0
+        metrics.wall_time = 10.0
+        metrics.point_wall_times = [5.0, 5.0, 5.0, 5.0]
+        assert metrics.utilization() == 1.0
+        metrics.point_wall_times = [1.0]
+        assert 0.0 < metrics.utilization() < 1.0
+
+    def test_summary_mentions_counts(self):
+        metrics = SweepMetrics(
+            workers=3, points_total=5, points_completed=5, wall_time=2.0
+        )
+        text = metrics.summary()
+        assert "5/5" in text
+        assert "3 workers" in text
+
+
+def _sweep_result(values_list, aggregator=None, point="p"):
+    spec = SweepSpec(
+        name="t",
+        root_seed=0,
+        points=make_points(0, point, [{} for _ in values_list]),
+        aggregator=aggregator,
+    )
+    records = [_record(i, values, point=point) for i, values in enumerate(values_list)]
+    return SweepResult(spec=spec, records=records, metrics=SweepMetrics())
+
+
+class TestFig2Aggregation:
+    def _result(self):
+        values = [
+            {"threshold": 0.05, "ratio": 2, "detection_rate": 0.5, "false_positives": 1},
+            {"threshold": 0.05, "ratio": 1, "detection_rate": 1.0, "false_positives": 2},
+            {"threshold": 0.10, "ratio": 1, "detection_rate": 0.75, "false_positives": 0},
+        ]
+        return _sweep_result(values, aggregator="fig2")
+
+    def test_series_grouped_and_sorted(self):
+        series = fig2_series(self._result())
+        assert series[0.05] == [(1, 100.0), (2, 50.0)]
+        assert series[0.10] == [(1, 75.0)]
+
+    def test_grid_keyed_like_detection_grid(self):
+        grid = fig2_grid(self._result())
+        assert grid[(0.05, 1)]["false_positives"] == 2
+
+    def test_render_includes_every_ratio_column(self):
+        text = render_fig2_sweep(self._result())
+        assert "1/1" in text and "1/2" in text
+        assert "Figure 2" in text
+
+    def test_render_result_dispatches_on_aggregator(self):
+        assert "Figure 2" in render_result(self._result())
+
+
+class TestCoverageAggregation:
+    def _result(self):
+        values = [
+            {"ratio": 1, "distinct_ips": 100, "series": [[0.0, 10], [3600.0, 100]]},
+            {"ratio": 4, "distinct_ips": 40, "series": [[0.0, 5], [3600.0, 40]]},
+        ]
+        return _sweep_result(values)
+
+    def test_relative_coverage(self):
+        relative = coverage_relative(self._result())
+        assert relative == {"1/1": 1.0, "1/4": 0.4}
+
+    def test_series_labels(self):
+        series = coverage_series(self._result())
+        assert series["1/4"] == [(0.0, 5), (3600.0, 40)]
+
+    def test_missing_baseline_rejected(self):
+        result = _sweep_result([{"ratio": 2, "distinct_ips": 5, "series": []}])
+        with pytest.raises(ValueError, match="baseline"):
+            coverage_relative(result)
+
+
+class TestGenericRender:
+    def test_renders_rows(self):
+        result = _sweep_result([{"a": 1, "b": 2.5}, {"a": 3, "b": 0.5}])
+        text = render_generic(result)
+        assert "a" in text and "b" in text
+        assert "3" in text
+
+    def test_empty_sweep(self):
+        assert "empty" in render_generic(_sweep_result([]))

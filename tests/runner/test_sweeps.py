@@ -1,0 +1,134 @@
+"""Integration tests: the paper's sweeps on the runner.
+
+The headline guarantee -- an identical root seed produces
+byte-identical aggregated output at any worker count -- is asserted
+here on scaled-down Figure 2 and Figure 3 sweeps (the acceptance
+criterion of the sharded-runner work).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runner import build_sweep, render_result, run_sweep
+from repro.runner.aggregate import coverage_relative, fig2_grid
+from repro.runner.sweeps import SWEEPS, fig2_sweep, fig3_zeus_sweep
+from repro.sim.rng import derive_seed
+
+#: Small-but-real sweep settings shared by the equality tests: tiny
+#: population, short windows, trimmed axes.
+FIG2_SMALL = dict(
+    scale="tiny",
+    sensors=12,
+    announce_hours=1.0,
+    measure_hours=3.0,
+    thresholds=(0.05, 0.10),
+    ratios=(1, 4),
+    fleet_size=4,
+)
+FIG3_SMALL = dict(
+    scale="tiny", sensors=4, announce_hours=1.0, hours=3.0, ratios=(1, 4)
+)
+
+
+class TestSweepSpecs:
+    def test_fig2_spec_shape(self):
+        spec = fig2_sweep(root_seed=5)
+        assert spec.name == "fig2"
+        assert len(spec) == 15  # 3 thresholds x 5 ratios
+        assert spec.aggregator == "fig2"
+        # Every cell shares one capture and one detection seed (the
+        # paper's replay methodology) ...
+        captures = {p.params["capture_seed"] for p in spec.points}
+        detections = {p.params["detection_seed"] for p in spec.points}
+        assert captures == {derive_seed(5, "fig2-capture")}
+        assert detections == {derive_seed(5, "fig2-detection")}
+        # ... while per-point child seeds are index-derived.
+        assert len({p.seed for p in spec.points}) == len(spec)
+
+    def test_fig3_spec_shape(self):
+        spec = fig3_zeus_sweep(root_seed=5, ratios=(1, 2, 4))
+        assert [p.params["ratio"] for p in spec.points] == [1, 2, 4]
+        assert spec.aggregator == "fig3-zeus"
+
+    def test_build_sweep_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown sweep"):
+            build_sweep("no-such-sweep")
+
+    def test_registry_covers_fig2_and_fig3(self):
+        assert {"fig2", "fig3-zeus", "fig3-sality"} <= set(SWEEPS)
+
+
+class TestFig2Determinism:
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        return run_sweep(fig2_sweep(root_seed=11, **FIG2_SMALL), workers=1)
+
+    def test_parallel_matches_serial_byte_identical(self, serial_result):
+        parallel = run_sweep(fig2_sweep(root_seed=11, **FIG2_SMALL), workers=2)
+        # Deterministic payloads are identical record by record ...
+        assert serial_result.values() == parallel.values()
+        # ... and so are the rendered exhibit and the JSON encoding,
+        # byte for byte.
+        assert render_result(serial_result) == render_result(parallel)
+        assert json.dumps(serial_result.values(), sort_keys=True) == json.dumps(
+            parallel.values(), sort_keys=True
+        )
+
+    def test_rerun_is_bit_stable(self, serial_result):
+        again = run_sweep(fig2_sweep(root_seed=11, **FIG2_SMALL), workers=1)
+        assert serial_result.values() == again.values()
+
+    def test_different_root_seed_changes_capture(self, serial_result):
+        other = run_sweep(fig2_sweep(root_seed=12, **FIG2_SMALL), workers=1)
+        assert serial_result.values() != other.values()
+
+    def test_full_contact_detects_most_crawlers(self, serial_result):
+        grid = fig2_grid(serial_result)
+        for threshold in FIG2_SMALL["thresholds"]:
+            assert grid[(threshold, 1)]["detection_rate"] >= grid[
+                (threshold, FIG2_SMALL["ratios"][-1])
+            ]["detection_rate"]
+
+
+class TestFig3Determinism:
+    def test_parallel_matches_serial(self):
+        serial = run_sweep(fig3_zeus_sweep(root_seed=7, **FIG3_SMALL), workers=1)
+        parallel = run_sweep(fig3_zeus_sweep(root_seed=7, **FIG3_SMALL), workers=2)
+        assert serial.values() == parallel.values()
+        assert render_result(serial) == render_result(parallel)
+        relative = coverage_relative(serial)
+        assert relative["1/1"] == 1.0
+        assert relative["1/4"] <= 1.0
+
+
+class TestSweepCli:
+    def test_list(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "fig2" in out and "fig3-zeus" in out
+
+    def test_missing_name_errors(self, capsys):
+        assert main(["sweep"]) == 2
+
+    def test_fig2_text_output_deterministic(self, capsys):
+        argv = [
+            "sweep", "fig2", "--seed", "4", "--ratios", "1", "2", "--no-progress"
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "Figure 2" in first
+        assert first == second
+
+    def test_json_output(self, capsys):
+        argv = [
+            "sweep", "fig3-zeus", "--seed", "4", "--ratios", "1",
+            "--json", "--no-progress",
+        ]
+        assert main(argv) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["ratio"] == 1
+        assert records[0]["distinct_ips"] > 0

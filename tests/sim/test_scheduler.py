@@ -76,6 +76,66 @@ class TestCancellation:
         assert sched.pending == 1
         assert keep is not drop
 
+    def test_double_cancel_is_idempotent(self):
+        sched = Scheduler()
+        sched.call_at(1.0, lambda: None)
+        drop = sched.call_at(2.0, lambda: None)
+        drop.cancel()
+        drop.cancel()
+        assert sched.pending == 1
+
+    def test_cancel_after_dispatch_is_noop(self):
+        sched = Scheduler()
+        timer = sched.call_at(1.0, lambda: None)
+        sched.call_at(2.0, lambda: None)
+        sched.run_until(1.0)
+        timer.cancel()
+        assert sched.pending == 1
+
+
+class TestCompaction:
+    def test_heap_bounded_under_cancel_churn(self):
+        """Dead entries must not accumulate indefinitely (the old lazy
+        scheme kept every cancelled timer until its time came up)."""
+        sched = Scheduler()
+        for _ in range(50):
+            timers = [sched.call_at(1e9 + i, lambda: None) for i in range(1000)]
+            for timer in timers:
+                timer.cancel()
+        assert sched.pending == 0
+        # Without compaction the heap would hold all 50k dead entries;
+        # with it, at most one batch survives between compaction runs.
+        assert sched.heap_size <= 2000
+        assert sched.compactions > 0
+
+    def test_compaction_preserves_order_and_live_timers(self):
+        sched = Scheduler(compaction_min=1)
+        fired = []
+        keep = [sched.call_at(10.0 + i, fired.append, i) for i in range(5)]
+        drop = [sched.call_at(5.0, lambda: fired.append("dead")) for _ in range(20)]
+        for timer in drop:
+            timer.cancel()
+        assert sched.compactions > 0
+        sched.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert all(not timer.cancelled for timer in keep)
+
+    def test_tie_break_survives_compaction(self):
+        sched = Scheduler(compaction_min=1)
+        fired = []
+        for tag in ("a", "b", "c"):
+            sched.call_at(1.0, fired.append, tag)
+        for _ in range(10):
+            sched.call_at(0.5, lambda: None).cancel()
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_small_heaps_not_compacted(self):
+        sched = Scheduler()
+        for _ in range(Scheduler.COMPACTION_MIN - 1):
+            sched.call_at(1.0, lambda: None).cancel()
+        assert sched.compactions == 0
+
 
 class TestRunUntil:
     def test_runs_only_due_events(self):
