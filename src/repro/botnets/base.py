@@ -179,6 +179,10 @@ class BotNode:
         self.cycle_jitter = cycle_jitter
         self.counters = BotCounters()
         self.online = False
+        # Gossip suppression (the "mute" node fault): the node stays
+        # bound and keeps answering, but its periodic active behaviour
+        # is skipped -- a leader that silently stops participating.
+        self.gossip_suppressed = False
         self._cycle_timer: Optional[Timer] = None
 
     # -- lifecycle -------------------------------------------------------
@@ -228,8 +232,9 @@ class BotNode:
     def _cycle(self) -> None:
         if not self.online:
             return
-        self.counters.cycles += 1
-        self.run_cycle()
+        if not self.gossip_suppressed:
+            self.counters.cycles += 1
+            self.run_cycle()
         jitter = self.rng.uniform(1 - self.cycle_jitter, 1 + self.cycle_jitter)
         self._cycle_timer = self.scheduler.call_later(
             self.cycle_interval * jitter, self._cycle

@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.botnets.base import BotNode
 from repro.botnets.graph import ConnectivityGraph
+from repro.faults.injector import FaultyTransport
+from repro.faults.plan import FaultPlan
 from repro.net.address import AddressPool, Subnet, subnet_key
 from repro.net.churn import ChurnConfig, ChurnProcess, DiurnalModel
 from repro.net.nat import NatGateway
@@ -55,6 +57,9 @@ class PopulationConfig:
     # fixed window precisely to sidestep churn).
     churn: Optional[ChurnConfig] = None
     transport: TransportConfig = field(default_factory=TransportConfig)
+    # Scheduled transport faults (chaos experiments).  None/empty keeps
+    # the plain Transport so healthy runs replay byte-for-byte.
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -74,9 +79,20 @@ class PopulationBuilder:
         self.config = config
         self.rngs = RngRegistry(config.master_seed)
         self.scheduler = Scheduler()
-        self.transport = Transport(
-            self.scheduler, self.rngs.stream("transport"), config=config.transport
-        )
+        if config.fault_plan is not None and not config.fault_plan.empty:
+            # Fault draws come from their own stream so the base
+            # transport's draws stay aligned with fault-free runs.
+            self.transport: Transport = FaultyTransport(
+                self.scheduler,
+                self.rngs.stream("transport"),
+                plan=config.fault_plan,
+                fault_rng=self.rngs.stream("faults"),
+                config=config.transport,
+            )
+        else:
+            self.transport = Transport(
+                self.scheduler, self.rngs.stream("transport"), config=config.transport
+            )
         net_rng = self.rngs.stream("addresses")
         self.routable_pool = AddressPool(
             [Subnet.parse(block) for block in config.routable_blocks], net_rng

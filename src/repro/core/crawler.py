@@ -32,9 +32,10 @@ from repro.core.defects import (
     ZeusForger,
 )
 from repro.core.stealth import StealthPolicy
+from repro.faults.retry import NO_RETRY, RetryPolicy
 from repro.net.transport import Endpoint, Message, Transport
 from repro.sim.clock import HOUR
-from repro.sim.scheduler import Scheduler
+from repro.sim.scheduler import Scheduler, Timer
 
 
 @dataclass
@@ -51,6 +52,12 @@ class CrawlReport:
     responses_received: int = 0
     targets_contacted: int = 0
     targets_excluded: int = 0
+    # Resilience accounting: pending requests expired on timeout,
+    # re-issues sent under the retry policy, and targets abandoned
+    # after the retry budget ran dry.
+    requests_expired: int = 0
+    retries_sent: int = 0
+    targets_given_up: int = 0
 
     def note_discovery(self, time: float, bot_id: bytes, endpoint: Endpoint) -> bool:
         """Record a learned peer; True if the bot id is new."""
@@ -87,17 +94,42 @@ class CrawlReport:
 
 
 class _Target:
-    __slots__ = ("bot_id", "endpoint", "requests_sent", "responded")
+    __slots__ = (
+        "bot_id", "endpoint", "requests_sent", "responded",
+        "retries", "retry_scheduled", "gave_up",
+    )
 
     def __init__(self, bot_id: bytes, endpoint: Endpoint) -> None:
         self.bot_id = bot_id
         self.endpoint = endpoint
         self.requests_sent = 0
         self.responded = False
+        self.retries = 0
+        self.retry_scheduled = False
+        self.gave_up = False
+
+
+@dataclass
+class _PendingRequest:
+    """One in-flight request awaiting its reply."""
+
+    target_id: bytes
+    sent_at: float
+    source_id: bytes = b""  # Zeus: the source id the reply is keyed under
 
 
 class _CrawlerBase:
-    """Shared crawl-loop machinery; family subclasses do the wire work."""
+    """Shared crawl-loop machinery; family subclasses do the wire work.
+
+    Pending requests live in ``self._pending`` (keyed by session id or
+    nonce, family-specific) and are *expired* once they outlive
+    ``retry.timeout``: a lost reply must not leak the entry forever.
+    With a retrying policy, expired targets are re-issued to with
+    exponential backoff until the per-target and global budgets run
+    out; the default :data:`~repro.faults.retry.NO_RETRY` policy only
+    expires (the paper's crawlers never retried), keeping baseline runs
+    byte-identical.
+    """
 
     def __init__(
         self,
@@ -107,6 +139,7 @@ class _CrawlerBase:
         scheduler: Scheduler,
         rng: random.Random,
         policy: Optional[StealthPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.name = name
         self.endpoint = endpoint
@@ -114,10 +147,14 @@ class _CrawlerBase:
         self.scheduler = scheduler
         self.rng = rng
         self.policy = policy if policy is not None else StealthPolicy()
+        self.retry = retry if retry is not None else NO_RETRY
         self.report = CrawlReport()
         self.running = False
         self._targets: Dict[bytes, _Target] = {}
+        self._pending: Dict[object, _PendingRequest] = {}
         self._request_counter = 0
+        self._retries_spent = 0
+        self._expiry_timer: Optional[Timer] = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -137,14 +174,84 @@ class _CrawlerBase:
             # to its seed list to get going at all; contact-ratio
             # limiting applies to peers *discovered* during the crawl.
             self.discover(bot_id, endpoint, force_contact=True)
+        self._schedule_expiry_sweep()
 
     def stop(self) -> None:
         if not self.running:
             return
         self.running = False
+        if self._expiry_timer is not None:
+            self._expiry_timer.cancel()
+            self._expiry_timer = None
         self.transport.unbind(self.endpoint)
         for source in self.policy.source_endpoints:
             self.transport.unbind(source)
+
+    # -- pending-request expiry / retry -------------------------------------
+
+    def _schedule_expiry_sweep(self) -> None:
+        self._expiry_timer = self.scheduler.call_later(
+            max(1.0, self.retry.timeout / 2.0), self._expiry_sweep
+        )
+
+    def _expiry_sweep(self) -> None:
+        if not self.running:
+            return
+        self._expire_pending(self.scheduler.now)
+        self._schedule_expiry_sweep()
+
+    def _expire_pending(self, now: float) -> None:
+        """Drop pending entries whose reply never came.
+
+        Without this, every lost reply leaked its ``_pending`` entry
+        forever and the slot was silently dead.
+        """
+        expired = [
+            key
+            for key, pending in self._pending.items()
+            if now - pending.sent_at > self.retry.timeout
+        ]
+        for key in expired:
+            pending = self._pending.pop(key)
+            self.report.requests_expired += 1
+            self._on_request_expired(pending)
+
+    def _on_request_expired(self, pending: _PendingRequest) -> None:
+        target = self._targets.get(pending.target_id)
+        if target is None or target.responded or not self.running:
+            return
+        if target.requests_sent < self.policy.requests_per_target:
+            return  # the scheduled request loop is still firing
+        if target.retry_scheduled or any(
+            p.target_id == pending.target_id for p in self._pending.values()
+        ):
+            return  # a younger request (or a queued retry) may still answer
+        budget = self.retry.retry_budget
+        out_of_budget = budget is not None and self._retries_spent >= budget
+        if target.retries >= self.retry.max_retries or out_of_budget:
+            if not target.gave_up:
+                target.gave_up = True
+                self.report.targets_given_up += 1
+            return
+        target.retries += 1
+        target.retry_scheduled = True
+        self._retries_spent += 1
+        delay = self.retry.backoff(target.retries - 1, self.rng)
+        self.scheduler.call_later(delay, self._refire, target)
+
+    def _refire(self, target: _Target) -> None:
+        target.retry_scheduled = False
+        if not self.running or target.responded:
+            return
+        self._request_counter += 1
+        self.report.requests_sent += 1
+        self.report.retries_sent += 1
+        self.send_request(target)
+
+    @property
+    def pending_requests(self) -> int:
+        """Live pending entries (bounded by expiry; tests assert this)."""
+        return len(self._pending)
 
     # -- discovery / scheduling -----------------------------------------------
 
@@ -214,18 +321,22 @@ class ZeusCrawler(_CrawlerBase):
         rng: random.Random,
         policy: Optional[StealthPolicy] = None,
         profile: ZeusDefectProfile = CLEAN_ZEUS,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        super().__init__(name, endpoint, transport, scheduler, rng, policy)
+        super().__init__(name, endpoint, transport, scheduler, rng, policy, retry)
         self.profile = profile
         self.forger = ZeusForger(profile, rng)
-        # session id -> (target id, source id used) for reply decryption.
-        self._pending: Dict[bytes, Tuple[bytes, bytes]] = {}
+        # session id -> pending request, for reply matching/decryption.
+        self._pending: Dict[bytes, _PendingRequest] = {}
         self._recent_source_ids: List[bytes] = []
 
     def send_request(self, target: _Target) -> None:
+        now = self.scheduler.now
         lookup = self.forger.lookup_key(target.bot_id)
         message = self.forger.build(MessageType.PEER_LIST_REQUEST, payload=lookup)
-        self._pending[message.session_id] = (target.bot_id, message.source_id)
+        self._pending[message.session_id] = _PendingRequest(
+            target_id=target.bot_id, sent_at=now, source_id=message.source_id
+        )
         self._remember_source(message.source_id)
         source = self._source_endpoint()
         self.transport.send(source, target.endpoint, self.forger.encrypt(message, target.bot_id))
@@ -233,7 +344,9 @@ class ZeusCrawler(_CrawlerBase):
             # Protocol-adherent crawlers intersperse the other message
             # types normal bots use (Section 4.1.4).
             extra = self.forger.build(MessageType.VERSION_REQUEST)
-            self._pending[extra.session_id] = (target.bot_id, extra.source_id)
+            self._pending[extra.session_id] = _PendingRequest(
+                target_id=target.bot_id, sent_at=now, source_id=extra.source_id
+            )
             self.report.requests_sent += 1
             self.transport.send(source, target.endpoint, self.forger.encrypt(extra, target.bot_id))
 
@@ -260,7 +373,7 @@ class ZeusCrawler(_CrawlerBase):
         pending = self._pending.pop(decoded.session_id, None)
         if pending is None:
             return
-        target_id, _ = pending
+        target_id = pending.target_id
         self.report.responses_received += 1
         target = self._targets.get(target_id)
         if target is not None and not target.responded:
@@ -297,11 +410,12 @@ class SalityCrawler(_CrawlerBase):
         rng: random.Random,
         policy: Optional[StealthPolicy] = None,
         profile: SalityDefectProfile = CLEAN_SALITY,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        super().__init__(name, endpoint, transport, scheduler, rng, policy)
+        super().__init__(name, endpoint, transport, scheduler, rng, policy, retry)
         self.profile = profile
         self.forger = SalityForger(profile, rng)
-        self._pending: Dict[int, bytes] = {}  # nonce -> target id
+        self._pending: Dict[int, _PendingRequest] = {}  # nonce -> pending
         self._ephemerals: Set[Endpoint] = set()
 
     def _exchange_source(self) -> Endpoint:
@@ -342,7 +456,9 @@ class SalityCrawler(_CrawlerBase):
         else:
             command, payload = Command.PEER_REQUEST, b""
         message = self.forger.build(command, payload=payload)
-        self._pending[message.nonce] = target.bot_id
+        self._pending[message.nonce] = _PendingRequest(
+            target_id=target.bot_id, sent_at=self.scheduler.now
+        )
         self.transport.send(self._exchange_source(), target.endpoint, self.forger.encode(message))
 
     def _on_message(self, message: Message) -> None:
@@ -350,9 +466,10 @@ class SalityCrawler(_CrawlerBase):
             decoded = sality_protocol.decode_packet(message.payload)
         except SalityDecodeError:
             return
-        target_id = self._pending.pop(decoded.nonce, None)
-        if target_id is None:
+        pending = self._pending.pop(decoded.nonce, None)
+        if pending is None:
             return
+        target_id = pending.target_id
         self.report.responses_received += 1
         target = self._targets.get(target_id)
         if target is not None and not target.responded:

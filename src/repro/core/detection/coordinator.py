@@ -35,6 +35,11 @@ class DetectionConfig:
     history_interval: float = DAY
     aggregation_prefix: int = 32
     majority_fraction: float = 0.5
+    # Minimum fraction of expected leader votes that must survive for
+    # the round to count as quorate.  Below it the round still tallies
+    # the surviving-leader majority, but flags itself non-quorate and
+    # its confidence tells consumers how much to trust the verdict.
+    min_quorum_fraction: float = 0.5
 
     def __post_init__(self) -> None:
         if self.group_bits < 0:
@@ -43,6 +48,8 @@ class DetectionConfig:
             raise ValueError("threshold must be in (0, 1]")
         if self.history_interval <= 0:
             raise ValueError("history_interval must be positive")
+        if not 0 < self.min_quorum_fraction <= 1:
+            raise ValueError("min_quorum_fraction must be in (0, 1]")
 
     @property
     def group_count(self) -> int:
@@ -51,13 +58,21 @@ class DetectionConfig:
 
 @dataclass
 class DetectionRoundResult:
-    """Everything one round produced."""
+    """Everything one round produced.
+
+    ``confidence`` is the fraction of expected leader votes that were
+    actually cast: 1.0 in a healthy round, lower when leaders crashed
+    mid-round and the result fell back to the surviving majority.
+    """
 
     round_end: float
     bit_positions: Tuple[int, ...]
     leaders: Dict[int, str]
     verdicts: Dict[int, GroupVerdict]
     classified: Set[int] = field(default_factory=set)
+    confidence: float = 1.0
+    failed_groups: Tuple[int, ...] = ()
+    quorum_met: bool = True
 
     def group_sizes(self) -> Dict[int, int]:
         return {index: verdict.group_size for index, verdict in self.verdicts.items()}
@@ -70,6 +85,7 @@ def run_round(
     round_end: Optional[float] = None,
     leader_behaviors: Optional[Dict[int, LeaderBehavior]] = None,
     framed_keys: Sequence[int] = (),
+    failed_groups: Sequence[int] = (),
 ) -> DetectionRoundResult:
     """Execute one detection round over ``participants``.
 
@@ -77,7 +93,10 @@ def run_round(
     round_end)``; it defaults to just past the latest request seen.
     ``leader_behaviors`` marks groups whose leader is adversarial
     (Byzantine-tolerance experiments); ``framed_keys`` are the innocent
-    keys FRAME leaders try to blacklist.
+    keys FRAME leaders try to blacklist.  ``failed_groups`` are groups
+    whose leader crashed mid-round: their aggregation is lost, their
+    vote is never cast, and the round degrades to the surviving-leader
+    majority with a correspondingly reduced confidence.
     """
     if not participants:
         raise ValueError("detection needs at least one participant")
@@ -92,10 +111,19 @@ def run_round(
     groups = assign_groups(participants, bit_positions)
     leaders = elect_leaders(groups, rng)
     behaviors = leader_behaviors or {}
+    failed = set(failed_groups)
     verdicts: Dict[int, GroupVerdict] = {}
     votes: List[LeaderVote] = []
+    expected_votes = 0
+    lost_groups: List[int] = []
     for index, members in groups.items():
         if not members:
+            continue
+        expected_votes += 1
+        if index in failed:
+            # The leader died before submitting: its group's
+            # aggregation (which only the leader held) is lost.
+            lost_groups.append(index)
             continue
         verdict = aggregate_group(
             group_index=index,
@@ -114,12 +142,16 @@ def run_round(
             )
         )
     classified = tally_votes(votes, config.majority_fraction)
+    confidence = len(votes) / expected_votes if expected_votes else 0.0
     return DetectionRoundResult(
         round_end=round_end,
         bit_positions=bit_positions,
         leaders=leaders,
         verdicts=verdicts,
         classified=classified,
+        confidence=confidence,
+        failed_groups=tuple(lost_groups),
+        quorum_met=confidence >= config.min_quorum_fraction,
     )
 
 
@@ -130,15 +162,30 @@ def run_periodic_rounds(
     start: float,
     end: float,
     period: float = HOUR,
+    leader_crash_rate: float = 0.0,
 ) -> List[DetectionRoundResult]:
     """Hourly (by default) rounds across a window, as deployed: each
     round re-partitions groups so crawlers cannot adapt to a fixed
-    grouping.  The union of classifications is the detector's output."""
+    grouping.  The union of classifications is the detector's output.
+
+    ``leader_crash_rate`` is the per-round probability that any given
+    group's leader crashes before voting (chaos experiments); zero
+    draws nothing from ``rng``, so healthy runs replay unchanged.
+    """
     if period <= 0:
         raise ValueError("period must be positive")
+    if not 0.0 <= leader_crash_rate < 1.0:
+        raise ValueError("leader_crash_rate must be in [0, 1)")
     results = []
     t = start + period
     while t <= end + 1e-9:
-        results.append(run_round(participants, config, rng, round_end=t))
+        failed: Sequence[int] = ()
+        if leader_crash_rate:
+            failed = [
+                index
+                for index in range(config.group_count)
+                if rng.random() < leader_crash_rate
+            ]
+        results.append(run_round(participants, config, rng, round_end=t, failed_groups=failed))
         t += period
     return results

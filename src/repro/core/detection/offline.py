@@ -134,6 +134,10 @@ class EvaluationResult:
     false_positive_keys: Set[int]
     config: DetectionConfig
     contact_ratio: int = 1
+    # Degradation annotations (chaos runs): fraction of leader votes
+    # actually cast, and whether the round met its vote quorum.
+    confidence: float = 1.0
+    quorum_met: bool = True
 
     @property
     def detection_rate(self) -> float:
@@ -152,11 +156,15 @@ def evaluate_detection(
     rng: random.Random,
     contact_ratio: int = 1,
     round_end: Optional[float] = None,
+    failed_groups: Sequence[int] = (),
 ) -> EvaluationResult:
     """Run one detection round over (possibly ratio-limited) logs and
-    score it against the ground-truth crawler IPs."""
+    score it against the ground-truth crawler IPs.  ``failed_groups``
+    replays leader crashes (see :func:`run_round`)."""
     replay = simulate_contact_ratio(dataset, crawler_ips, contact_ratio)
-    result = run_round(list(replay.participants), config, rng, round_end=round_end)
+    result = run_round(
+        list(replay.participants), config, rng, round_end=round_end, failed_groups=failed_groups
+    )
     prefix = config.aggregation_prefix
     crawler_keys: Dict[int, Set[int]] = {}
     for ip in crawler_ips:
@@ -172,6 +180,8 @@ def evaluate_detection(
         false_positive_keys=false_keys,
         config=config,
         contact_ratio=contact_ratio,
+        confidence=result.confidence,
+        quorum_met=result.quorum_met,
     )
 
 

@@ -32,6 +32,7 @@ from repro.botnets.sality.protocol import Command, SalityDecodeError
 from repro.botnets.zeus import protocol as zeus_protocol
 from repro.botnets.zeus.bot import ZeusBot, ZeusConfig
 from repro.botnets.zeus.protocol import MessageType, ZeusDecodeError, ZeusMessage
+from repro.faults.retry import RetryPolicy
 from repro.net.transport import Endpoint, Message, Transport
 from repro.sim.clock import DAY, MINUTE
 from repro.sim.scheduler import Scheduler
@@ -107,6 +108,7 @@ class ZeusSensor(ZeusBot):
         announce_duration: float = 2 * DAY,
         announce_fanout: int = 10,
         active_peer_list_requests: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(
             node_id=node_id,
@@ -122,10 +124,16 @@ class ZeusSensor(ZeusBot):
         self.announce_duration = announce_duration
         self.announce_fanout = announce_fanout
         self.active_peer_list_requests = active_peer_list_requests
+        # Optional resilience for active probing: re-issue peer-list
+        # probes whose replies the network ate (None = never retry).
+        self.retry = retry
+        self.probes_expired = 0
+        self.probe_retries = 0
         self.observations: List[ObservedZeusMessage] = []
         self.observed_edges: Set[Tuple[bytes, bytes]] = set()
         self._started_at: Optional[float] = None
         self._probed_sources: Set[bytes] = set()
+        self._probe_attempts: Dict[bytes, int] = {}
         # Defective sensors report a version several updates behind.
         self._reported_version = 0x00020100 if profile.stale_version else self.config.version
 
@@ -199,6 +207,43 @@ class ZeusSensor(ZeusBot):
         if decoded.msg_type == MessageType.PEER_LIST_REQUEST:
             base.lookup_key = decoded.payload
         return base
+
+    # -- active-probe retry ------------------------------------------------------
+
+    def _expire_pending(self, now: float) -> None:
+        """Expire as a bot does, then re-issue timed-out active probes
+        under the retry policy (bounded attempts per probed source)."""
+        if self.retry is None:
+            super()._expire_pending(now)
+            return
+        expired = [
+            pending
+            for pending in self._pending.values()
+            if now - pending.sent_at > self.config.response_timeout
+        ]
+        super()._expire_pending(now)
+        for pending in expired:
+            if (
+                pending.msg_type != MessageType.PEER_LIST_REQUEST
+                or pending.peer_id not in self._probed_sources
+            ):
+                continue
+            self.probes_expired += 1
+            attempts = self._probe_attempts.get(pending.peer_id, 0)
+            if attempts >= self.retry.max_retries:
+                continue
+            self._probe_attempts[pending.peer_id] = attempts + 1
+            delay = self.retry.backoff(attempts, self.rng)
+            self.scheduler.call_later(delay, self._reprobe, pending.peer_id)
+
+    def _reprobe(self, peer_id: bytes) -> None:
+        if not self.online:
+            return
+        entry = self.peer_list.get(peer_id)
+        if entry is None:
+            return  # the eviction machinery already gave up on it
+        self.probe_retries += 1
+        self._send_request(entry, MessageType.PEER_LIST_REQUEST, peer_id)
 
     # -- edge collection from our own peer-list requests -------------------------
 

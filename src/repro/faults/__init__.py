@@ -1,0 +1,44 @@
+"""Fault injection and resilience machinery.
+
+The paper's premise is recon under *adversarial* conditions, so the
+simulation must be able to get hostile: correlated burst loss
+(Gilbert-Elliott), duplication, reordering, latency spikes, scheduled
+subnet partitions, and node-level crash/outage/mute faults -- all
+replayable from one seed (:mod:`repro.faults.plan`,
+:mod:`repro.faults.injector`).  The survival side is the shared
+:class:`~repro.faults.retry.RetryPolicy` adopted by crawlers, sensors,
+and the detection coordinator.
+"""
+
+from repro.faults.injector import FaultStats, FaultyTransport, NodeFaultDriver, resolver_for
+from repro.faults.plan import (
+    CRASH,
+    MUTE,
+    NO_FAULTS,
+    OUTAGE,
+    FaultPlan,
+    GilbertElliottConfig,
+    LatencySpike,
+    NodeFault,
+    Partition,
+)
+from repro.faults.retry import CHAOS_RETRY, NO_RETRY, RetryPolicy
+
+__all__ = [
+    "CHAOS_RETRY",
+    "CRASH",
+    "FaultPlan",
+    "FaultStats",
+    "FaultyTransport",
+    "GilbertElliottConfig",
+    "LatencySpike",
+    "MUTE",
+    "NO_FAULTS",
+    "NO_RETRY",
+    "NodeFault",
+    "NodeFaultDriver",
+    "OUTAGE",
+    "Partition",
+    "RetryPolicy",
+    "resolver_for",
+]

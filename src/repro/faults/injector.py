@@ -1,0 +1,187 @@
+"""Fault injection: the chaos side of the resilience story.
+
+:class:`FaultyTransport` wraps the plain :class:`~repro.net.transport.
+Transport` delivery path with the scheduled transport faults of a
+:class:`~repro.faults.plan.FaultPlan`; :class:`NodeFaultDriver` plays
+the plan's node-level faults (crash-restart, sensor outages, gossip
+suppression) through the simulation scheduler.  All stochastic fault
+decisions draw from a dedicated fault RNG stream, so chaos never
+perturbs the base traffic stream: a run with an empty plan is
+bit-identical to one on the plain transport.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.faults.plan import CRASH, MUTE, OUTAGE, FaultPlan, NodeFault
+from repro.net.nat import RoutabilityTable
+from repro.net.transport import Message, Transport, TransportConfig
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass
+class FaultStats:
+    """What the injected faults actually did to the traffic."""
+
+    dropped_burst: int = 0
+    dropped_partition: int = 0
+    spiked_sends: int = 0
+    ge_transitions: int = 0
+
+
+class FaultyTransport(Transport):
+    """A drop-in chaos wrapper around the message fabric.
+
+    Every component keeps talking to a ``Transport``; this subclass
+    intercepts the two extension hooks (`_latency`, `_drop_reason`) to
+    inject latency spikes, subnet partitions, and Gilbert-Elliott burst
+    loss on top of the base behaviour.  The plan's duplication and
+    reordering rates are folded into the wrapped config, where the base
+    transport already implements them.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: random.Random,
+        plan: FaultPlan,
+        fault_rng: random.Random,
+        config: Optional[TransportConfig] = None,
+        routability: Optional[RoutabilityTable] = None,
+    ) -> None:
+        config = config if config is not None else TransportConfig()
+        if plan.duplicate_rate or plan.reorder_rate:
+            config = replace(
+                config,
+                duplicate_rate=max(config.duplicate_rate, plan.duplicate_rate),
+                reorder_rate=max(config.reorder_rate, plan.reorder_rate),
+            )
+        super().__init__(scheduler, rng, config=config, routability=routability)
+        self.plan = plan
+        self.fault_rng = fault_rng
+        self.fault_stats = FaultStats()
+        self._ge_bad = False
+
+    # -- fault hooks -----------------------------------------------------
+
+    def _latency(self) -> float:
+        latency = super()._latency()
+        now = self.scheduler.now
+        for spike in self.plan.latency_spikes:
+            if spike.active(now):
+                latency += self.fault_rng.uniform(spike.extra_min, spike.extra_max)
+                self.fault_stats.spiked_sends += 1
+        return latency
+
+    def _ge_step(self) -> bool:
+        """Advance the burst channel one packet; True means drop."""
+        ge = self.plan.gilbert_elliott
+        if ge is None:
+            return False
+        if self._ge_bad:
+            if self.fault_rng.random() < ge.p_exit_bad:
+                self._ge_bad = False
+                self.fault_stats.ge_transitions += 1
+        elif self.fault_rng.random() < ge.p_enter_bad:
+            self._ge_bad = True
+            self.fault_stats.ge_transitions += 1
+        loss = ge.loss_bad if self._ge_bad else ge.loss_good
+        return bool(loss) and self.fault_rng.random() < loss
+
+    def _drop_reason(self, message: Message) -> Optional[str]:
+        now = message.delivered_at
+        for partition in self.plan.partitions:
+            if partition.active(now) and partition.separates(message.src.ip, message.dst.ip):
+                self.fault_stats.dropped_partition += 1
+                return "partition"
+        reason = super()._drop_reason(message)
+        if reason is not None:
+            return reason
+        if self._ge_step():
+            self.fault_stats.dropped_burst += 1
+            return "burst_loss"
+        return None
+
+
+#: Anything start()/stop()-able: bots, sensors, crawler bases.
+Resolvable = Callable[[str], Optional[object]]
+
+
+class NodeFaultDriver:
+    """Plays a plan's node faults against live node objects.
+
+    The driver resolves node ids lazily at fire time through
+    ``resolve`` (so it can be installed before, during, or after
+    population build) and records an event log for assertions and the
+    degradation report.  Crash/outage faults call ``stop()`` then
+    ``start()``; mute faults toggle ``gossip_suppressed`` so the node
+    keeps answering but stops initiating -- the silent-leader failure
+    mode Byzantine voting exists for.
+    """
+
+    def __init__(self, scheduler: Scheduler, resolve: Resolvable) -> None:
+        self.scheduler = scheduler
+        self.resolve = resolve
+        self.crashes = 0
+        self.outages = 0
+        self.mutes = 0
+        self.unresolved = 0
+        #: (time, node_id, kind, phase) with phase in {"down", "up"}.
+        self.events: List[Tuple[float, str, str, str]] = []
+
+    def install(self, plan: FaultPlan) -> int:
+        """Schedule every node fault in ``plan`` lying in the future.
+
+        Returns the number of faults scheduled.
+        """
+        scheduled = 0
+        now = self.scheduler.now
+        for fault in plan.node_faults:
+            if fault.at < now:
+                continue
+            self.scheduler.call_at(fault.at, self._begin, fault)
+            scheduled += 1
+        return scheduled
+
+    def _begin(self, fault: NodeFault) -> None:
+        node = self.resolve(fault.node_id)
+        if node is None:
+            self.unresolved += 1
+            return
+        self.events.append((self.scheduler.now, fault.node_id, fault.kind, "down"))
+        if fault.kind == MUTE:
+            self.mutes += 1
+            node.gossip_suppressed = True
+        else:
+            if fault.kind == CRASH:
+                self.crashes += 1
+            elif fault.kind == OUTAGE:
+                self.outages += 1
+            node.stop()
+        self.scheduler.call_later(fault.duration, self._end, fault)
+
+    def _end(self, fault: NodeFault) -> None:
+        node = self.resolve(fault.node_id)
+        if node is None:
+            return
+        self.events.append((self.scheduler.now, fault.node_id, fault.kind, "up"))
+        if fault.kind == MUTE:
+            node.gossip_suppressed = False
+        else:
+            node.start()
+
+
+def resolver_for(*registries: Dict[str, object]) -> Resolvable:
+    """Chain node-id lookups over several ``{node_id: node}`` maps."""
+
+    def resolve(node_id: str) -> Optional[object]:
+        for registry in registries:
+            node = registry.get(node_id)
+            if node is not None:
+                return node
+        return None
+
+    return resolve

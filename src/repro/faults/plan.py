@@ -1,0 +1,249 @@
+"""Composable, replayable fault plans.
+
+A :class:`FaultPlan` is pure data: a schedule of transport-level and
+node-level faults that a chaos run injects into a simulation.  Plans
+contain no randomness themselves -- every stochastic decision (burst
+loss draws, spike magnitudes, crash timing jitter) is made at injection
+time from named :mod:`repro.sim.rng` streams, so the same master seed
+replays the same chaos byte-for-byte.
+
+Transport faults are applied by
+:class:`repro.faults.injector.FaultyTransport`; node faults by
+:class:`repro.faults.injector.NodeFaultDriver`.  The two sides are
+deliberately decoupled: the transport wrapper lives inside
+:class:`~repro.botnets.population.PopulationBuilder`, while node faults
+are installed by whoever owns the node objects (the chaos runner, a
+test), because only that layer knows which node ids exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.net.address import Subnet
+
+
+@dataclass(frozen=True)
+class GilbertElliottConfig:
+    """Two-state (good/bad) Markov packet-loss channel.
+
+    The chain advances one step per delivery attempt: from *good* it
+    enters *bad* with ``p_enter_bad``; from *bad* it recovers with
+    ``p_exit_bad``.  Loss is Bernoulli per state.  This produces the
+    *correlated* burst losses real access links show, which uniform
+    loss cannot: a mean burst lasts ``1/p_exit_bad`` packets.
+    """
+
+    p_enter_bad: float = 0.01
+    p_exit_bad: float = 0.125
+    loss_good: float = 0.0
+    loss_bad: float = 0.9
+
+    def __post_init__(self) -> None:
+        for name in ("p_enter_bad", "p_exit_bad"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1]")
+        for name in ("loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    @property
+    def stationary_bad_fraction(self) -> float:
+        """Long-run fraction of time spent in the bad state."""
+        return self.p_enter_bad / (self.p_enter_bad + self.p_exit_bad)
+
+    @property
+    def mean_loss_rate(self) -> float:
+        """Long-run average loss rate of the channel."""
+        bad = self.stationary_bad_fraction
+        return bad * self.loss_bad + (1.0 - bad) * self.loss_good
+
+    @classmethod
+    def for_mean_loss(
+        cls, mean_loss: float, burst_length: float = 8.0, loss_bad: float = 0.9
+    ) -> "GilbertElliottConfig":
+        """A channel with a target long-run loss rate.
+
+        ``burst_length`` fixes the mean bad-state sojourn (packets);
+        ``p_enter_bad`` is solved so the stationary loss equals
+        ``mean_loss``.  This is how the chaos matrix expresses "20%
+        burst loss" as one intensity number.
+        """
+        if not 0.0 <= mean_loss < loss_bad:
+            raise ValueError("mean_loss must be in [0, loss_bad)")
+        if burst_length < 1.0:
+            raise ValueError("burst_length must be >= 1")
+        p_exit = 1.0 / burst_length
+        if mean_loss == 0.0:
+            # A channel that never leaves the good state.
+            return cls(p_enter_bad=1e-9, p_exit_bad=1.0, loss_good=0.0, loss_bad=loss_bad)
+        stationary = mean_loss / loss_bad
+        p_enter = p_exit * stationary / (1.0 - stationary)
+        return cls(
+            p_enter_bad=min(1.0, p_enter),
+            p_exit_bad=p_exit,
+            loss_good=0.0,
+            loss_bad=loss_bad,
+        )
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """A window during which every send suffers extra latency."""
+
+    start: float
+    duration: float
+    extra_min: float
+    extra_max: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("spike needs start >= 0 and duration > 0")
+        if not 0 <= self.extra_min <= self.extra_max:
+            raise ValueError("need 0 <= extra_min <= extra_max")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A scheduled two-sided network partition.
+
+    While active, messages whose endpoints fall on opposite sides are
+    dropped (both directions).  Sides are subnet lists, so a plan can
+    cut one ISP's /12 off from the sensor fleet, say.  Traffic with
+    neither endpoint in a side is unaffected.
+    """
+
+    start: float
+    duration: float
+    side_a: Tuple[Subnet, ...]
+    side_b: Tuple[Subnet, ...]
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("partition needs start >= 0 and duration > 0")
+        if not self.side_a or not self.side_b:
+            raise ValueError("both partition sides must be non-empty")
+
+    @classmethod
+    def parse(
+        cls, start: float, duration: float, side_a: Tuple[str, ...], side_b: Tuple[str, ...]
+    ) -> "Partition":
+        return cls(
+            start=start,
+            duration=duration,
+            side_a=tuple(Subnet.parse(s) for s in side_a),
+            side_b=tuple(Subnet.parse(s) for s in side_b),
+        )
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+    def separates(self, ip_a: int, ip_b: int) -> bool:
+        def side_of(ip: int) -> Optional[str]:
+            if any(ip in subnet for subnet in self.side_a):
+                return "a"
+            if any(ip in subnet for subnet in self.side_b):
+                return "b"
+            return None
+
+        first, second = side_of(ip_a), side_of(ip_b)
+        return first is not None and second is not None and first != second
+
+
+#: Node fault kinds understood by the driver.
+CRASH = "crash"      # stop the node, restart after ``duration``
+OUTAGE = "outage"    # identical mechanics; labels sensor downtime
+MUTE = "mute"        # gossip suppression: node receives but stops
+                     # its periodic cycle (no announcements/probes)
+
+_NODE_FAULT_KINDS = (CRASH, OUTAGE, MUTE)
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One scheduled node-level fault window."""
+
+    at: float
+    node_id: str
+    duration: float
+    kind: str = CRASH
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError("node fault needs at >= 0 and duration > 0")
+        if self.kind not in _NODE_FAULT_KINDS:
+            raise ValueError(f"unknown node fault kind: {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A full chaos schedule for one run.
+
+    ``duplicate_rate`` / ``reorder_rate`` are folded into the wrapped
+    transport's config by :class:`FaultyTransport`; the remaining
+    transport faults are evaluated live against this plan.  An empty
+    plan injects nothing -- wrapping a transport with it is a no-op.
+    """
+
+    name: str = "none"
+    gilbert_elliott: Optional[GilbertElliottConfig] = None
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    latency_spikes: Tuple[LatencySpike, ...] = ()
+    partitions: Tuple[Partition, ...] = ()
+    node_faults: Tuple[NodeFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1)")
+        if not 0.0 <= self.reorder_rate < 1.0:
+            raise ValueError("reorder_rate must be in [0, 1)")
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.gilbert_elliott is None
+            and not self.duplicate_rate
+            and not self.reorder_rate
+            and not self.latency_spikes
+            and not self.partitions
+            and not self.node_faults
+        )
+
+    def describe(self) -> str:
+        """One line per configured fault, for run logs."""
+        lines = [f"fault plan {self.name!r}:"]
+        if self.gilbert_elliott is not None:
+            ge = self.gilbert_elliott
+            lines.append(
+                f"  burst loss: mean {ge.mean_loss_rate:.1%}, "
+                f"mean burst {1.0 / ge.p_exit_bad:.1f} pkts"
+            )
+        if self.duplicate_rate:
+            lines.append(f"  duplication: {self.duplicate_rate:.1%}")
+        if self.reorder_rate:
+            lines.append(f"  reordering: {self.reorder_rate:.1%}")
+        for spike in self.latency_spikes:
+            lines.append(
+                f"  latency spike: +[{spike.extra_min:.2f}, {spike.extra_max:.2f}]s "
+                f"at t={spike.start:.0f} for {spike.duration:.0f}s"
+            )
+        for part in self.partitions:
+            lines.append(f"  partition: t={part.start:.0f} for {part.duration:.0f}s")
+        for fault in self.node_faults:
+            lines.append(
+                f"  {fault.kind}: {fault.node_id} at t={fault.at:.0f} "
+                f"for {fault.duration:.0f}s"
+            )
+        if len(lines) == 1:
+            lines.append("  (empty)")
+        return "\n".join(lines)
+
+
+NO_FAULTS = FaultPlan()

@@ -29,13 +29,14 @@ from repro.net.address import (
 )
 from repro.net.churn import ChurnConfig, ChurnProcess, DiurnalModel, IpChurnProcess
 from repro.net.nat import NatGateway, RoutabilityTable
-from repro.net.transport import Endpoint, Message, Transport, TransportConfig
+from repro.net.transport import DropTap, Endpoint, Message, Transport, TransportConfig
 
 __all__ = [
     "AddressPool",
     "ChurnConfig",
     "ChurnProcess",
     "DiurnalModel",
+    "DropTap",
     "Endpoint",
     "IpChurnProcess",
     "Message",

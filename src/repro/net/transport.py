@@ -64,6 +64,10 @@ class Message:
 
 Handler = Callable[[Message], None]
 Tap = Callable[[Message, bool], None]
+#: Drop observers receive the message plus a reason string -- one of
+#: ``unbound_src``, ``unbound_dst``, ``unroutable``, ``loss``, or a
+#: fault-injection reason (``partition``, ``burst_loss``).
+DropTap = Callable[[Message, str], None]
 
 
 @dataclass
@@ -72,18 +76,31 @@ class TransportConfig:
 
     Defaults model a broadband WAN path: 20-200 ms one-way latency and
     1% loss.  Experiments that need determinism beyond seeding can zero
-    the jitter and loss.
+    the jitter and loss.  ``duplicate_rate`` and ``reorder_rate`` are
+    fault knobs (off by default): a duplicated message is delivered
+    twice with independent latencies; a reordered message suffers
+    ``reorder_extra`` additional latency, enough to arrive after
+    messages sent later.
     """
 
     latency_min: float = 0.020
     latency_max: float = 0.200
     loss_rate: float = 0.01
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_extra: float = 0.5
 
     def __post_init__(self) -> None:
         if self.latency_min < 0 or self.latency_max < self.latency_min:
             raise ValueError("invalid latency range")
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ValueError("duplicate_rate must be in [0, 1)")
+        if not 0.0 <= self.reorder_rate < 1.0:
+            raise ValueError("reorder_rate must be in [0, 1)")
+        if self.reorder_extra <= 0:
+            raise ValueError("reorder_extra must be positive")
 
 
 @dataclass
@@ -94,6 +111,8 @@ class TransportStats:
     dropped_unroutable: int = 0
     dropped_unbound_dst: int = 0
     rejected_unbound_src: int = 0
+    duplicated: int = 0
+    reordered: int = 0
 
 
 class Transport:
@@ -113,6 +132,7 @@ class Transport:
         self.stats = TransportStats()
         self._handlers: Dict[Tuple[int, int], Handler] = {}
         self._taps: List[Tap] = []
+        self._drop_taps: List[DropTap] = []
 
     # -- binding -------------------------------------------------------
 
@@ -149,6 +169,19 @@ class Transport:
         """Observe every send attempt: ``tap(message, delivered)``."""
         self._taps.append(tap)
 
+    def add_drop_tap(self, tap: DropTap) -> None:
+        """Observe every drop with its reason: ``tap(message, reason)``.
+
+        Unlike plain taps, drop taps also see sends rejected at the
+        source (reason ``unbound_src``), so chaos experiments can
+        account for everything the network ate.
+        """
+        self._drop_taps.append(tap)
+
+    def _notify_drop(self, message: Message, reason: str) -> None:
+        for tap in self._drop_taps:
+            tap(message, reason)
+
     # -- sending -------------------------------------------------------
 
     def send(self, src: Endpoint, dst: Endpoint, payload: bytes) -> bool:
@@ -158,35 +191,63 @@ class Transport:
         delivery.  Acceptance does not guarantee delivery: loss and NAT
         filtering happen at delivery time.
         """
+        now = self.scheduler.now
         if src.key not in self._handlers:
             # Non-spoofable identity: you can only speak as an endpoint
             # you have bound.
             self.stats.rejected_unbound_src += 1
+            if self._drop_taps:
+                self._notify_drop(
+                    Message(src=src, dst=dst, payload=payload, sent_at=now, delivered_at=now),
+                    "unbound_src",
+                )
             return False
-        now = self.scheduler.now
         self.routability.note_outbound(src.key, dst.ip, now)
         self.stats.sent += 1
-        latency = self.rng.uniform(self.config.latency_min, self.config.latency_max)
+        latency = self._latency()
+        if self.config.reorder_rate and self.rng.random() < self.config.reorder_rate:
+            # Enough extra latency to arrive behind messages sent later.
+            self.stats.reordered += 1
+            latency += self.config.reorder_extra
         sent_at = now
         self.scheduler.call_later(latency, self._deliver, src, dst, payload, sent_at)
+        if self.config.duplicate_rate and self.rng.random() < self.config.duplicate_rate:
+            self.stats.duplicated += 1
+            self.scheduler.call_later(self._latency(), self._deliver, src, dst, payload, sent_at)
         return True
+
+    def _latency(self) -> float:
+        """One-way latency for a single delivery attempt."""
+        return self.rng.uniform(self.config.latency_min, self.config.latency_max)
+
+    def _drop_reason(self, message: Message) -> Optional[str]:
+        """Decide a delivery attempt's fate; None means deliver.
+
+        Subclasses (fault injection) extend this with additional drop
+        causes; each cause increments its own counter here so stats
+        stay consistent with the returned reason.
+        """
+        now = message.delivered_at
+        if message.dst.key not in self._handlers:
+            self.stats.dropped_unbound_dst += 1
+            return "unbound_dst"
+        if not self.routability.inbound_allowed(message.dst.key, message.src.ip, now):
+            self.stats.dropped_unroutable += 1
+            return "unroutable"
+        if self.config.loss_rate and self.rng.random() < self.config.loss_rate:
+            self.stats.dropped_loss += 1
+            return "loss"
+        return None
 
     def _deliver(self, src: Endpoint, dst: Endpoint, payload: bytes, sent_at: float) -> None:
         now = self.scheduler.now
         message = Message(src=src, dst=dst, payload=payload, sent_at=sent_at, delivered_at=now)
-        delivered = True
-        handler = self._handlers.get(dst.key)
-        if handler is None:
-            self.stats.dropped_unbound_dst += 1
-            delivered = False
-        elif not self.routability.inbound_allowed(dst.key, src.ip, now):
-            self.stats.dropped_unroutable += 1
-            delivered = False
-        elif self.config.loss_rate and self.rng.random() < self.config.loss_rate:
-            self.stats.dropped_loss += 1
-            delivered = False
+        reason = self._drop_reason(message)
+        delivered = reason is None
         for tap in self._taps:
             tap(message, delivered)
         if delivered:
             self.stats.delivered += 1
-            handler(message)
+            self._handlers[dst.key](message)
+        else:
+            self._notify_drop(message, reason)

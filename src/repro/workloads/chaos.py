@@ -1,0 +1,268 @@
+"""Chaos experiments: recon quality under injected faults.
+
+The paper's methodology assumes the measurement infrastructure itself
+is reliable; this module probes what happens when it is not.  A chaos
+run builds a normal scenario (botnet + sensor fleet + one crawler),
+injects a named :mod:`fault plan <repro.workloads.scenarios>` at a
+given intensity, lets the resilient crawler/sensor machinery (retry
+policies, pending expiry) fight back, and scores the surviving recon:
+crawl coverage, detection rate, false positives, and the detection
+round's confidence annotation.
+
+Every stochastic decision derives from the run's single seed, so a
+chaos run replays byte-for-byte: same seed, same chaos, same report.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.crawler import SalityCrawler, ZeusCrawler
+from repro.core.defects import SalityDefectProfile, ZeusDefectProfile
+from repro.core.detection import DetectionConfig, SensorLogDataset, evaluate_detection
+from repro.core.stealth import StealthPolicy
+from repro.faults.injector import FaultyTransport, NodeFaultDriver, resolver_for
+from repro.faults.retry import CHAOS_RETRY
+from repro.sim.clock import HOUR
+from repro.workloads.population import sality_config, zeus_config
+from repro.workloads.scenarios import (
+    CHAOS_KINDS,
+    build_chaos_plan,
+    build_sality_scenario,
+    build_zeus_scenario,
+    crawler_endpoint,
+)
+
+FAMILIES = ("zeus", "sality")
+
+
+@dataclass
+class ChaosRunResult:
+    """One cell of the chaos matrix: recon quality under one fault."""
+
+    family: str
+    kind: str
+    intensity: float
+    seed: int
+    scale: str
+    # Recon quality.
+    coverage: float
+    detection_rate: float
+    false_positives: int
+    confidence: float
+    quorum_met: bool
+    leader_crashes: int
+    # Resilience accounting (crawler side).
+    requests_sent: int
+    requests_expired: int
+    retries_sent: int
+    targets_given_up: int
+    pending_after: int
+    # What the injected faults actually did.
+    injected: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "family": self.family,
+            "kind": self.kind,
+            "intensity": self.intensity,
+            "seed": self.seed,
+            "scale": self.scale,
+            "coverage": self.coverage,
+            "detection_rate": self.detection_rate,
+            "false_positives": self.false_positives,
+            "confidence": self.confidence,
+            "quorum_met": self.quorum_met,
+            "leader_crashes": self.leader_crashes,
+            "requests_sent": self.requests_sent,
+            "requests_expired": self.requests_expired,
+            "retries_sent": self.retries_sent,
+            "targets_given_up": self.targets_given_up,
+            "pending_after": self.pending_after,
+            "injected": dict(sorted(self.injected.items())),
+        }
+
+
+def _failed_groups(
+    kind: str, intensity: float, group_count: int, rng: random.Random
+) -> Tuple[int, ...]:
+    """The leader-crash schedule for one evaluated round.
+
+    ``leader-crash`` crashes each leader independently with probability
+    ``intensity``; ``blackout`` always loses exactly one leader.  Other
+    kinds draw nothing, keeping their evaluation identical to a
+    fault-free one.
+    """
+    if kind == "leader-crash":
+        return tuple(i for i in range(group_count) if rng.random() < intensity)
+    if kind == "blackout":
+        return (rng.randrange(group_count),)
+    return ()
+
+
+def run_chaos_scenario(
+    kind: str,
+    intensity: float,
+    family: str = "zeus",
+    scale: str = "tiny",
+    seed: int = 0,
+    sensor_count: int = 16,
+    announce_hours: float = 2.0,
+    measure_hours: float = 4.0,
+    group_bits: int = 2,
+    threshold: float = 0.30,
+) -> ChaosRunResult:
+    """Run one chaos cell end-to-end and score the surviving recon."""
+    if family not in FAMILIES:
+        raise ValueError(f"unknown family: {family!r}")
+    start = announce_hours * HOUR
+    duration = measure_hours * HOUR
+    sensor_ids = tuple(f"sensor-{index:03d}" for index in range(sensor_count))
+    plan = build_chaos_plan(kind, intensity, start, duration, sensor_ids)
+    if family == "zeus":
+        scenario = build_zeus_scenario(
+            zeus_config(scale, master_seed=seed, fault_plan=plan),
+            sensor_count=sensor_count,
+            announce_hours=announce_hours,
+        )
+    else:
+        scenario = build_sality_scenario(
+            sality_config(scale, master_seed=seed, fault_plan=plan),
+            sensor_count=sensor_count,
+            announce_hours=announce_hours,
+        )
+    net = scenario.net
+    driver = NodeFaultDriver(
+        net.scheduler,
+        resolver_for(net.bots, {sensor.node_id: sensor for sensor in scenario.sensors}),
+    )
+    driver.install(plan)
+
+    crawl_rng = net.rngs.fork("chaos-crawler").stream("crawl")
+    if family == "zeus":
+        crawler = ZeusCrawler(
+            name=f"chaos-{kind}",
+            endpoint=crawler_endpoint(0),
+            transport=net.transport,
+            scheduler=net.scheduler,
+            rng=crawl_rng,
+            policy=StealthPolicy(per_target_interval=15.0, requests_per_target=4),
+            profile=ZeusDefectProfile(name="chaos", hard_hitter=True),
+            retry=CHAOS_RETRY,
+        )
+    else:
+        crawler = SalityCrawler(
+            name=f"chaos-{kind}",
+            endpoint=crawler_endpoint(0),
+            transport=net.transport,
+            scheduler=net.scheduler,
+            rng=crawl_rng,
+            policy=StealthPolicy(per_target_interval=4.0, requests_per_target=20),
+            profile=SalityDefectProfile(name="chaos", hard_hitter=True),
+            retry=CHAOS_RETRY,
+        )
+    crawler.start(net.bootstrap_sample(8, seed=20_000))
+    scenario.run_for(duration)
+
+    routable = {bot.endpoint.ip for bot in net.routable_bots}
+    found = set(crawler.report.first_seen_ip) & routable
+    coverage = len(found) / len(routable) if routable else 0.0
+
+    if family == "zeus":
+        dataset = SensorLogDataset.from_zeus_sensors(
+            scenario.sensors, since=scenario.measurement_start
+        )
+    else:
+        dataset = SensorLogDataset.from_sality_sensors(
+            scenario.sensors, since=scenario.measurement_start
+        )
+    config = DetectionConfig(group_bits=group_bits, threshold=threshold)
+    crash_rng = net.rngs.fork("chaos-eval").stream("leader-crash")
+    failed = _failed_groups(kind, intensity, config.group_count, crash_rng)
+    evaluation = evaluate_detection(
+        dataset,
+        crawler_ips={crawler.endpoint.ip},
+        config=config,
+        rng=random.Random(seed),
+        failed_groups=failed,
+    )
+
+    injected: Dict[str, int] = {
+        "dropped_loss": net.transport.stats.dropped_loss,
+        "duplicated": net.transport.stats.duplicated,
+        "reordered": net.transport.stats.reordered,
+        "sensor_outages": driver.outages,
+        "node_crashes": driver.crashes,
+    }
+    if isinstance(net.transport, FaultyTransport):
+        injected["dropped_burst"] = net.transport.fault_stats.dropped_burst
+        injected["dropped_partition"] = net.transport.fault_stats.dropped_partition
+        injected["spiked_sends"] = net.transport.fault_stats.spiked_sends
+
+    return ChaosRunResult(
+        family=family,
+        kind=kind,
+        intensity=intensity,
+        seed=seed,
+        scale=scale,
+        coverage=coverage,
+        detection_rate=evaluation.detection_rate,
+        false_positives=evaluation.false_positives,
+        confidence=evaluation.confidence,
+        quorum_met=evaluation.quorum_met,
+        leader_crashes=len(failed),
+        requests_sent=crawler.report.requests_sent,
+        requests_expired=crawler.report.requests_expired,
+        retries_sent=crawler.report.retries_sent,
+        targets_given_up=crawler.report.targets_given_up,
+        pending_after=crawler.pending_requests,
+        injected=injected,
+    )
+
+
+def run_chaos_matrix(
+    kinds: Sequence[str],
+    intensities: Sequence[float],
+    family: str = "zeus",
+    scale: str = "tiny",
+    seed: int = 0,
+    **kwargs,
+) -> List[ChaosRunResult]:
+    """The (kind x intensity) degradation matrix, one run per cell.
+
+    Cells are independent full simulations sharing the seed, so a
+    cell's degradation is attributable to its fault alone.
+    """
+    for kind in kinds:
+        if kind not in CHAOS_KINDS:
+            raise KeyError(f"unknown chaos kind: {kind!r}")
+    results = []
+    for kind in kinds:
+        for intensity in intensities:
+            results.append(
+                run_chaos_scenario(
+                    kind, intensity, family=family, scale=scale, seed=seed, **kwargs
+                )
+            )
+    return results
+
+
+def render_degradation_report(results: Sequence[ChaosRunResult]) -> str:
+    """The chaos matrix as a fixed-width degradation table."""
+    header = (
+        f"{'family':<8}{'kind':<16}{'intensity':>9}  {'coverage':>8}  "
+        f"{'detect':>6}  {'conf':>5}  {'FP':>3}  {'expired':>7}  "
+        f"{'retries':>7}  {'pending':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        quorum = "" if r.quorum_met else " (no quorum)"
+        lines.append(
+            f"{r.family:<8}{r.kind:<16}{r.intensity:>9.2f}  {r.coverage:>7.1%}  "
+            f"{r.detection_rate:>5.0%}  {r.confidence:>5.2f}  {r.false_positives:>3d}  "
+            f"{r.requests_expired:>7d}  {r.retries_sent:>7d}  {r.pending_after:>7d}"
+            f"{quorum}"
+        )
+    return "\n".join(lines)

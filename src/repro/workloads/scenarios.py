@@ -9,6 +9,7 @@ is logged by the sensors.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -20,6 +21,14 @@ from repro.core.crawler import SalityCrawler, ZeusCrawler
 from repro.core.defects import SalityDefectProfile, ZeusDefectProfile
 from repro.core.sensor import SalitySensor, SensorDefectProfile, ZeusSensor
 from repro.core.stealth import StealthPolicy
+from repro.faults.plan import (
+    OUTAGE,
+    FaultPlan,
+    GilbertElliottConfig,
+    LatencySpike,
+    NodeFault,
+    Partition,
+)
 from repro.net.address import Subnet, parse_ip
 from repro.net.transport import Endpoint
 from repro.sim.clock import DAY, HOUR, MINUTE
@@ -240,3 +249,108 @@ def launch_sality_fleet(
             )
             scenario.crawlers.append(crawler)
     return scenario.crawlers
+
+
+# -- named chaos scenarios ------------------------------------------------
+#
+# Each chaos kind maps one *intensity* knob in [0, 1) onto a concrete
+# FaultPlan for a measurement window [start, start + duration).  Plans
+# are pure data, so building one never consumes randomness: the same
+# (kind, intensity, window) always yields the same plan.
+
+#: kind -> one-line description, for ``repro chaos --list``.
+CHAOS_KINDS: Dict[str, str] = {
+    "baseline": "control row: no faults injected",
+    "burst-loss": "Gilbert-Elliott burst loss at the given mean rate",
+    "flaky-network": "burst loss plus duplication and reordering",
+    "dup-reorder": "packet duplication and reordering only",
+    "latency-spike": "two high-latency windows inside the measurement",
+    "partition": "cut one infected /12 off from the recon blocks",
+    "sensor-outage": "a fraction of the sensor fleet goes down mid-window",
+    "leader-crash": "group leaders crash before voting (evaluation-time)",
+    "blackout": "burst loss plus one leader crash every round",
+}
+
+
+def build_chaos_plan(
+    kind: str,
+    intensity: float,
+    start: float,
+    duration: float,
+    sensor_ids: Sequence[str] = (),
+) -> FaultPlan:
+    """The named chaos plan for one run.
+
+    ``intensity`` is the kind's single severity knob: the mean loss
+    rate for loss kinds, the dup/reorder probability, the latency-spike
+    magnitude scale, the partition's fraction of the window, or the
+    fraction of sensors/leaders taken down.  ``leader-crash`` and the
+    leader half of ``blackout`` return plans with no transport faults:
+    leader crashes are replayed at detection-evaluation time (see
+    :func:`repro.workloads.chaos.run_chaos_scenario`).
+    """
+    if kind not in CHAOS_KINDS:
+        raise KeyError(f"unknown chaos kind: {kind!r} (see CHAOS_KINDS)")
+    if not 0.0 <= intensity < 1.0:
+        raise ValueError("intensity must be in [0, 1)")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if kind == "baseline" or intensity == 0.0:
+        return FaultPlan(name=f"{kind}@0")
+    name = f"{kind}@{intensity:g}"
+    if kind == "burst-loss" or kind == "blackout":
+        return FaultPlan(
+            name=name, gilbert_elliott=GilbertElliottConfig.for_mean_loss(intensity)
+        )
+    if kind == "flaky-network":
+        return FaultPlan(
+            name=name,
+            gilbert_elliott=GilbertElliottConfig.for_mean_loss(intensity),
+            duplicate_rate=intensity / 4.0,
+            reorder_rate=intensity / 4.0,
+        )
+    if kind == "dup-reorder":
+        return FaultPlan(name=name, duplicate_rate=intensity, reorder_rate=intensity)
+    if kind == "latency-spike":
+        spike_len = duration / 4.0
+        return FaultPlan(
+            name=name,
+            latency_spikes=(
+                LatencySpike(start + duration / 8.0, spike_len, 20.0 * intensity, 60.0 * intensity),
+                LatencySpike(start + 5 * duration / 8.0, spike_len, 20.0 * intensity, 60.0 * intensity),
+            ),
+        )
+    if kind == "partition":
+        # Sever the first infected /12 from the whole recon address
+        # space for ``intensity`` of the window: crawlers and sensors
+        # lose sight of roughly a third of the routable population.
+        return FaultPlan(
+            name=name,
+            partitions=(
+                Partition(
+                    start=start + duration / 4.0,
+                    duration=intensity * duration,
+                    side_a=(Subnet.parse("25.0.0.0/12"),),
+                    side_b=(SENSOR_BLOCK, CRAWLER_BLOCK),
+                ),
+            ),
+        )
+    if kind == "sensor-outage":
+        if not sensor_ids:
+            raise ValueError("sensor-outage needs sensor_ids")
+        down = max(1, math.ceil(intensity * len(sensor_ids)))
+        return FaultPlan(
+            name=name,
+            node_faults=tuple(
+                NodeFault(
+                    at=start + duration / 4.0,
+                    node_id=node_id,
+                    duration=duration / 2.0,
+                    kind=OUTAGE,
+                )
+                for node_id in sensor_ids[:down]
+            ),
+        )
+    # "leader-crash": transport side is clean; the crash schedule is
+    # applied when the detection round is evaluated.
+    return FaultPlan(name=name)

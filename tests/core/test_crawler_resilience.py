@@ -1,0 +1,238 @@
+"""Resilience tests: pending-request expiry and retry under loss.
+
+The original crawlers leaked one ``_pending`` entry per lost reply
+(satellite fix of the robustness PR); these tests pin the bounded
+behaviour and the opt-in retry machinery on top of it.
+"""
+
+import random
+
+import pytest
+
+from repro.botnets.zeus import protocol as zeus_protocol
+from repro.botnets.zeus.network import ZeusNetwork, ZeusNetworkConfig
+from repro.core.crawler import SalityCrawler, ZeusCrawler
+from repro.core.defects import SalityDefectProfile, ZeusDefectProfile
+from repro.core.sensor import ZeusSensor
+from repro.core.stealth import StealthPolicy
+from repro.faults.retry import CHAOS_RETRY, NO_RETRY, RetryPolicy
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint, Transport, TransportConfig
+from repro.sim.clock import HOUR
+from repro.sim.scheduler import Scheduler
+
+
+def dead_world(seed=0):
+    """A transport with nothing bound: every request vanishes."""
+    sched = Scheduler()
+    transport = Transport(
+        sched, random.Random(seed),
+        config=TransportConfig(latency_min=0.01, latency_max=0.05, loss_rate=0.0),
+    )
+    return sched, transport
+
+
+def ghost_targets(count):
+    rng = random.Random(99)
+    return [
+        (zeus_protocol.random_id(rng), Endpoint(parse_ip(f"25.0.0.{i + 1}"), 1000))
+        for i in range(count)
+    ]
+
+
+def make_crawler(sched, transport, retry, policy=None):
+    return ZeusCrawler(
+        name="resilience",
+        endpoint=Endpoint(parse_ip("40.0.0.1"), 7777),
+        transport=transport,
+        scheduler=sched,
+        rng=random.Random(1),
+        policy=policy or StealthPolicy(per_target_interval=5.0, requests_per_target=2),
+        profile=ZeusDefectProfile(name="test"),
+        retry=retry,
+    )
+
+
+def lossy_zeus_net(seed=3, loss=0.5):
+    net = ZeusNetwork(
+        ZeusNetworkConfig(
+            population=80,
+            routable_fraction=0.5,
+            bootstrap_peers=10,
+            master_seed=seed,
+            transport=TransportConfig(loss_rate=loss),
+        )
+    )
+    net.build()
+    net.start_all()
+    net.run_for(HOUR)
+    return net
+
+
+class TestPendingExpiry:
+    def test_lost_replies_do_not_leak_pending_entries(self):
+        """The leak fix: unanswered requests expire, _pending drains."""
+        sched, transport = dead_world()
+        crawler = make_crawler(sched, transport, retry=NO_RETRY)
+        crawler.start(ghost_targets(8))
+        sched.run_until(HOUR)
+        assert crawler.pending_requests == 0
+        assert crawler.report.requests_expired > 0
+        assert crawler.report.retries_sent == 0  # NO_RETRY never re-issues
+        assert crawler.report.targets_given_up == 8
+
+    def test_sality_pending_also_bounded(self):
+        sched, transport = dead_world()
+        crawler = SalityCrawler(
+            name="resilience",
+            endpoint=Endpoint(parse_ip("40.0.0.1"), 7777),
+            transport=transport,
+            scheduler=sched,
+            rng=random.Random(1),
+            policy=StealthPolicy(per_target_interval=5.0, requests_per_target=3),
+            profile=SalityDefectProfile(name="test"),
+            retry=NO_RETRY,
+        )
+        targets = [
+            (i.to_bytes(4, "big"), Endpoint(parse_ip(f"25.0.1.{i + 1}"), 1000))
+            for i in range(6)
+        ]
+        crawler.start(targets)
+        sched.run_until(HOUR)
+        assert crawler.pending_requests == 0
+        assert crawler.report.requests_expired > 0
+
+    def test_expiry_survives_stop_start_of_sweep(self):
+        sched, transport = dead_world()
+        crawler = make_crawler(sched, transport, retry=NO_RETRY)
+        crawler.start(ghost_targets(3))
+        sched.run_until(30.0)
+        crawler.stop()
+        pending_at_stop = crawler.pending_requests
+        sched.run_until(HOUR)
+        # Stopped crawler sweeps no more, but state stayed bounded.
+        assert crawler.pending_requests == pending_at_stop
+
+
+class TestRetry:
+    def test_retries_reissue_with_backoff_then_give_up(self):
+        sched, transport = dead_world()
+        policy = RetryPolicy(
+            timeout=30.0, max_retries=2, backoff_base=10.0,
+            backoff_multiplier=2.0, jitter=0.0,
+        )
+        crawler = make_crawler(sched, transport, retry=policy)
+        crawler.start(ghost_targets(4))
+        sched.run_until(HOUR)
+        # Every target got exactly max_retries re-issues, then was
+        # abandoned; nothing lingers in _pending.
+        assert crawler.report.retries_sent == 4 * 2
+        assert crawler.report.targets_given_up == 4
+        assert crawler.pending_requests == 0
+
+    def test_retry_budget_caps_total_reissues(self):
+        sched, transport = dead_world()
+        policy = RetryPolicy(
+            timeout=30.0, max_retries=5, backoff_base=10.0, jitter=0.0,
+            retry_budget=3,
+        )
+        crawler = make_crawler(sched, transport, retry=policy)
+        crawler.start(ghost_targets(10))
+        sched.run_until(2 * HOUR)
+        assert crawler.report.retries_sent <= 3
+        assert crawler.report.targets_given_up == 10
+        assert crawler.pending_requests == 0
+
+    def test_retry_recovers_coverage_under_heavy_loss(self):
+        """Under 50% loss, a retrying crawler verifies more bots than
+        the fire-and-forget baseline on the identical world."""
+        policy = StealthPolicy(per_target_interval=15.0, requests_per_target=1)
+
+        net_plain = lossy_zeus_net()
+        plain = ZeusCrawler(
+            name="plain", endpoint=Endpoint(parse_ip("40.0.0.1"), 7777),
+            transport=net_plain.transport, scheduler=net_plain.scheduler,
+            rng=net_plain.rngs.stream("crawler"), policy=policy,
+            profile=ZeusDefectProfile(name="test"), retry=NO_RETRY,
+        )
+        plain.start(net_plain.bootstrap_sample(5, seed=1))
+        net_plain.run_for(3 * HOUR)
+
+        net_retry = lossy_zeus_net()
+        retrying = ZeusCrawler(
+            name="retry", endpoint=Endpoint(parse_ip("40.0.0.1"), 7777),
+            transport=net_retry.transport, scheduler=net_retry.scheduler,
+            rng=net_retry.rngs.stream("crawler"), policy=policy,
+            profile=ZeusDefectProfile(name="test"), retry=CHAOS_RETRY,
+        )
+        retrying.start(net_retry.bootstrap_sample(5, seed=1))
+        net_retry.run_for(3 * HOUR)
+
+        assert retrying.report.retries_sent > 0
+        assert len(retrying.report.verified_bots) > len(plain.report.verified_bots)
+        assert retrying.pending_requests <= len(retrying.report.first_seen_bot)
+
+    def test_response_cancels_retry(self):
+        """A target that answers is never retried or given up on."""
+        net = lossy_zeus_net(loss=0.0)
+        crawler = ZeusCrawler(
+            name="clean", endpoint=Endpoint(parse_ip("40.0.0.1"), 7777),
+            transport=net.transport, scheduler=net.scheduler,
+            rng=net.rngs.stream("crawler"),
+            policy=StealthPolicy(per_target_interval=15.0, requests_per_target=2),
+            profile=ZeusDefectProfile(name="test"), retry=CHAOS_RETRY,
+        )
+        crawler.start(net.bootstrap_sample(5, seed=1))
+        net.run_for(3 * HOUR)
+        assert len(crawler.report.verified_bots) > 0
+        # NATed bots legitimately never answer and are given up on;
+        # a target that responded must never be retried or abandoned.
+        responded = [t for t in crawler._targets.values() if t.responded]
+        assert responded
+        assert all(not t.gave_up for t in responded)
+        natted_ids = {bot.bot_id for bot in net.non_routable_bots}
+        given_up = {t.bot_id for t in crawler._targets.values() if t.gave_up}
+        assert given_up <= natted_ids
+
+
+class TestSensorProbeRetry:
+    def test_active_probe_retries_under_loss(self):
+        net = lossy_zeus_net(loss=0.6)
+        rng = net.rngs.fork("sensor-x").stream("sensor")
+        sensor = ZeusSensor(
+            node_id="sensor-x",
+            bot_id=zeus_protocol.random_id(rng),
+            endpoint=Endpoint(parse_ip("45.0.0.1"), 6000),
+            transport=net.transport,
+            scheduler=net.scheduler,
+            rng=rng,
+            announce_duration=4 * HOUR,
+            active_peer_list_requests=True,
+            retry=RetryPolicy(timeout=60.0, max_retries=2, backoff_base=15.0, jitter=0.0),
+        )
+        sensor.seed_peers(net.bootstrap_sample(8, seed=77))
+        sensor.start()
+        net.run_for(4 * HOUR)
+        assert sensor.probes_expired > 0
+        assert sensor.probe_retries > 0
+        # Attempts per probed source stay within the policy.
+        assert all(n <= 2 for n in sensor._probe_attempts.values())
+
+    def test_no_retry_sensor_unchanged(self):
+        net = lossy_zeus_net(loss=0.6)
+        rng = net.rngs.fork("sensor-y").stream("sensor")
+        sensor = ZeusSensor(
+            node_id="sensor-y",
+            bot_id=zeus_protocol.random_id(rng),
+            endpoint=Endpoint(parse_ip("45.0.16.1"), 6000),
+            transport=net.transport,
+            scheduler=net.scheduler,
+            rng=rng,
+            announce_duration=2 * HOUR,
+            active_peer_list_requests=True,
+        )
+        sensor.seed_peers(net.bootstrap_sample(8, seed=77))
+        sensor.start()
+        net.run_for(2 * HOUR)
+        assert sensor.probe_retries == 0
+        assert sensor.probes_expired == 0

@@ -1,0 +1,157 @@
+"""Quorum-aware degradation of the distributed detector.
+
+When group leaders crash mid-round their aggregations are lost; the
+round must fall back to the surviving-leader majority, annotate its
+result with a confidence, and flag non-quorate rounds -- instead of
+hanging or silently pretending full health.
+"""
+
+import random
+
+import pytest
+
+from repro.core.detection import (
+    DetectionConfig,
+    ParticipantReport,
+    evaluate_detection,
+    run_round,
+)
+from repro.core.detection.coordinator import run_periodic_rounds
+from repro.core.detection.offline import SensorLogDataset
+from repro.net.address import parse_ip
+
+
+def build_participants(sensor_count=64, crawler_ip=None, seed=0):
+    """Sensors that all saw one crawler (plus scattered polite bots)."""
+    rng = random.Random(seed)
+    crawler_ip = crawler_ip if crawler_ip is not None else parse_ip("99.0.0.1")
+    participants = []
+    for i in range(sensor_count):
+        requests = [(10.0 + i, crawler_ip)]
+        polite = parse_ip("25.0.0.0") + rng.randrange(1, 2 ** 20)
+        requests.append((20.0 + i, polite))
+        participants.append(
+            ParticipantReport(
+                node_id=f"sensor-{i:03d}",
+                bot_id=bytes(rng.getrandbits(8) for _ in range(20)),
+                requests=tuple(requests),
+            )
+        )
+    return participants, crawler_ip
+
+
+class TestFailedGroups:
+    def test_healthy_round_has_full_confidence(self):
+        participants, crawler_ip = build_participants()
+        result = run_round(participants, DetectionConfig(), random.Random(0))
+        assert result.confidence == 1.0
+        assert result.quorum_met
+        assert result.failed_groups == ()
+        assert crawler_ip in result.classified
+
+    def test_minority_of_crashed_leaders_degrades_but_detects(self):
+        participants, crawler_ip = build_participants()
+        config = DetectionConfig()  # 8 groups
+        healthy = run_round(participants, config, random.Random(0))
+        degraded = run_round(
+            participants, config, random.Random(0), failed_groups=(0, 3)
+        )
+        # The crawler hit every sensor: surviving leaders still carry a
+        # majority, so the verdict stands at reduced confidence.
+        assert crawler_ip in degraded.classified
+        assert degraded.confidence < healthy.confidence
+        assert degraded.confidence == pytest.approx(6 / 8)
+        assert degraded.quorum_met
+        assert set(degraded.failed_groups) == {0, 3}
+        assert 0 not in degraded.verdicts and 3 not in degraded.verdicts
+
+    def test_quorum_lost_when_most_leaders_crash(self):
+        participants, crawler_ip = build_participants()
+        config = DetectionConfig(min_quorum_fraction=0.5)
+        result = run_round(
+            participants, config, random.Random(0),
+            failed_groups=tuple(range(5)),
+        )
+        assert not result.quorum_met
+        assert result.confidence == pytest.approx(3 / 8)
+        # The surviving minority still tallies its majority: degraded,
+        # not dead.
+        assert crawler_ip in result.classified
+
+    def test_all_leaders_crashed_yields_empty_confident_nothing(self):
+        participants, _ = build_participants()
+        config = DetectionConfig(group_bits=1)
+        result = run_round(
+            participants, config, random.Random(0), failed_groups=(0, 1)
+        )
+        assert result.confidence == 0.0
+        assert not result.quorum_met
+        assert result.classified == set()
+
+    def test_failed_group_indices_outside_population_ignored(self):
+        participants, crawler_ip = build_participants()
+        result = run_round(
+            participants, DetectionConfig(), random.Random(0),
+            failed_groups=(100,),
+        )
+        assert result.confidence == 1.0
+        assert crawler_ip in result.classified
+
+
+class TestEvaluationPassthrough:
+    def test_evaluate_detection_carries_confidence(self):
+        participants, crawler_ip = build_participants()
+        dataset = SensorLogDataset(participants=tuple(participants))
+        result = evaluate_detection(
+            dataset,
+            crawler_ips={crawler_ip},
+            config=DetectionConfig(),
+            rng=random.Random(0),
+            failed_groups=(0, 1),
+        )
+        assert result.confidence == pytest.approx(6 / 8)
+        assert result.quorum_met
+        assert result.detection_rate == 1.0
+
+
+class TestPeriodicCrashRounds:
+    def test_zero_crash_rate_draws_nothing(self):
+        """leader_crash_rate=0 must leave the RNG stream untouched so
+        healthy replays stay byte-identical."""
+        participants, _ = build_participants()
+        config = DetectionConfig()
+        a = run_periodic_rounds(
+            participants, config, random.Random(5), start=0.0, end=4 * 3600.0
+        )
+        b = run_periodic_rounds(
+            participants, config, random.Random(5), start=0.0, end=4 * 3600.0,
+            leader_crash_rate=0.0,
+        )
+        assert [r.classified for r in a] == [r.classified for r in b]
+        assert [r.bit_positions for r in a] == [r.bit_positions for r in b]
+
+    def test_crash_rate_produces_degraded_rounds(self):
+        participants, crawler_ip = build_participants()
+        config = DetectionConfig()
+        rounds = run_periodic_rounds(
+            participants, config, random.Random(5), start=0.0, end=12 * 3600.0,
+            leader_crash_rate=0.4,
+        )
+        assert any(r.failed_groups for r in rounds)
+        assert any(r.confidence < 1.0 for r in rounds)
+        # Union-of-rounds detection survives the crashes.
+        assert any(crawler_ip in r.classified for r in rounds)
+
+    def test_crash_rate_validation(self):
+        participants, _ = build_participants(sensor_count=4)
+        with pytest.raises(ValueError):
+            run_periodic_rounds(
+                participants, DetectionConfig(), random.Random(0),
+                start=0.0, end=3600.0, leader_crash_rate=1.0,
+            )
+
+    def test_min_quorum_validation(self):
+        with pytest.raises(ValueError):
+            DetectionConfig(min_quorum_fraction=0.0)
+        with pytest.raises(ValueError):
+            DetectionConfig(min_quorum_fraction=1.5)

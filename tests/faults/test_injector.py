@@ -1,0 +1,210 @@
+"""Unit tests for the fault injector (transport wrapper + node driver)."""
+
+import random
+
+import pytest
+
+from repro.faults.injector import FaultyTransport, NodeFaultDriver, resolver_for
+from repro.faults.plan import (
+    CRASH,
+    MUTE,
+    NO_FAULTS,
+    OUTAGE,
+    FaultPlan,
+    GilbertElliottConfig,
+    LatencySpike,
+    NodeFault,
+    Partition,
+)
+from repro.net.address import parse_ip
+from repro.net.transport import Endpoint, Transport, TransportConfig
+from repro.sim.scheduler import Scheduler
+
+A = Endpoint(parse_ip("10.0.0.1"), 5000)
+B = Endpoint(parse_ip("20.0.0.1"), 5001)
+QUIET = TransportConfig(latency_min=0.01, latency_max=0.05, loss_rate=0.0)
+
+
+def faulty(plan, seed=0, config=QUIET):
+    sched = Scheduler()
+    transport = FaultyTransport(
+        sched,
+        random.Random(seed),
+        plan=plan,
+        fault_rng=random.Random(seed + 1000),
+        config=config,
+    )
+    return sched, transport
+
+
+def blast(sched, transport, count=200):
+    inbox = []
+    transport.bind(A, inbox.append)
+    transport.bind(B, lambda m: None)
+    for _ in range(count):
+        transport.send(B, A, b"x")
+    sched.run()
+    return inbox
+
+
+class TestFaultyTransport:
+    def test_empty_plan_is_transparent(self):
+        """An empty plan must reproduce the plain transport exactly,
+        including its RNG consumption."""
+        sched_a, plain = Scheduler(), None
+        plain = Transport(sched_a, random.Random(5), config=QUIET)
+        plain_inbox = []
+        plain.bind(A, plain_inbox.append)
+        plain.bind(B, lambda m: None)
+        for _ in range(50):
+            plain.send(B, A, b"x")
+        sched_a.run()
+
+        sched_b, wrapped = faulty(NO_FAULTS, seed=5)
+        wrapped_inbox = blast(sched_b, wrapped, count=50)
+        assert [(m.sent_at, m.delivered_at) for m in plain_inbox] == [
+            (m.sent_at, m.delivered_at) for m in wrapped_inbox
+        ]
+
+    def test_burst_loss_drops_in_bursts(self):
+        plan = FaultPlan(
+            name="bursty",
+            gilbert_elliott=GilbertElliottConfig.for_mean_loss(0.3, burst_length=10.0),
+        )
+        sched, transport = faulty(plan, seed=3)
+        inbox = blast(sched, transport, count=2000)
+        dropped = transport.fault_stats.dropped_burst
+        assert dropped > 0
+        assert len(inbox) == 2000 - dropped
+        # Long-run loss near the configured mean (loose tolerance: one
+        # seed, finite run).
+        assert 0.1 < dropped / 2000 < 0.5
+        assert transport.fault_stats.ge_transitions > 0
+
+    def test_partition_blocks_both_directions_only_while_active(self):
+        plan = FaultPlan(
+            name="split",
+            partitions=(
+                Partition.parse(10.0, 20.0, ("10.0.0.0/8",), ("20.0.0.0/8",)),
+            ),
+        )
+        sched, transport = faulty(plan)
+        inbox_a, inbox_b = [], []
+        transport.bind(A, inbox_a.append)
+        transport.bind(B, inbox_b.append)
+        transport.send(B, A, b"before")
+        sched.run_until(15.0)
+        transport.send(B, A, b"during")
+        transport.send(A, B, b"during-rev")
+        sched.run_until(40.0)
+        transport.send(B, A, b"after")
+        sched.run()
+        assert [m.payload for m in inbox_a] == [b"before", b"after"]
+        assert inbox_b == []
+        assert transport.fault_stats.dropped_partition == 2
+
+    def test_latency_spike_slows_sends_in_window(self):
+        plan = FaultPlan(
+            name="spiky",
+            latency_spikes=(LatencySpike(0.0, 100.0, 5.0, 6.0),),
+        )
+        sched, transport = faulty(plan)
+        inbox = blast(sched, transport, count=10)
+        for m in inbox:
+            assert m.delivered_at - m.sent_at >= 5.0
+        assert transport.fault_stats.spiked_sends == 10
+
+    def test_plan_dup_reorder_folded_into_config(self):
+        plan = FaultPlan(name="dupes", duplicate_rate=0.5, reorder_rate=0.25)
+        _, transport = faulty(plan)
+        assert transport.config.duplicate_rate == 0.5
+        assert transport.config.reorder_rate == 0.25
+
+
+class FakeNode:
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.online = True
+        self.gossip_suppressed = False
+        self.log = []
+
+    def start(self):
+        self.online = True
+        self.log.append("start")
+
+    def stop(self):
+        self.online = False
+        self.log.append("stop")
+
+
+class TestNodeFaultDriver:
+    def test_crash_restart_cycle(self):
+        sched = Scheduler()
+        node = FakeNode("bot-000001")
+        driver = NodeFaultDriver(sched, resolver_for({"bot-000001": node}))
+        plan = FaultPlan(
+            node_faults=(NodeFault(at=10.0, node_id="bot-000001", duration=30.0),)
+        )
+        assert driver.install(plan) == 1
+        sched.run_until(20.0)
+        assert not node.online
+        sched.run()
+        assert node.online
+        assert node.log == ["stop", "start"]
+        assert driver.crashes == 1
+        assert [(e[2], e[3]) for e in driver.events] == [
+            (CRASH, "down"), (CRASH, "up"),
+        ]
+
+    def test_mute_suppresses_without_stopping(self):
+        sched = Scheduler()
+        node = FakeNode("sensor-001")
+        driver = NodeFaultDriver(sched, resolver_for({"sensor-001": node}))
+        plan = FaultPlan(
+            node_faults=(
+                NodeFault(at=5.0, node_id="sensor-001", duration=10.0, kind=MUTE),
+            )
+        )
+        driver.install(plan)
+        sched.run_until(7.0)
+        assert node.gossip_suppressed
+        assert node.online  # still bound, still answering
+        sched.run()
+        assert not node.gossip_suppressed
+        assert driver.mutes == 1
+        assert node.log == []
+
+    def test_outage_counted_separately(self):
+        sched = Scheduler()
+        node = FakeNode("sensor-002")
+        driver = NodeFaultDriver(sched, resolver_for({"sensor-002": node}))
+        plan = FaultPlan(
+            node_faults=(
+                NodeFault(at=1.0, node_id="sensor-002", duration=2.0, kind=OUTAGE),
+            )
+        )
+        driver.install(plan)
+        sched.run()
+        assert driver.outages == 1
+        assert driver.crashes == 0
+
+    def test_unknown_node_counts_unresolved(self):
+        sched = Scheduler()
+        driver = NodeFaultDriver(sched, resolver_for({}))
+        plan = FaultPlan(
+            node_faults=(NodeFault(at=1.0, node_id="ghost", duration=2.0),)
+        )
+        driver.install(plan)
+        sched.run()
+        assert driver.unresolved == 1
+        assert driver.events == []
+
+    def test_past_faults_skipped(self):
+        sched = Scheduler()
+        sched.run_until(100.0)
+        node = FakeNode("bot-000001")
+        driver = NodeFaultDriver(sched, resolver_for({"bot-000001": node}))
+        plan = FaultPlan(
+            node_faults=(NodeFault(at=10.0, node_id="bot-000001", duration=5.0),)
+        )
+        assert driver.install(plan) == 0

@@ -1,0 +1,127 @@
+"""Unit tests for fault plan data structures."""
+
+import pytest
+
+from repro.faults.plan import (
+    CRASH,
+    MUTE,
+    NO_FAULTS,
+    FaultPlan,
+    GilbertElliottConfig,
+    LatencySpike,
+    NodeFault,
+    Partition,
+)
+from repro.net.address import parse_ip
+
+
+class TestGilbertElliott:
+    def test_stationary_math(self):
+        ge = GilbertElliottConfig(p_enter_bad=0.1, p_exit_bad=0.4, loss_bad=0.8)
+        assert ge.stationary_bad_fraction == pytest.approx(0.2)
+        assert ge.mean_loss_rate == pytest.approx(0.2 * 0.8)
+
+    def test_for_mean_loss_hits_target(self):
+        for target in (0.05, 0.2, 0.5):
+            ge = GilbertElliottConfig.for_mean_loss(target, burst_length=8.0)
+            assert ge.mean_loss_rate == pytest.approx(target, rel=1e-6)
+            assert 1.0 / ge.p_exit_bad == pytest.approx(8.0)
+
+    def test_for_mean_loss_zero_is_lossless(self):
+        ge = GilbertElliottConfig.for_mean_loss(0.0)
+        assert ge.mean_loss_rate == pytest.approx(0.0, abs=1e-6)
+
+    def test_for_mean_loss_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottConfig.for_mean_loss(0.95, loss_bad=0.9)
+        with pytest.raises(ValueError):
+            GilbertElliottConfig.for_mean_loss(0.2, burst_length=0.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottConfig(p_enter_bad=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliottConfig(loss_bad=1.5)
+
+
+class TestPartition:
+    def test_separates_only_across_sides(self):
+        part = Partition.parse(
+            start=0.0,
+            duration=10.0,
+            side_a=("10.0.0.0/8",),
+            side_b=("20.0.0.0/8",),
+        )
+        a = parse_ip("10.1.2.3")
+        b = parse_ip("20.4.5.6")
+        other = parse_ip("30.0.0.1")
+        assert part.separates(a, b)
+        assert part.separates(b, a)
+        assert not part.separates(a, a)
+        assert not part.separates(a, other)
+        assert not part.separates(other, b)
+
+    def test_active_window(self):
+        part = Partition.parse(5.0, 10.0, ("10.0.0.0/8",), ("20.0.0.0/8",))
+        assert not part.active(4.9)
+        assert part.active(5.0)
+        assert part.active(14.9)
+        assert not part.active(15.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Partition.parse(0.0, 10.0, (), ("20.0.0.0/8",))
+        with pytest.raises(ValueError):
+            Partition.parse(0.0, 0.0, ("10.0.0.0/8",), ("20.0.0.0/8",))
+
+
+class TestLatencySpike:
+    def test_active_window(self):
+        spike = LatencySpike(100.0, 50.0, 1.0, 2.0)
+        assert spike.active(100.0)
+        assert not spike.active(150.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencySpike(-1.0, 10.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            LatencySpike(0.0, 10.0, 2.0, 1.0)
+
+
+class TestNodeFault:
+    def test_kinds_validated(self):
+        NodeFault(at=0.0, node_id="bot-000001", duration=1.0, kind=CRASH)
+        NodeFault(at=0.0, node_id="bot-000001", duration=1.0, kind=MUTE)
+        with pytest.raises(ValueError):
+            NodeFault(at=0.0, node_id="bot-000001", duration=1.0, kind="explode")
+
+
+class TestFaultPlan:
+    def test_empty_detection(self):
+        assert NO_FAULTS.empty
+        assert not FaultPlan(duplicate_rate=0.1).empty
+        assert not FaultPlan(
+            node_faults=(NodeFault(at=1.0, node_id="x", duration=1.0),)
+        ).empty
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(duplicate_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(reorder_rate=-0.5)
+
+    def test_describe_lists_every_fault(self):
+        plan = FaultPlan(
+            name="storm",
+            gilbert_elliott=GilbertElliottConfig.for_mean_loss(0.2),
+            duplicate_rate=0.05,
+            latency_spikes=(LatencySpike(10.0, 5.0, 1.0, 2.0),),
+            node_faults=(NodeFault(at=3.0, node_id="bot-000001", duration=60.0),),
+        )
+        text = plan.describe()
+        assert "storm" in text
+        assert "burst loss" in text
+        assert "duplication" in text
+        assert "latency spike" in text
+        assert "bot-000001" in text
+        assert "(empty)" in NO_FAULTS.describe()

@@ -1,0 +1,51 @@
+"""Unit tests for the shared retry policy."""
+
+import random
+
+import pytest
+
+from repro.faults.retry import CHAOS_RETRY, NO_RETRY, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_no_retry_still_times_out(self):
+        """NO_RETRY keeps the expiry half of the machinery: pendings
+        expire, they just are not re-issued."""
+        assert NO_RETRY.timeout > 0
+        assert NO_RETRY.max_retries == 0
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(
+            backoff_base=10.0, backoff_multiplier=2.0, jitter=0.0, max_retries=5
+        )
+        rng = random.Random(0)
+        delays = [policy.backoff(attempt, rng) for attempt in range(4)]
+        assert delays == [10.0, 20.0, 40.0, 80.0]
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(backoff_base=10.0, backoff_multiplier=1.0, jitter=0.5)
+        rng = random.Random(42)
+        for attempt in range(50):
+            delay = policy.backoff(attempt % 3, rng)
+            base = 10.0
+            assert base * 0.5 <= delay <= base * 1.5
+
+    def test_backoff_is_deterministic_per_seed(self):
+        policy = CHAOS_RETRY
+        a = [policy.backoff(i % 3, random.Random(7)) for i in range(5)]
+        b = [policy.backoff(i % 3, random.Random(7)) for i in range(5)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(retry_budget=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)

@@ -1,0 +1,127 @@
+"""Acceptance tests for the chaos subsystem (the robustness tentpole).
+
+The headline scenario: 20% correlated burst loss plus one leader crash
+per detection round.  The recon pipeline must complete a full round
+with degraded-but-nonzero detection, annotate the result with a
+confidence, keep crawler pending state bounded, and replay
+byte-for-byte under the same seed.
+"""
+
+import json
+
+import pytest
+
+from repro.workloads.chaos import (
+    ChaosRunResult,
+    render_degradation_report,
+    run_chaos_matrix,
+    run_chaos_scenario,
+)
+from repro.workloads.scenarios import CHAOS_KINDS, build_chaos_plan
+
+
+def serialize(result: ChaosRunResult) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def blackout_run():
+    """20% burst loss + one leader crash per round, zeus, tiny scale."""
+    return run_chaos_scenario(
+        "blackout", 0.2, family="zeus", scale="tiny", seed=7,
+        sensor_count=16, measure_hours=3.0,
+    )
+
+
+class TestBlackoutAcceptance:
+    def test_round_completes_with_degraded_detection(self, blackout_run):
+        r = blackout_run
+        # One of the four groups lost its leader: the round fell back
+        # to the surviving majority and says so via its confidence.
+        assert r.leader_crashes == 1
+        assert r.confidence == pytest.approx(0.75)
+        assert r.quorum_met
+        # Detection degraded but did not die.
+        assert r.detection_rate > 0.0
+
+    def test_burst_loss_actually_injected(self, blackout_run):
+        assert blackout_run.injected["dropped_burst"] > 0
+
+    def test_pending_state_bounded(self, blackout_run):
+        """Lost replies must not accumulate: after the run every
+        stranded pending entry has been expired."""
+        assert blackout_run.pending_after == 0
+        assert blackout_run.requests_expired > 0
+
+    def test_crawler_fought_back(self, blackout_run):
+        assert blackout_run.retries_sent > 0
+        assert blackout_run.coverage > 0.5
+
+
+class TestReplayability:
+    def test_identical_seeds_reproduce_identical_chaos(self):
+        a = run_chaos_scenario(
+            "blackout", 0.2, family="zeus", scale="tiny", seed=3,
+            sensor_count=8, measure_hours=2.0,
+        )
+        b = run_chaos_scenario(
+            "blackout", 0.2, family="zeus", scale="tiny", seed=3,
+            sensor_count=8, measure_hours=2.0,
+        )
+        assert serialize(a) == serialize(b)
+
+    def test_different_seed_changes_the_chaos(self):
+        a = run_chaos_scenario(
+            "burst-loss", 0.3, family="zeus", scale="tiny", seed=3,
+            sensor_count=8, measure_hours=2.0,
+        )
+        b = run_chaos_scenario(
+            "burst-loss", 0.3, family="zeus", scale="tiny", seed=4,
+            sensor_count=8, measure_hours=2.0,
+        )
+        assert serialize(a) != serialize(b)
+
+
+class TestMatrix:
+    def test_matrix_covers_kinds_by_intensities(self):
+        results = run_chaos_matrix(
+            ["baseline", "leader-crash"], [0.0, 0.5],
+            family="zeus", scale="tiny", seed=1,
+            sensor_count=8, measure_hours=2.0,
+        )
+        assert [(r.kind, r.intensity) for r in results] == [
+            ("baseline", 0.0), ("baseline", 0.5),
+            ("leader-crash", 0.0), ("leader-crash", 0.5),
+        ]
+        # Intensity 0 of any kind is the clean control: full confidence.
+        assert results[2].confidence == 1.0
+        report = render_degradation_report(results)
+        assert "leader-crash" in report
+        assert "coverage" in report
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            run_chaos_matrix(["meteor-strike"], [0.1])
+
+    def test_zero_intensity_plan_is_empty_for_every_kind(self):
+        """Intensity 0 must never install fault machinery, so control
+        rows replay the unfaulted simulation exactly."""
+        for kind in CHAOS_KINDS:
+            plan = build_chaos_plan(kind, 0.0, 0.0, 3600.0, ("sensor-000",))
+            assert plan.empty, kind
+
+
+class TestSalityFamily:
+    def test_sality_chaos_runs_and_replays(self):
+        a = run_chaos_scenario(
+            "flaky-network", 0.2, family="sality", scale="tiny", seed=2,
+            sensor_count=8, measure_hours=2.0,
+        )
+        b = run_chaos_scenario(
+            "flaky-network", 0.2, family="sality", scale="tiny", seed=2,
+            sensor_count=8, measure_hours=2.0,
+        )
+        assert serialize(a) == serialize(b)
+        assert a.injected["dropped_burst"] > 0
+        assert a.injected["duplicated"] > 0
+        assert a.pending_after == 0

@@ -1,0 +1,191 @@
+"""Churn edge cases around in-flight recon state.
+
+Three awkward interleavings the resilience machinery must survive:
+a bot leaving between request and reply, an IP reassignment aliasing
+a pending request to the wrong bot, and a detection round whose
+history window spans the diurnal trough.
+"""
+
+import random
+
+import pytest
+
+from repro.core.crawler import ZeusCrawler
+from repro.core.defects import ZeusDefectProfile
+from repro.core.detection import DetectionConfig, SensorLogDataset, evaluate_detection
+from repro.core.stealth import StealthPolicy
+from repro.faults.retry import CHAOS_RETRY
+from repro.net.address import parse_ip
+from repro.net.churn import ChurnConfig, DiurnalModel
+from repro.net.transport import Endpoint
+from repro.sim.clock import DAY, HOUR
+from repro.workloads.population import zeus_config
+from repro.workloads.scenarios import build_zeus_scenario
+
+
+def make_crawler(net, retry=None, policy=None):
+    return ZeusCrawler(
+        name="edge-crawler",
+        endpoint=Endpoint(parse_ip("99.0.0.1"), 7000),
+        transport=net.transport,
+        scheduler=net.scheduler,
+        rng=net.rngs.stream("crawler"),
+        policy=policy or StealthPolicy(per_target_interval=30.0, requests_per_target=3),
+        profile=ZeusDefectProfile(name="edge"),
+        retry=retry,
+    )
+
+
+class TestOfflineBetweenRequestAndReply:
+    def test_mass_departure_mid_crawl_leaves_no_stuck_state(self):
+        """Every bot goes offline while requests are in flight: the
+        pending entries must expire instead of leaking, and the crawl
+        must end cleanly."""
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=11), sensor_count=2, announce_hours=0.5
+        )
+        net = scenario.net
+        crawler = make_crawler(net)
+        crawler.start(net.bootstrap_sample(8, seed=1))
+        # Let the first request wave launch, then yank the population
+        # offline before replies can drain.
+        net.run_for(2.0)
+        assert crawler.pending_requests > 0
+        for bot in net.bots.values():
+            bot.stop()
+        net.run_for(HOUR)
+        assert crawler.pending_requests == 0
+        assert crawler.report.requests_expired > 0
+
+    def test_requests_to_departed_bots_expire_then_recover_on_return(self):
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=12), sensor_count=2, announce_hours=0.5
+        )
+        net = scenario.net
+        crawler = make_crawler(net, retry=CHAOS_RETRY)
+        crawler.start(net.bootstrap_sample(8, seed=1))
+        net.run_for(2.0)
+        for bot in net.bots.values():
+            bot.stop()
+        net.run_for(200.0)  # requests time out against the absent bots
+        expired_mid = crawler.report.requests_expired
+        assert expired_mid > 0
+        for bot in net.bots.values():
+            bot.start()
+        net.run_for(2 * HOUR)
+        # The retrying crawler re-reached returned bots.
+        assert len(crawler.report.verified_bots) > 0
+        assert crawler.pending_requests <= len(crawler.report.first_seen_bot)
+
+
+class TestIpReassignmentAliasing:
+    def test_pending_entry_aliased_to_wrong_bot_is_harmless(self):
+        """Bot A's address is handed to bot B while a request to A is
+        pending: the reply never matches (B cannot decrypt a message
+        keyed to A), the entry expires, and per-ID accounting stays
+        coherent."""
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=13), sensor_count=2, announce_hours=0.5
+        )
+        net = scenario.net
+        crawler = make_crawler(net)
+        crawler.start(net.bootstrap_sample(8, seed=1))
+        net.run_for(2.0)
+        assert crawler.pending_requests > 0
+        # Swap addresses between two routable bots while requests are
+        # in flight: A moves to a fresh IP, B takes over A's old one.
+        a, b = net.routable_bots[0], net.routable_bots[1]
+        old_a, old_b = a.endpoint, b.endpoint
+        fresh = Endpoint(net.routable_pool.allocate(), old_a.port)
+        a.rebind(fresh)
+        b.rebind(Endpoint(old_a.ip, old_b.port))
+        net.run_for(2 * HOUR)
+        assert crawler.pending_requests == 0
+        # Verified identities are still genuine responders (routable
+        # bots or sensors) -- the alias never got credited as bot A.
+        genuine_ids = {bot.bot_id for bot in net.routable_bots}
+        genuine_ids |= {sensor.bot_id for sensor in scenario.sensors}
+        assert crawler.report.verified_bots <= genuine_ids
+
+    def test_reassigned_bot_strands_requests_without_phantom_identity(self):
+        """One bot moves to a fresh IP mid-crawl: requests to the
+        vacated address drop observably (drop taps), the stranded
+        pendings expire, and no phantom identity appears."""
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=14), sensor_count=2, announce_hours=0.5
+        )
+        net = scenario.net
+        crawler = make_crawler(
+            net,
+            policy=StealthPolicy(per_target_interval=300.0, requests_per_target=48),
+        )
+        crawler.start(net.bootstrap_sample(8, seed=1))
+        net.run_for(HOUR)
+        mover = net.routable_bots[0]
+        old_ip = mover.endpoint.ip
+        new_ip = net.routable_pool.allocate()
+        mover.rebind(Endpoint(new_ip, mover.endpoint.port))
+        expired_before = crawler.report.requests_expired
+        stale_drops = []
+        net.transport.add_drop_tap(
+            lambda m, reason: stale_drops.append(reason) if m.dst.ip == old_ip else None
+        )
+        net.run_for(2 * HOUR)
+        # The crawler kept polling the vacated address; every one of
+        # those requests was dropped and its pending entry expired.
+        assert "unbound_dst" in stale_drops
+        assert crawler.report.requests_expired > expired_before
+        assert old_ip in crawler.report.first_seen_ip
+        # No phantom identity appeared: IDs never exceed the true
+        # population (re-addressing inflates IPs, not identifiers).
+        assert crawler.report.distinct_bots <= len(net.bots) + len(scenario.sensors)
+
+
+class TestDetectionAcrossDiurnalTrough:
+    def test_round_spanning_trough_still_detects(self):
+        """A detection round whose history window covers the diurnal
+        trough (most bots offline) completes and still flags the
+        crawler: sensor logs, not bot liveness, carry the evidence."""
+        diurnal = DiurnalModel()  # peak at 20:00, trough around 08:00
+        scenario = build_zeus_scenario(
+            zeus_config(
+                "tiny",
+                master_seed=15,
+                churn=ChurnConfig(
+                    mean_session=4 * HOUR, mean_offline=2 * HOUR, diurnal=diurnal
+                ),
+            ),
+            sensor_count=16,
+            announce_hours=1.0,
+        )
+        net = scenario.net
+        crawler = make_crawler(
+            net,
+            retry=CHAOS_RETRY,
+            policy=StealthPolicy(per_target_interval=60.0, requests_per_target=10),
+        )
+        crawler.start(net.bootstrap_sample(8, seed=1))
+
+        assert net.churn is not None
+        net.run_for(8 * HOUR - net.scheduler.now)  # ~08:00, the trough
+        trough_online = net.churn.online_count()
+        assert diurnal.online_probability(net.scheduler.now) < 0.5
+
+        net.run_for(12 * HOUR)  # ~20:00, the peak
+        peak_online = net.churn.online_count()
+        assert trough_online < peak_online
+
+        dataset = SensorLogDataset.from_zeus_sensors(
+            scenario.sensors, since=scenario.measurement_start
+        )
+        # Close the round just after the trough: the window spans it.
+        result = evaluate_detection(
+            dataset,
+            crawler_ips={crawler.endpoint.ip},
+            config=DetectionConfig(group_bits=2, threshold=0.30),
+            rng=random.Random(15),
+            round_end=9 * HOUR,
+        )
+        assert result.detection_rate == 1.0
+        assert result.confidence == 1.0
+        assert result.quorum_met

@@ -153,3 +153,94 @@ class TestTaps:
         transport.send(A, NATTED, b"blocked")
         sched.run()
         assert observed == [(b"blocked", False)]
+
+    def test_drop_tap_reports_reason(self):
+        sched, transport = make_transport(loss_rate=0.5, seed=3)
+        drops = []
+        transport.add_drop_tap(lambda m, reason: drops.append(reason))
+        transport.bind(A, lambda m: None)
+        transport.bind(B, lambda m: None)
+        transport.bind(NATTED, lambda m: None, routable=False)
+        transport.send(A, NATTED, b"x")  # unroutable
+        transport.send(A, Endpoint(parse_ip("198.51.100.99"), 5), b"x")  # unbound dst
+        for _ in range(50):
+            transport.send(B, A, b"x")  # some eaten by loss
+        sched.run()
+        assert "unroutable" in drops
+        assert "unbound_dst" in drops
+        assert drops.count("loss") == transport.stats.dropped_loss > 0
+
+    def test_drop_tap_sees_unbound_src_rejection(self):
+        _, transport = make_transport()
+        drops = []
+        transport.add_drop_tap(lambda m, reason: drops.append(reason))
+        transport.bind(A, lambda m: None)
+        assert not transport.send(B, A, b"spoof")
+        assert drops == ["unbound_src"]
+
+
+class TestFaultKnobs:
+    def test_duplication_counted_and_delivered_twice(self):
+        sched = Scheduler()
+        config = TransportConfig(
+            latency_min=0.01, latency_max=0.05, loss_rate=0.0, duplicate_rate=0.99
+        )
+        transport = Transport(sched, random.Random(1), config=config)
+        inbox = []
+        transport.bind(A, inbox.append)
+        transport.bind(B, lambda m: None)
+        for _ in range(20):
+            transport.send(B, A, b"x")
+        sched.run()
+        assert transport.stats.duplicated > 0
+        assert len(inbox) == 20 + transport.stats.duplicated
+
+    def test_reordering_counted_and_delays_delivery(self):
+        sched = Scheduler()
+        config = TransportConfig(
+            latency_min=0.01, latency_max=0.02, loss_rate=0.0,
+            reorder_rate=0.5, reorder_extra=10.0,
+        )
+        transport = Transport(sched, random.Random(2), config=config)
+        inbox = []
+        transport.bind(A, inbox.append)
+        transport.bind(B, lambda m: None)
+        for _ in range(40):
+            transport.send(B, A, b"x")
+        sched.run()
+        assert transport.stats.reordered > 0
+        late = [m for m in inbox if m.delivered_at - m.sent_at > 5.0]
+        assert len(late) == transport.stats.reordered
+
+    def test_zero_rates_draw_no_extra_rng(self):
+        """Replay invariant: the fault knobs at zero must not perturb
+        the RNG stream of existing runs."""
+        def deliveries(config):
+            sched = Scheduler()
+            transport = Transport(sched, random.Random(7), config=config)
+            inbox = []
+            transport.bind(A, inbox.append)
+            transport.bind(B, lambda m: None)
+            for _ in range(30):
+                transport.send(B, A, b"x")
+            sched.run()
+            return [(m.sent_at, m.delivered_at) for m in inbox]
+
+        plain = deliveries(TransportConfig(latency_min=0.01, latency_max=0.05))
+        zeroed = deliveries(
+            TransportConfig(
+                latency_min=0.01, latency_max=0.05,
+                duplicate_rate=0.0, reorder_rate=0.0,
+            )
+        )
+        assert plain == zeroed
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TransportConfig(duplicate_rate=1.0)
+        with pytest.raises(ValueError):
+            TransportConfig(reorder_rate=-0.1)
+        with pytest.raises(ValueError):
+            TransportConfig(reorder_extra=0.0)
+        with pytest.raises(ValueError):
+            TransportConfig(loss_rate=1.5)

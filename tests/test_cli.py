@@ -39,6 +39,43 @@ class TestTableCommand:
         assert "Sensor injection" in capsys.readouterr().out
 
 
+class TestChaosCommand:
+    def test_list_kinds(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "burst-loss" in out
+        assert "leader-crash" in out
+
+    def test_unknown_kind_rejected(self, capsys):
+        assert main(["chaos", "--kinds", "meteor-strike"]) == 2
+        assert "unknown kind" in capsys.readouterr().err
+
+    def test_bad_intensity_rejected(self, capsys):
+        assert main(["chaos", "--kinds", "baseline", "--intensities", "1.5"]) == 2
+        assert "intensities" in capsys.readouterr().err
+
+    def test_chaos_matrix_prints_degradation_report(self, capsys):
+        assert main([
+            "chaos", "--kinds", "baseline", "blackout",
+            "--intensities", "0.2", "--hours", "2", "--sensors", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "blackout" in out
+
+    def test_chaos_json_output(self, capsys):
+        import json
+
+        assert main([
+            "chaos", "--kinds", "burst-loss",
+            "--intensities", "0.2", "--hours", "2", "--sensors", "8", "--json",
+        ]) == 0
+        cells = json.loads(capsys.readouterr().out)
+        assert len(cells) == 1
+        assert cells[0]["kind"] == "burst-loss"
+        assert 0.0 <= cells[0]["coverage"] <= 1.0
+
+
 class TestCrawlCommand:
     def test_crawl_runs(self, capsys):
         assert main(["crawl", "--hours", "2", "--sensors", "4", "--seed", "3"]) == 0
