@@ -30,6 +30,7 @@ from repro.core.detection import DetectionConfig, SensorLogDataset, evaluate_det
 from repro.core.stealth import StealthPolicy
 from repro.net.address import format_ip, parse_ip
 from repro.net.transport import Endpoint
+from repro.obs import ObsSession
 from repro.sim.clock import HOUR
 from repro.workloads.population import SCALES, zeus_config
 from repro.workloads.scenarios import build_zeus_scenario
@@ -41,12 +42,28 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build(args: argparse.Namespace):
+def _obs_session(args: argparse.Namespace) -> ObsSession:
+    """Build the observability session from the common CLI flags."""
+    return ObsSession(
+        trace_path=getattr(args, "trace", None),
+        metrics_path=getattr(args, "metrics", None),
+        flight_capacity=getattr(args, "flight_recorder", None),
+    )
+
+
+def _report_obs(session: ObsSession) -> None:
+    for line in session.written:
+        print(line, file=sys.stderr)
+
+
+def _build(args: argparse.Namespace, session: Optional[ObsSession] = None):
     scenario = build_zeus_scenario(
         zeus_config(args.scale, master_seed=args.seed),
         sensor_count=args.sensors,
         announce_hours=2.0,
     )
+    if session is not None:
+        session.attach_scheduler(scenario.net.scheduler)
     crawler = ZeusCrawler(
         name="cli-crawler",
         endpoint=Endpoint(parse_ip("99.0.0.1"), 7000),
@@ -66,41 +83,47 @@ def _build(args: argparse.Namespace):
 
 
 def _cmd_crawl(args: argparse.Namespace) -> int:
-    scenario, crawler = _build(args)
-    net = scenario.net
-    routable = {bot.endpoint.ip for bot in net.routable_bots}
-    report = crawler.report
-    print(f"population:        {len(net.bots)} bots ({len(routable)} routable)")
-    print(f"requests sent:     {report.requests_sent}")
-    print(f"distinct IPs:      {report.distinct_ips}")
-    print(f"routable found:    {len(set(report.first_seen_ip) & routable)}/{len(routable)}")
-    print(f"verified bots:     {len(report.verified_bots)}")
-    print(f"edges collected:   {len(report.edges)}")
+    session = _obs_session(args)
+    with session:
+        scenario, crawler = _build(args, session)
+        net = scenario.net
+        routable = {bot.endpoint.ip for bot in net.routable_bots}
+        report = crawler.report
+        print(f"population:        {len(net.bots)} bots ({len(routable)} routable)")
+        print(f"requests sent:     {report.requests_sent}")
+        print(f"distinct IPs:      {report.distinct_ips}")
+        print(f"routable found:    {len(set(report.first_seen_ip) & routable)}/{len(routable)}")
+        print(f"verified bots:     {len(report.verified_bots)}")
+        print(f"edges collected:   {len(report.edges)}")
+    _report_obs(session)
     return 0
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    scenario, crawler = _build(args)
-    findings = ZeusAnomalyAnalyzer().analyze(scenario.sensors)
-    for finding in findings:
-        if finding.defects:
-            print(
-                f"anomalous source {format_ip(finding.ip)}: "
-                f"coverage {finding.coverage * 100:.0f}%, "
-                f"defects: {', '.join(finding.defects)}"
-            )
-    dataset = SensorLogDataset.from_zeus_sensors(
-        scenario.sensors, since=scenario.measurement_start
-    )
-    result = evaluate_detection(
-        dataset,
-        crawler_ips={crawler.endpoint.ip},
-        config=DetectionConfig(group_bits=args.group_bits, threshold=args.threshold),
-        rng=random.Random(args.seed),
-    )
-    verdict = "DETECTED" if result.detection_rate == 1.0 else "evaded"
-    print(f"coverage-based detection: crawler {verdict} "
-          f"({result.false_positives} false positives)")
+    session = _obs_session(args)
+    with session:
+        scenario, crawler = _build(args, session)
+        findings = ZeusAnomalyAnalyzer().analyze(scenario.sensors)
+        for finding in findings:
+            if finding.defects:
+                print(
+                    f"anomalous source {format_ip(finding.ip)}: "
+                    f"coverage {finding.coverage * 100:.0f}%, "
+                    f"defects: {', '.join(finding.defects)}"
+                )
+        dataset = SensorLogDataset.from_zeus_sensors(
+            scenario.sensors, since=scenario.measurement_start
+        )
+        result = evaluate_detection(
+            dataset,
+            crawler_ips={crawler.endpoint.ip},
+            config=DetectionConfig(group_bits=args.group_bits, threshold=args.threshold),
+            rng=random.Random(args.seed),
+        )
+        verdict = "DETECTED" if result.detection_rate == 1.0 else "evaded"
+        print(f"coverage-based detection: crawler {verdict} "
+              f"({result.false_positives} false positives)")
+    _report_obs(session)
     return 0
 
 
@@ -131,12 +154,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"sweep: {exc.args[0]}", file=sys.stderr)
         return 2
     progress = None if args.no_progress else ConsoleProgress()
+    trace_progress = None
+    if args.trace:
+        # A sweep has no simulated clock; the trace is the execution
+        # timeline (one track per worker) synthesized from progress.
+        from repro.obs import TraceProgress
+
+        trace_progress = TraceProgress(inner=progress)
+        progress = trace_progress
     result = run_sweep(
         spec,
         workers=args.workers,
         max_retries=args.max_retries,
         progress=progress,
+        capture_metrics=bool(args.metrics),
     )
+    if trace_progress is not None:
+        from repro.obs import write_jsonl
+
+        count = write_jsonl(trace_progress.events(), args.trace)
+        print(f"trace: {count} events -> {args.trace}", file=sys.stderr)
+    if args.metrics:
+        from repro.obs import write_metrics
+
+        if args.metrics == "-":
+            write_metrics(result.merged_metrics(), sys.stdout)
+        else:
+            write_metrics(result.merged_metrics(), args.metrics)
+            print(f"metrics -> {args.metrics}", file=sys.stderr)
     if args.json:
         print(json.dumps(result.values(), indent=2, sort_keys=True))
     else:
@@ -165,19 +210,55 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if not 0.0 <= intensity < 1.0:
             print("chaos: intensities must be in [0, 1)", file=sys.stderr)
             return 2
-    results = run_chaos_matrix(
-        args.kinds,
-        args.intensities,
-        family=args.family,
-        scale=args.scale,
-        seed=args.seed,
-        sensor_count=args.sensors,
-        measure_hours=args.hours,
-    )
-    if args.json:
-        print(json.dumps([r.to_dict() for r in results], indent=2, sort_keys=True))
-    else:
-        print(render_degradation_report(results))
+    session = _obs_session(args)
+    with session:
+        results = run_chaos_matrix(
+            args.kinds,
+            args.intensities,
+            family=args.family,
+            scale=args.scale,
+            seed=args.seed,
+            sensor_count=args.sensors,
+            measure_hours=args.hours,
+        )
+        if args.json:
+            print(json.dumps([r.to_dict() for r in results], indent=2, sort_keys=True))
+        else:
+            print(render_degradation_report(results))
+    _report_obs(session)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import read_jsonl, render_events, render_summary, write_chrome_trace
+
+    try:
+        events = read_jsonl(args.file)
+    except OSError as exc:
+        print(f"trace: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"trace: {args.file} is not a trace recording: {exc!r}", file=sys.stderr)
+        return 2
+    if args.action == "summary":
+        print(render_summary(events))
+        return 0
+    if args.action == "events":
+        if args.cat:
+            events = [e for e in events if e.cat == args.cat]
+        if args.tail:
+            events = events[-args.tail:]
+        if events:
+            print(render_events(events))
+        return 0
+    # convert
+    output = args.output
+    if output is None:
+        stem = args.file[:-6] if args.file.endswith(".jsonl") else args.file
+        output = stem + ".chrome.json"
+    count = write_chrome_trace(events, output, time_scale=args.time_scale)
+    print(f"chrome trace: {count} events -> {output}")
+    print("open in https://ui.perfetto.dev or chrome://tracing", file=sys.stderr)
     return 0
 
 
@@ -200,14 +281,31 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--contact-ratio", type=int, default=1)
         p.add_argument("--hard-hitter", action="store_true")
 
+    def add_obs_options(p, flight: bool = True):
+        p.add_argument(
+            "--trace", metavar="FILE", default=None,
+            help="record trace events to FILE (JSONL; inspect with 'repro trace')",
+        )
+        p.add_argument(
+            "--metrics", metavar="FILE", default=None,
+            help="write a metrics snapshot to FILE as JSON ('-' for stdout)",
+        )
+        if flight:
+            p.add_argument(
+                "--flight-recorder", metavar="N", type=int, default=None,
+                help="bound the recording to the last N events (ring buffer)",
+            )
+
     crawl = sub.add_parser("crawl", help="crawl a simulated Zeus botnet")
     add_scenario_options(crawl)
+    add_obs_options(crawl)
     crawl.set_defaults(func=_cmd_crawl)
 
     detect = sub.add_parser(
         "detect", help="crawl, then run anomaly analysis + distributed detection"
     )
     add_scenario_options(detect)
+    add_obs_options(detect)
     detect.add_argument("--threshold", type=float, default=0.30)
     detect.add_argument("--group-bits", type=int, default=2)
     detect.set_defaults(func=_cmd_detect)
@@ -245,6 +343,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--no-progress", action="store_true", help="suppress per-point progress lines"
     )
+    sweep.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record the sweep execution timeline (one track per worker) to FILE",
+    )
+    sweep.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="capture per-point metrics and write the merged snapshot to FILE "
+             "('-' for stdout)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     chaos = sub.add_parser(
@@ -278,7 +385,39 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--list", action="store_true", help="list chaos kinds")
     chaos.add_argument("--json", action="store_true", help="emit raw cells as JSON")
+    add_obs_options(chaos)
     chaos.set_defaults(func=_cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect or convert a trace recording",
+        description=(
+            "Work with JSONL trace recordings produced by --trace: "
+            "summarize them, print events, or convert to the Chrome "
+            "trace-event format that https://ui.perfetto.dev loads."
+        ),
+    )
+    trace.add_argument(
+        "action", choices=("summary", "events", "convert"),
+        help="what to do with the recording",
+    )
+    trace.add_argument("file", help="trace recording (JSONL)")
+    trace.add_argument(
+        "--cat", default=None, help="events: only show this category"
+    )
+    trace.add_argument(
+        "--tail", type=int, default=None, help="events: only the last N"
+    )
+    trace.add_argument(
+        "-o", "--output", default=None,
+        help="convert: output path (default: <file>.chrome.json)",
+    )
+    trace.add_argument(
+        "--time-scale", type=float, default=1_000_000.0,
+        help="convert: multiplier from event time units to microseconds "
+             "(default treats times as seconds)",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -34,6 +34,7 @@ from repro.core.defects import (
 from repro.core.stealth import StealthPolicy
 from repro.faults.retry import NO_RETRY, RetryPolicy
 from repro.net.transport import Endpoint, Message, Transport
+from repro.obs import runtime as obs
 from repro.sim.clock import HOUR
 from repro.sim.scheduler import Scheduler, Timer
 
@@ -155,6 +156,26 @@ class _CrawlerBase:
         self._request_counter = 0
         self._retries_spent = 0
         self._expiry_timer: Optional[Timer] = None
+        # Observability: request-lifecycle counters labeled by crawler
+        # name, pre-bound here so the per-request cost is one no-op (or
+        # one add) per event; trace emission is guarded by truthiness.
+        self._trace = obs.tracer()
+        registry = obs.metrics()
+        self._m_issued = registry.counter(
+            "crawler.requests_issued", "peer-list requests sent (incl. retries)"
+        ).labels(name)
+        self._m_replied = registry.counter(
+            "crawler.responses", "responses matched to a pending request"
+        ).labels(name)
+        self._m_expired = registry.counter(
+            "crawler.requests_expired", "pending requests expired on timeout"
+        ).labels(name)
+        self._m_retries = registry.counter(
+            "crawler.retries", "re-issues under the retry policy"
+        ).labels(name)
+        self._m_gave_up = registry.counter(
+            "crawler.targets_given_up", "targets abandoned after the retry budget"
+        ).labels(name)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -214,6 +235,13 @@ class _CrawlerBase:
         for key in expired:
             pending = self._pending.pop(key)
             self.report.requests_expired += 1
+            self._m_expired.inc()
+            if self._trace:
+                self._trace.instant(
+                    now, "crawler", "request.expired",
+                    crawler=self.name, target=pending.target_id.hex(),
+                    age=round(now - pending.sent_at, 3),
+                )
             self._on_request_expired(pending)
 
     def _on_request_expired(self, pending: _PendingRequest) -> None:
@@ -232,11 +260,24 @@ class _CrawlerBase:
             if not target.gave_up:
                 target.gave_up = True
                 self.report.targets_given_up += 1
+                self._m_gave_up.inc()
+                if self._trace:
+                    self._trace.instant(
+                        self.scheduler.now, "crawler", "target.gave_up",
+                        crawler=self.name, target=target.bot_id.hex(),
+                        retries=target.retries, out_of_budget=out_of_budget,
+                    )
             return
         target.retries += 1
         target.retry_scheduled = True
         self._retries_spent += 1
         delay = self.retry.backoff(target.retries - 1, self.rng)
+        if self._trace:
+            self._trace.instant(
+                self.scheduler.now, "crawler", "request.retry_scheduled",
+                crawler=self.name, target=target.bot_id.hex(),
+                attempt=target.retries, delay=round(delay, 3),
+            )
         self.scheduler.call_later(delay, self._refire, target)
 
     def _refire(self, target: _Target) -> None:
@@ -246,6 +287,13 @@ class _CrawlerBase:
         self._request_counter += 1
         self.report.requests_sent += 1
         self.report.retries_sent += 1
+        self._m_retries.inc()
+        self._m_issued.inc()
+        if self._trace:
+            self._trace.instant(
+                self.scheduler.now, "crawler", "request.issued",
+                crawler=self.name, target=target.bot_id.hex(), retry=True,
+            )
         self.send_request(target)
 
     @property
@@ -290,6 +338,13 @@ class _CrawlerBase:
         target.requests_sent += 1
         self._request_counter += 1
         self.report.requests_sent += 1
+        self._m_issued.inc()
+        if self._trace:
+            self._trace.instant(
+                self.scheduler.now, "crawler", "request.issued",
+                crawler=self.name, target=target.bot_id.hex(),
+                attempt=target.requests_sent,
+            )
         self.send_request(target)
         if target.requests_sent < self.policy.requests_per_target:
             interval = self.policy.per_target_interval
@@ -375,6 +430,13 @@ class ZeusCrawler(_CrawlerBase):
             return
         target_id = pending.target_id
         self.report.responses_received += 1
+        self._m_replied.inc()
+        if self._trace:
+            self._trace.instant(
+                self.scheduler.now, "crawler", "request.replied",
+                crawler=self.name, target=target_id.hex(),
+                rtt=round(self.scheduler.now - pending.sent_at, 6),
+            )
         target = self._targets.get(target_id)
         if target is not None and not target.responded:
             target.responded = True
@@ -471,6 +533,13 @@ class SalityCrawler(_CrawlerBase):
             return
         target_id = pending.target_id
         self.report.responses_received += 1
+        self._m_replied.inc()
+        if self._trace:
+            self._trace.instant(
+                self.scheduler.now, "crawler", "request.replied",
+                crawler=self.name, target=target_id.hex(),
+                rtt=round(self.scheduler.now - pending.sent_at, 6),
+            )
         target = self._targets.get(target_id)
         if target is not None and not target.responded:
             target.responded = True

@@ -9,6 +9,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.detection.aggregation import GroupVerdict, MemberReport, aggregate_group
 from repro.core.detection.groups import assign_groups, elect_leaders, sample_bit_positions
 from repro.core.detection.voting import LeaderBehavior, LeaderVote, tally_votes
+from repro.obs import runtime as obs
 from repro.sim.clock import DAY, HOUR
 
 
@@ -107,6 +108,15 @@ def run_round(
         )
         round_end = latest + 1.0
     since = round_end - config.history_interval
+    # Observability: read the ambient hooks at call time (rounds are
+    # plain functions, not long-lived objects).  Tracing draws nothing
+    # from ``rng`` and emits at the already-decided ``round_end``.
+    trace = obs.tracer()
+    registry = obs.metrics()
+    m_rounds = registry.counter("detect.rounds", "detection rounds executed")
+    m_votes = registry.counter("detect.votes", "leader votes cast, by behavior")
+    m_lost = registry.counter("detect.groups_lost", "groups lost to leader crashes")
+    m_classified = registry.counter("detect.classified_keys", "keys classified as crawlers")
     bit_positions = sample_bit_positions(config.group_bits, rng, id_bits=len(participants[0].bot_id) * 8)
     groups = assign_groups(participants, bit_positions)
     leaders = elect_leaders(groups, rng)
@@ -124,6 +134,12 @@ def run_round(
             # The leader died before submitting: its group's
             # aggregation (which only the leader held) is lost.
             lost_groups.append(index)
+            m_lost.inc()
+            if trace:
+                trace.instant(
+                    round_end, "detect", "group.lost",
+                    group=index, leader=leaders.get(index, ""), size=len(members),
+                )
             continue
         verdict = aggregate_group(
             group_index=index,
@@ -134,15 +150,36 @@ def run_round(
             prefix=config.aggregation_prefix,
         )
         verdicts[index] = verdict
-        votes.append(
-            LeaderVote.from_verdict(
-                verdict,
-                behavior=behaviors.get(index, LeaderBehavior.HONEST),
-                framed_keys=framed_keys,
+        behavior = behaviors.get(index, LeaderBehavior.HONEST)
+        vote = LeaderVote.from_verdict(verdict, behavior=behavior, framed_keys=framed_keys)
+        votes.append(vote)
+        m_votes.labels(behavior.value).inc()
+        if trace:
+            trace.instant(
+                round_end, "detect", "group.aggregated",
+                group=index, leader=leaders.get(index, ""), size=verdict.group_size,
+                suspicious=len(verdict.suspicious),
             )
-        )
+            trace.instant(
+                round_end, "detect", "leader.vote",
+                group=index, behavior=behavior.value, accused=len(vote.keys),
+            )
     classified = tally_votes(votes, config.majority_fraction)
     confidence = len(votes) / expected_votes if expected_votes else 0.0
+    m_rounds.inc()
+    m_classified.inc(len(classified))
+    quorum_met = confidence >= config.min_quorum_fraction
+    if trace:
+        trace.complete(
+            max(0.0, since), round_end, "detect", "round",
+            groups=len(groups), votes=len(votes), classified=len(classified),
+            confidence=round(confidence, 4), quorum_met=quorum_met,
+        )
+        if not quorum_met:
+            trace.instant(
+                round_end, "detect", "round.quorum_degraded",
+                confidence=round(confidence, 4), lost=len(lost_groups),
+            )
     return DetectionRoundResult(
         round_end=round_end,
         bit_positions=bit_positions,
@@ -151,7 +188,7 @@ def run_round(
         classified=classified,
         confidence=confidence,
         failed_groups=tuple(lost_groups),
-        quorum_met=confidence >= config.min_quorum_fraction,
+        quorum_met=quorum_met,
     )
 
 

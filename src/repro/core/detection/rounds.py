@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.botnets.graph import ConnectivityGraph
+from repro.obs import runtime as obs
 
 DEFAULT_MAX_AGE = 3600.0
 
@@ -89,15 +90,19 @@ def push_gossip(
     rng: random.Random,
     fanout: int = 4,
     max_hops: int = 64,
+    now: float = 0.0,
 ) -> GossipStats:
     """Flood an announcement from ``origin`` over the routable overlay.
 
     Each informed bot pushes to ``fanout`` random routable neighbours
     per hop.  Returns who was reached and at what message cost -- the
     scalability numbers behind the push-gossip design choice.
+    ``now`` only timestamps the flood's trace events (the flood itself
+    is modeled as instantaneous relative to round cadence).
     """
     if origin not in routable:
         raise ValueError(f"gossip origin must be routable: {origin}")
+    trace = obs.tracer()
     stats = GossipStats(reached={origin})
     frontier = [origin]
     for hop in range(max_hops):
@@ -115,5 +120,20 @@ def push_gossip(
                 if target not in stats.reached:
                     stats.reached.add(target)
                     next_frontier.append(target)
+        if trace:
+            trace.instant(
+                now, "detect", "gossip.hop",
+                hop=stats.hops, informed=len(next_frontier),
+                reached=len(stats.reached), messages=stats.messages_sent,
+            )
         frontier = next_frontier
+    obs.metrics().counter(
+        "detect.gossip_messages", "gossip pushes sent during round announcements"
+    ).inc(stats.messages_sent)
+    if trace:
+        trace.instant(
+            now, "detect", "gossip.done",
+            origin=origin, reached=len(stats.reached),
+            messages=stats.messages_sent, hops=stats.hops,
+        )
     return stats

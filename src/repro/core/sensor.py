@@ -34,6 +34,7 @@ from repro.botnets.zeus.bot import ZeusBot, ZeusConfig
 from repro.botnets.zeus.protocol import MessageType, ZeusDecodeError, ZeusMessage
 from repro.faults.retry import RetryPolicy
 from repro.net.transport import Endpoint, Message, Transport
+from repro.obs import runtime as obs_runtime
 from repro.sim.clock import DAY, MINUTE
 from repro.sim.scheduler import Scheduler
 
@@ -136,6 +137,22 @@ class ZeusSensor(ZeusBot):
         self._probe_attempts: Dict[bytes, int] = {}
         # Defective sensors report a version several updates behind.
         self._reported_version = 0x00020100 if profile.stale_version else self.config.version
+        # Observability: inbound-log and active-probe lifecycle
+        # counters, labeled by sensor node id (no-op stubs when off).
+        self._trace = obs_runtime.tracer()
+        registry = obs_runtime.metrics()
+        self._m_observed = registry.counter(
+            "sensor.observations", "inbound messages logged by sensors"
+        ).labels(node_id)
+        self._m_probes = registry.counter(
+            "sensor.probes_issued", "active peer-list probes sent"
+        ).labels(node_id)
+        self._m_probes_expired = registry.counter(
+            "sensor.probes_expired", "active probes expired on timeout"
+        ).labels(node_id)
+        self._m_probe_retries = registry.counter(
+            "sensor.probe_retries", "active probes re-issued under retry"
+        ).labels(node_id)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -171,6 +188,13 @@ class ZeusSensor(ZeusBot):
     def handle_message(self, message: Message) -> None:
         observed = self._observe(message)
         self.observations.append(observed)
+        self._m_observed.inc()
+        if self._trace:
+            self._trace.instant(
+                self.scheduler.now, "sensor", "observe",
+                sensor=self.node_id, src=str(message.src),
+                decrypt_ok=observed.decrypt_ok, msg_type=observed.msg_type,
+            )
         if not observed.decrypt_ok:
             self.undecryptable += 1
             return
@@ -182,6 +206,12 @@ class ZeusSensor(ZeusBot):
             self.peer_list.add(entry)
             current = self.peer_list.get(observed.source_id)
             if current is not None:
+                self._m_probes.inc()
+                if self._trace:
+                    self._trace.instant(
+                        self.scheduler.now, "sensor", "probe.issued",
+                        sensor=self.node_id, target=observed.source_id.hex(),
+                    )
                 self._send_request(current, MessageType.PEER_LIST_REQUEST, observed.source_id)
         super().handle_message(message)
 
@@ -229,11 +259,23 @@ class ZeusSensor(ZeusBot):
             ):
                 continue
             self.probes_expired += 1
+            self._m_probes_expired.inc()
+            if self._trace:
+                self._trace.instant(
+                    now, "sensor", "probe.expired",
+                    sensor=self.node_id, target=pending.peer_id.hex(),
+                )
             attempts = self._probe_attempts.get(pending.peer_id, 0)
             if attempts >= self.retry.max_retries:
                 continue
             self._probe_attempts[pending.peer_id] = attempts + 1
             delay = self.retry.backoff(attempts, self.rng)
+            if self._trace:
+                self._trace.instant(
+                    now, "sensor", "probe.retry_scheduled",
+                    sensor=self.node_id, target=pending.peer_id.hex(),
+                    attempt=attempts + 1, delay=round(delay, 3),
+                )
             self.scheduler.call_later(delay, self._reprobe, pending.peer_id)
 
     def _reprobe(self, peer_id: bytes) -> None:
@@ -243,6 +285,13 @@ class ZeusSensor(ZeusBot):
         if entry is None:
             return  # the eviction machinery already gave up on it
         self.probe_retries += 1
+        self._m_probe_retries.inc()
+        self._m_probes.inc()
+        if self._trace:
+            self._trace.instant(
+                self.scheduler.now, "sensor", "probe.issued",
+                sensor=self.node_id, target=peer_id.hex(), retry=True,
+            )
         self._send_request(entry, MessageType.PEER_LIST_REQUEST, peer_id)
 
     # -- edge collection from our own peer-list requests -------------------------
@@ -351,6 +400,10 @@ class SalitySensor(SalityBot):
         self.announce_duration = announce_duration
         self.observations: List[ObservedSalityMessage] = []
         self._started_at: Optional[float] = None
+        self._trace = obs_runtime.tracer()
+        self._m_observed = obs_runtime.metrics().counter(
+            "sensor.observations", "inbound messages logged by sensors"
+        ).labels(node_id)
 
     def start(self, first_cycle_delay: Optional[float] = None) -> None:
         self._started_at = self.scheduler.now
@@ -394,6 +447,12 @@ class SalitySensor(SalityBot):
             decoded = sality_protocol.decode_packet(message.payload)
         except SalityDecodeError:
             self.observations.append(observed)
+            self._m_observed.inc()
+            if self._trace:
+                self._trace.instant(
+                    self.scheduler.now, "sensor", "observe",
+                    sensor=self.node_id, src=str(message.src), decode_ok=False,
+                )
             self.undecodable += 1
             return
         observed.decode_ok = True
@@ -402,6 +461,13 @@ class SalitySensor(SalityBot):
         observed.minor_version = decoded.minor_version
         observed.padding = decoded.padding
         self.observations.append(observed)
+        self._m_observed.inc()
+        if self._trace:
+            self._trace.instant(
+                self.scheduler.now, "sensor", "observe",
+                sensor=self.node_id, src=str(message.src),
+                decode_ok=True, command=decoded.command,
+            )
         super().handle_message(message)
 
     def observed_ips(self) -> Set[int]:

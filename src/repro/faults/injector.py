@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.faults.plan import CRASH, MUTE, OUTAGE, FaultPlan, NodeFault
 from repro.net.nat import RoutabilityTable
 from repro.net.transport import Message, Transport, TransportConfig
+from repro.obs import runtime as obs
 from repro.sim.scheduler import Scheduler
 
 
@@ -64,6 +65,10 @@ class FaultyTransport(Transport):
         self.fault_rng = fault_rng
         self.fault_stats = FaultStats()
         self._ge_bad = False
+        # Injected-fault counters; drops by reason (partition,
+        # burst_loss) are already covered by the base transport.
+        registry = obs.metrics()
+        self._m_faults = registry.counter("faults.injected", "injected faults by kind")
 
     # -- fault hooks -----------------------------------------------------
 
@@ -74,6 +79,11 @@ class FaultyTransport(Transport):
             if spike.active(now):
                 latency += self.fault_rng.uniform(spike.extra_min, spike.extra_max)
                 self.fault_stats.spiked_sends += 1
+                self._m_faults.labels("latency_spike").inc()
+                if self._trace:
+                    self._trace.instant(
+                        now, "faults", "latency_spike", extra=round(latency, 6)
+                    )
         return latency
 
     def _ge_step(self) -> bool:
@@ -85,9 +95,19 @@ class FaultyTransport(Transport):
             if self.fault_rng.random() < ge.p_exit_bad:
                 self._ge_bad = False
                 self.fault_stats.ge_transitions += 1
+                self._m_faults.labels("ge_transition").inc()
+                if self._trace:
+                    self._trace.instant(
+                        self.scheduler.now, "faults", "ge_transition", state="good"
+                    )
         elif self.fault_rng.random() < ge.p_enter_bad:
             self._ge_bad = True
             self.fault_stats.ge_transitions += 1
+            self._m_faults.labels("ge_transition").inc()
+            if self._trace:
+                self._trace.instant(
+                    self.scheduler.now, "faults", "ge_transition", state="bad"
+                )
         loss = ge.loss_bad if self._ge_bad else ge.loss_good
         return bool(loss) and self.fault_rng.random() < loss
 
@@ -131,6 +151,10 @@ class NodeFaultDriver:
         self.unresolved = 0
         #: (time, node_id, kind, phase) with phase in {"down", "up"}.
         self.events: List[Tuple[float, str, str, str]] = []
+        self._trace = obs.tracer()
+        self._m_faults = obs.metrics().counter(
+            "faults.injected", "injected faults by kind"
+        )
 
     def install(self, plan: FaultPlan) -> int:
         """Schedule every node fault in ``plan`` lying in the future.
@@ -152,6 +176,14 @@ class NodeFaultDriver:
             self.unresolved += 1
             return
         self.events.append((self.scheduler.now, fault.node_id, fault.kind, "down"))
+        self._m_faults.labels(fault.kind).inc()
+        if self._trace:
+            # One X span per node fault would be nicer, but the end
+            # time is only known when _end fires; emit paired instants.
+            self._trace.instant(
+                self.scheduler.now, "faults", f"{fault.kind}.down",
+                node=fault.node_id, duration=fault.duration,
+            )
         if fault.kind == MUTE:
             self.mutes += 1
             node.gossip_suppressed = True
@@ -168,6 +200,10 @@ class NodeFaultDriver:
         if node is None:
             return
         self.events.append((self.scheduler.now, fault.node_id, fault.kind, "up"))
+        if self._trace:
+            self._trace.instant(
+                self.scheduler.now, "faults", f"{fault.kind}.up", node=fault.node_id
+            )
         if fault.kind == MUTE:
             node.gossip_suppressed = False
         else:

@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.address import format_ip
 from repro.net.nat import RoutabilityTable
+from repro.obs import runtime as obs
 from repro.sim.scheduler import Scheduler
 
 
@@ -133,6 +134,16 @@ class Transport:
         self._handlers: Dict[Tuple[int, int], Handler] = {}
         self._taps: List[Tap] = []
         self._drop_taps: List[DropTap] = []
+        # Observability: capture the ambient context at construction.
+        # Disabled (the default) leaves falsy/no-op stubs here, so the
+        # send/deliver paths pay one branch and no-op calls per event.
+        self._trace = obs.tracer()
+        registry = obs.metrics()
+        self._m_sent = registry.counter("net.sent", "messages accepted for delivery")
+        self._m_delivered = registry.counter("net.delivered", "messages handed to a handler")
+        self._m_dropped = registry.counter("net.dropped", "drops by reason")
+        self._m_duplicated = registry.counter("net.duplicated", "messages duplicated in flight")
+        self._m_reordered = registry.counter("net.reordered", "messages delayed past later sends")
 
     # -- binding -------------------------------------------------------
 
@@ -196,6 +207,11 @@ class Transport:
             # Non-spoofable identity: you can only speak as an endpoint
             # you have bound.
             self.stats.rejected_unbound_src += 1
+            self._m_dropped.labels("unbound_src").inc()
+            if self._trace:
+                self._trace.instant(
+                    now, "net", "drop", reason="unbound_src", src=str(src), dst=str(dst)
+                )
             if self._drop_taps:
                 self._notify_drop(
                     Message(src=src, dst=dst, payload=payload, sent_at=now, delivered_at=now),
@@ -204,16 +220,30 @@ class Transport:
             return False
         self.routability.note_outbound(src.key, dst.ip, now)
         self.stats.sent += 1
+        self._m_sent.inc()
         latency = self._latency()
+        reordered = False
         if self.config.reorder_rate and self.rng.random() < self.config.reorder_rate:
             # Enough extra latency to arrive behind messages sent later.
             self.stats.reordered += 1
+            self._m_reordered.inc()
+            reordered = True
             latency += self.config.reorder_extra
         sent_at = now
         self.scheduler.call_later(latency, self._deliver, src, dst, payload, sent_at)
+        duplicated = False
         if self.config.duplicate_rate and self.rng.random() < self.config.duplicate_rate:
             self.stats.duplicated += 1
+            self._m_duplicated.inc()
+            duplicated = True
             self.scheduler.call_later(self._latency(), self._deliver, src, dst, payload, sent_at)
+        if self._trace:
+            args = {"src": str(src), "dst": str(dst), "bytes": len(payload)}
+            if reordered:
+                args["reordered"] = True
+            if duplicated:
+                args["duplicated"] = True
+            self._trace.instant(now, "net", "send", **args)
         return True
 
     def _latency(self) -> float:
@@ -248,6 +278,17 @@ class Transport:
             tap(message, delivered)
         if delivered:
             self.stats.delivered += 1
+            self._m_delivered.inc()
+            if self._trace:
+                self._trace.instant(
+                    now, "net", "deliver",
+                    src=str(src), dst=str(dst), latency=round(now - sent_at, 6),
+                )
             self._handlers[dst.key](message)
         else:
+            self._m_dropped.labels(reason).inc()
+            if self._trace:
+                self._trace.instant(
+                    now, "net", "drop", reason=reason, src=str(src), dst=str(dst)
+                )
             self._notify_drop(message, reason)

@@ -1,0 +1,111 @@
+"""Structured trace events and the post-mortem flight recorder.
+
+A :class:`TraceEvent` is one observation keyed to *simulated* time:
+what happened (``name``), in which layer (``cat``), instantaneous or
+spanning (``ph``/``dur``), with free-form ``args``.  The phase letters
+follow the Chrome trace-event format so export is a straight mapping:
+
+* ``"i"`` -- instant event (a send, a drop, a fault firing);
+* ``"X"`` -- complete event with a duration (a detection round, a
+  sweep point);
+* ``"C"`` -- counter sample (heap depth over time).
+
+The :class:`FlightRecorder` is a bounded ring buffer holding the last
+N events; it costs O(capacity) memory regardless of run length, so it
+can stay on during long simulations and be dumped after a failure --
+the "what were the last 10k things the system did" post-mortem view.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Mapping, Optional
+
+INSTANT = "i"
+COMPLETE = "X"
+COUNTER = "C"
+
+
+class TraceEvent:
+    """One trace record; plain data, cheap to create, JSON-able."""
+
+    __slots__ = ("time", "cat", "name", "ph", "dur", "args")
+
+    def __init__(
+        self,
+        time: float,
+        cat: str,
+        name: str,
+        ph: str = INSTANT,
+        dur: float = 0.0,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.time = time
+        self.cat = cat
+        self.name = name
+        self.ph = ph
+        self.dur = dur
+        self.args = args
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "time": self.time, "cat": self.cat, "name": self.name, "ph": self.ph
+        }
+        if self.ph == COMPLETE:
+            out["dur"] = self.dur
+        if self.args:
+            out["args"] = dict(self.args)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TraceEvent":
+        return cls(
+            time=float(data["time"]),
+            cat=str(data["cat"]),
+            name=str(data["name"]),
+            ph=str(data.get("ph", INSTANT)),
+            dur=float(data.get("dur", 0.0)),
+            args=data.get("args"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceEvent(t={self.time:.3f}, {self.cat}/{self.name}, "
+            f"ph={self.ph}, args={self.args})"
+        )
+
+
+class FlightRecorder:
+    """Bounded ring buffer of the most recent trace events.
+
+    Appending past capacity silently evicts the oldest event, so the
+    recorder never grows: ``len(recorder) <= capacity`` is an invariant
+    the test suite asserts.  Use as a :class:`~repro.obs.tracer.Tracer`
+    buffer when a full recording would be too large to keep.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.dropped = 0
+        self._buffer: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    def append(self, event: TraceEvent) -> None:
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._buffer)
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.dropped = 0

@@ -1,0 +1,171 @@
+"""Trace and metrics export: JSONL recordings, Chrome trace, summaries.
+
+The native recording format is JSON Lines -- one
+:class:`~repro.obs.events.TraceEvent` dict per line -- because it
+streams, greps, and diffs.  :func:`chrome_trace` converts a recording
+into the Chrome trace-event format (the ``traceEvents`` JSON array)
+that https://ui.perfetto.dev and ``chrome://tracing`` load directly:
+simulated seconds become microsecond timestamps, and each event
+category gets its own named track.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, TextIO, Union
+
+from repro.obs.events import COMPLETE, COUNTER, TraceEvent
+from repro.sim.clock import format_time
+
+PathOrFile = Union[str, TextIO]
+
+
+# -- JSONL recordings ------------------------------------------------------
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
+    """Write a recording; returns the number of events written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as stream:
+        for event in events:
+            stream.write(json.dumps(event.to_dict(), sort_keys=True))
+            stream.write("\n")
+            count += 1
+    return count
+
+
+def iter_jsonl(path: str) -> Iterator[TraceEvent]:
+    """Stream a recording back as events (blank lines skipped)."""
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield TraceEvent.from_dict(json.loads(line))
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    return list(iter_jsonl(path))
+
+
+# -- Chrome trace / Perfetto ----------------------------------------------
+
+
+def chrome_trace(
+    events: Iterable[TraceEvent], time_scale: float = 1_000_000.0
+) -> Dict[str, Any]:
+    """A recording as a Chrome trace-event JSON object.
+
+    ``time_scale`` converts event time units to microseconds (the
+    format's ``ts`` unit); the default treats event times as seconds.
+    Each category becomes its own named thread track, so the layers
+    (net, sched, crawler, detect, fault, ...) stack separately in the
+    Perfetto timeline.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    for event in events:
+        tid = tids.get(event.cat)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[event.cat] = tid
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": event.cat},
+                }
+            )
+        entry: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.ph,
+            "ts": event.time * time_scale,
+            "pid": 1,
+            "tid": tid,
+        }
+        if event.ph == COMPLETE:
+            entry["dur"] = event.dur * time_scale
+        elif event.ph == COUNTER:
+            entry["args"] = dict(event.args or {})
+        else:
+            entry["s"] = "t"  # instant scope: thread
+        if event.ph != COUNTER and event.args:
+            entry["args"] = dict(event.args)
+        trace_events.append(entry)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "clock": "simulated"},
+    }
+
+
+def write_chrome_trace(
+    events: Iterable[TraceEvent], path: str, time_scale: float = 1_000_000.0
+) -> int:
+    """Write a Perfetto-loadable trace file; returns the event count
+    (excluding synthetic thread-name metadata)."""
+    trace = chrome_trace(events, time_scale=time_scale)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(trace, stream)
+    return sum(1 for e in trace["traceEvents"] if e["ph"] != "M")
+
+
+# -- human-facing views ----------------------------------------------------
+
+
+def render_summary(events: List[TraceEvent]) -> str:
+    """A recording's shape at a glance: span, volume, top event names."""
+    if not events:
+        return "empty trace (0 events)"
+    start = min(e.time for e in events)
+    end = max(e.time + (e.dur if e.ph == COMPLETE else 0.0) for e in events)
+    by_cat = TallyCounter(e.cat for e in events)
+    by_name = TallyCounter(f"{e.cat}/{e.name}" for e in events)
+    lines = [
+        f"{len(events)} events over simulated "
+        f"[{format_time(start)} .. {format_time(end)}] "
+        f"({end - start:.1f}s)",
+        "",
+        "by category:",
+    ]
+    for cat, count in by_cat.most_common():
+        lines.append(f"  {cat:<12} {count}")
+    lines.append("")
+    lines.append("top events:")
+    for name, count in by_name.most_common(12):
+        lines.append(f"  {name:<32} {count}")
+    return "\n".join(lines)
+
+
+def render_events(events: List[TraceEvent]) -> str:
+    """One line per event (``repro trace --tail``)."""
+    lines = []
+    for event in events:
+        args = (
+            " ".join(f"{k}={v}" for k, v in sorted((event.args or {}).items()))
+        )
+        dur = f" dur={event.dur:.3f}s" if event.ph == COMPLETE else ""
+        lines.append(
+            f"{format_time(event.time)} {event.cat:<8} {event.name:<24}{dur} {args}".rstrip()
+        )
+    return "\n".join(lines)
+
+
+# -- metrics snapshots -----------------------------------------------------
+
+
+def metrics_json(snapshot: Mapping[str, Any]) -> str:
+    """A snapshot as stable, reviewable JSON."""
+    return json.dumps(snapshot, indent=2, sort_keys=True)
+
+
+def write_metrics(snapshot: Mapping[str, Any], path_or_stream: PathOrFile) -> None:
+    text = metrics_json(snapshot) + "\n"
+    if isinstance(path_or_stream, str):
+        with open(path_or_stream, "w", encoding="utf-8") as stream:
+            stream.write(text)
+    else:
+        path_or_stream.write(text)

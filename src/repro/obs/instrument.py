@@ -1,0 +1,189 @@
+"""Attachable instrumentation: scheduler profiling, session plumbing.
+
+Most layers instrument themselves by capturing the ambient context at
+construction (see :mod:`repro.obs.runtime`).  This module holds the
+pieces that attach *onto* existing objects instead:
+
+* :class:`CallbackProfile` -- wall-time profiling of scheduler
+  callbacks, installed with ``scheduler.set_profile(...)``;
+* :func:`instrument_scheduler` -- publishes scheduler stats as gauges
+  (via a snapshot-time collector, zero per-event cost) and installs
+  the profile;
+* :class:`TraceProgress` -- a sweep progress hook that renders the
+  execution timeline (one track per worker) as trace events;
+* :class:`ObsSession` -- the CLI-facing bundle: build tracer/registry
+  from requested output paths, activate them around a run, write the
+  files on exit (including after a failure -- that is the flight
+  recorder's post-mortem job).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs import runtime
+from repro.obs.events import COMPLETE, FlightRecorder, TraceEvent
+from repro.obs.export import write_chrome_trace, write_jsonl, write_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+class CallbackProfile:
+    """Aggregates wall-clock time per scheduler callback.
+
+    Samples land in a histogram labeled by the callback's qualified
+    name; the label child is cached per name, so steady state is one
+    dict lookup plus one observe per dispatch -- and the whole profile
+    only exists when explicitly installed.
+    """
+
+    def __init__(self, registry: MetricsRegistry, name: str = "sched.callback_wall_seconds") -> None:
+        self._histogram = registry.histogram(
+            name, "wall-clock seconds spent inside scheduler callbacks, by callback"
+        )
+        self._children: Dict[str, Any] = {}
+
+    def record(self, callback: Callable[..., Any], seconds: float) -> None:
+        name = getattr(callback, "__qualname__", None) or repr(callback)
+        child = self._children.get(name)
+        if child is None:
+            child = self._histogram.labels(name)
+            self._children[name] = child
+        child.observe(seconds)
+
+
+def instrument_scheduler(
+    scheduler, registry: MetricsRegistry, profile: bool = True, prefix: str = "sched"
+) -> None:
+    """Publish ``scheduler.stats()`` as gauges and (optionally) install
+    callback wall-time profiling.
+
+    The gauges are filled by a snapshot-time collector, so the
+    scheduler's hot loop is untouched; only the profile adds per-
+    dispatch work (two ``perf_counter`` calls), and only when
+    installed.
+    """
+
+    def collect(reg: MetricsRegistry) -> None:
+        stats = scheduler.stats()
+        reg.gauge(f"{prefix}.dispatched", "callbacks dispatched").set(stats.dispatched)
+        reg.gauge(f"{prefix}.cancelled", "timers cancelled").set(stats.cancelled)
+        reg.gauge(f"{prefix}.compactions", "heap compactions").set(stats.compactions)
+        reg.gauge(f"{prefix}.peak_heap", "peak heap size").set(stats.peak_heap)
+        reg.gauge(f"{prefix}.pending", "live timers at snapshot").set(stats.pending)
+
+    registry.register_collector(collect)
+    if profile:
+        scheduler.set_profile(CallbackProfile(registry))
+
+
+class TraceProgress:
+    """Sweep progress hook that records the execution timeline.
+
+    Produces one ``X`` (complete) event per finished point on a track
+    named after its worker, plus instants for retries, pool restarts,
+    and completion -- all keyed to *wall-clock seconds since sweep
+    start* (``ProgressEvent.elapsed``), since a sweep has no simulated
+    clock.  Convert with ``time_scale=1e6`` like any other recording;
+    the resulting Perfetto view is the pool-utilization picture.
+
+    Wraps an inner hook (e.g. ``ConsoleProgress``) so tracing a sweep
+    does not cost the console output.
+    """
+
+    def __init__(self, inner: Optional[Callable[[Any], Any]] = None) -> None:
+        self.inner = inner
+        self._events: List[TraceEvent] = []
+
+    def __call__(self, event: Any) -> None:
+        if self.inner is not None:
+            self.inner(event)
+        if event.kind == "point-done" and event.record is not None:
+            record = event.record
+            start = max(0.0, event.elapsed - record.wall_time)
+            self._events.append(
+                TraceEvent(
+                    start,
+                    record.worker or "serial",
+                    f"{record.point}[{record.index}]",
+                    COMPLETE,
+                    record.wall_time,
+                    {"attempts": record.attempts, "seed": record.seed},
+                )
+            )
+        elif event.kind == "point-retry" and event.point is not None:
+            self._events.append(
+                TraceEvent(
+                    event.elapsed,
+                    "runner",
+                    "retry",
+                    args={"point": event.point.index, "error": event.detail},
+                )
+            )
+        elif event.kind == "pool-restart":
+            self._events.append(
+                TraceEvent(event.elapsed, "runner", "pool-restart", args={"error": event.detail})
+            )
+        elif event.kind == "sweep-done":
+            self._events.append(
+                TraceEvent(event.elapsed, "runner", "sweep-done", args={"summary": event.detail})
+            )
+
+    def events(self) -> List[TraceEvent]:
+        return sorted(self._events, key=lambda e: (e.time, e.cat, e.name))
+
+
+class ObsSession:
+    """One observed CLI run: flags in, trace/metrics files out.
+
+    ``trace_path``/``metrics_path`` of ``None`` leave that half
+    disabled (the null implementations stay ambient, so the run pays
+    nothing for it).  ``flight_capacity`` bounds the recording to the
+    last N events instead of keeping everything.
+    """
+
+    def __init__(
+        self,
+        trace_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
+        flight_capacity: Optional[int] = None,
+    ) -> None:
+        self.trace_path = trace_path
+        self.metrics_path = metrics_path
+        self.tracer: Optional[Tracer] = None
+        self.registry: Optional[MetricsRegistry] = None
+        if trace_path is not None:
+            buffer = FlightRecorder(flight_capacity) if flight_capacity else None
+            self.tracer = Tracer(buffer=buffer)
+        if metrics_path is not None:
+            self.registry = MetricsRegistry()
+        self.written: List[str] = []
+
+    @property
+    def active(self) -> bool:
+        return self.tracer is not None or self.registry is not None
+
+    def attach_scheduler(self, scheduler) -> None:
+        """Wire a scenario's scheduler into the session's registry."""
+        if self.registry is not None:
+            instrument_scheduler(scheduler, self.registry)
+
+    def __enter__(self) -> "ObsSession":
+        runtime.activate(tracer=self.tracer, metrics=self.registry)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Outputs are written even when the run failed: a partial
+        # trace is exactly what a post-mortem needs.
+        runtime.deactivate()
+        if self.tracer is not None and self.trace_path is not None:
+            count = write_jsonl(self.tracer.events(), self.trace_path)
+            self.written.append(f"trace: {count} events -> {self.trace_path}")
+        if self.registry is not None and self.metrics_path is not None:
+            if self.metrics_path == "-":
+                import sys
+
+                write_metrics(self.registry.snapshot(), sys.stdout)
+            else:
+                write_metrics(self.registry.snapshot(), self.metrics_path)
+                self.written.append(f"metrics -> {self.metrics_path}")

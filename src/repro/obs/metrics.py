@@ -1,0 +1,378 @@
+"""Labeled Counter/Gauge/Histogram registry with free no-op stubs.
+
+The registry follows the prometheus-client shape -- a metric is
+created once (``registry.counter("transport.sent")``), optionally
+narrowed to a labeled child (``drops.labels("loss")``), and the child
+is the thing hot paths hold on to.  Two properties keep instrumented
+code honest:
+
+* **Disabled means free.**  The :data:`NULL_METRICS` registry hands
+  out one shared :class:`NullMetric` whose every method is a no-op, so
+  instrumented call sites pay one attribute call per event and do no
+  dict or string work.  Components capture their metric objects at
+  construction time (see :mod:`repro.obs.runtime`), never per event.
+* **Observation only.**  Metrics never touch simulation RNG or the
+  scheduler, so a run with metrics on is event-for-event identical to
+  one with them off.
+
+Snapshots are plain JSON-able dicts; :func:`merge_snapshots` combines
+per-shard snapshots (e.g. one per sweep point) into a whole-run view.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Default histogram buckets: log-ish spread from sub-millisecond
+#: callback times to multi-second latencies (upper bounds, seconds).
+DEFAULT_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0
+)
+
+#: Joined-label key used for a metric's unlabeled (default) child.
+UNLABELED = ""
+
+
+class _CounterChild:
+    """One labeled time series of a counter; ``inc`` is the hot path."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramChild:
+    """Bucketed distribution; tracks count/sum/min/max alongside."""
+
+    __slots__ = ("buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+
+class _Metric:
+    """Shared parent: child management and label plumbing."""
+
+    kind = ""
+    child_type: type = _CounterChild
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._children: Dict[str, Any] = {}
+
+    def _new_child(self) -> Any:
+        return self.child_type()
+
+    def labels(self, *values: str) -> Any:
+        """The child for one label tuple, created on first use.
+
+        Labels are positional strings joined with ``|``; call once and
+        keep the child if the call site is hot.
+        """
+        key = "|".join(values)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    @property
+    def _default(self) -> Any:
+        return self.labels()
+
+    def snapshot_values(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, optionally labeled."""
+
+    kind = "counter"
+    child_type = _CounterChild
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+    def snapshot_values(self) -> Dict[str, Any]:
+        return {key: child.value for key, child in sorted(self._children.items())}
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (heap depth, confidence)."""
+
+    kind = "gauge"
+    child_type = _GaugeChild
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default.dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+    def snapshot_values(self) -> Dict[str, Any]:
+        return {key: child.value for key, child in sorted(self._children.items())}
+
+
+class Histogram(_Metric):
+    """A bucketed distribution (callback wall-times, latencies)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        super().__init__(name, help)
+        self.buckets = tuple(buckets)
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    def snapshot_values(self) -> Dict[str, Any]:
+        out = {}
+        for key, child in sorted(self._children.items()):
+            out[key] = {
+                "count": child.count,
+                "sum": child.sum,
+                "min": child.min if child.count else None,
+                "max": child.max if child.count else None,
+                "buckets": dict(zip([str(b) for b in child.buckets] + ["+Inf"], child.counts)),
+            }
+        return out
+
+
+class NullMetric:
+    """The do-nothing stand-in for every disabled metric.
+
+    One shared instance serves every metric name and label set: all
+    mutators are no-ops and ``labels`` returns ``self``, so call sites
+    need no enabled/disabled branches.
+    """
+
+    __slots__ = ()
+
+    kind = "null"
+    name = ""
+    help = ""
+    value = 0.0
+
+    def labels(self, *values: str) -> "NullMetric":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot_values(self) -> Dict[str, Any]:
+        return {}
+
+
+NULL_METRIC = NullMetric()
+
+
+class MetricsRegistry:
+    """Creates, caches, and snapshots named metrics.
+
+    ``counter``/``gauge``/``histogram`` are idempotent by name, so any
+    component can ask for "its" metric without coordination.
+    Collectors registered with :meth:`register_collector` run right
+    before each snapshot -- the hook that lets passive state (scheduler
+    stats, transport totals) surface as gauges with zero per-event
+    cost.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._collectors: List[Any] = []
+
+    def __bool__(self) -> bool:
+        return True
+
+    def _get(self, name: str, factory, kind: str) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, not {kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, lambda: Counter(name, help), "counter")
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, lambda: Gauge(name, help), "gauge")
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get(name, lambda: Histogram(name, help, buckets), "histogram")
+
+    def register_collector(self, collector) -> None:
+        """``collector(registry)`` runs before every snapshot."""
+        self._collectors.append(collector)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All metrics as a plain JSON-able mapping."""
+        for collector in self._collectors:
+            collector(self)
+        return {
+            name: {
+                "kind": metric.kind,
+                "help": metric.help,
+                "values": metric.snapshot_values(),
+            }
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+class NullRegistry:
+    """The disabled registry: every metric is :data:`NULL_METRIC`."""
+
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def counter(self, name: str, help: str = "") -> NullMetric:
+        return NULL_METRIC
+
+    def gauge(self, name: str, help: str = "") -> NullMetric:
+        return NULL_METRIC
+
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS) -> NullMetric:
+        return NULL_METRIC
+
+    def register_collector(self, collector) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+
+NULL_METRICS = NullRegistry()
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Combine per-shard snapshots into one.
+
+    Counters and histogram counts/sums add; gauges keep their maximum
+    (shards are peers, so "largest seen" is the only order-free
+    choice); histogram min/max widen.  Used by the sweep runner to
+    fold per-point snapshots into a whole-sweep view.
+    """
+    merged: Dict[str, Any] = {}
+    for snapshot in snapshots:
+        for name, entry in snapshot.items():
+            target = merged.get(name)
+            if target is None:
+                merged[name] = _copy_entry(entry)
+                continue
+            if target["kind"] != entry["kind"]:
+                raise ValueError(f"metric {name!r} kind mismatch across snapshots")
+            _merge_entry(target, entry)
+    return {name: merged[name] for name in sorted(merged)}
+
+
+def _copy_entry(entry: Mapping[str, Any]) -> Dict[str, Any]:
+    values = entry["values"]
+    copied = {
+        key: dict(value) if isinstance(value, Mapping) else value
+        for key, value in values.items()
+    }
+    for value in copied.values():
+        if isinstance(value, dict) and "buckets" in value:
+            value["buckets"] = dict(value["buckets"])
+    return {"kind": entry["kind"], "help": entry.get("help", ""), "values": copied}
+
+
+def _merge_entry(target: Dict[str, Any], entry: Mapping[str, Any]) -> None:
+    kind = entry["kind"]
+    for key, value in entry["values"].items():
+        current = target["values"].get(key)
+        if current is None:
+            target["values"][key] = (
+                dict(value) if isinstance(value, Mapping) else value
+            )
+            if isinstance(value, Mapping) and "buckets" in value:
+                target["values"][key]["buckets"] = dict(value["buckets"])
+            continue
+        if kind == "counter":
+            target["values"][key] = current + value
+        elif kind == "gauge":
+            target["values"][key] = max(current, value)
+        else:  # histogram
+            current["count"] += value["count"]
+            current["sum"] += value["sum"]
+            for bound in (value["min"], ):
+                if bound is not None and (current["min"] is None or bound < current["min"]):
+                    current["min"] = bound
+            for bound in (value["max"], ):
+                if bound is not None and (current["max"] is None or bound > current["max"]):
+                    current["max"] = bound
+            for bucket, count in value["buckets"].items():
+                current["buckets"][bucket] = current["buckets"].get(bucket, 0) + count

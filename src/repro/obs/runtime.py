@@ -1,0 +1,87 @@
+"""Ambient observability context.
+
+Simulation components are built deep inside scenario builders that
+long predate observability, so instead of threading a tracer through
+every constructor, components capture the *ambient* tracer/registry at
+construction time::
+
+    from repro.obs import runtime
+    ...
+    self._trace = runtime.tracer()      # NullTracer unless activated
+    self._metrics = runtime.metrics()   # NullRegistry unless activated
+
+Callers that want a run observed activate the context *before*
+building the scenario::
+
+    with runtime.activated(tracer=Tracer(), metrics=MetricsRegistry()):
+        scenario = build_zeus_scenario(...)
+        scenario.run_for(...)
+
+Outside an activation everything is the null implementation, so the
+default cost of the whole subsystem is one truthy-check per
+instrumented event.  The context is process-global (the simulator is
+single-threaded by design); sweep workers activate a fresh registry
+per point, which is what makes per-point metric snapshots shard-safe.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+_tracer = NULL_TRACER
+_metrics = NULL_METRICS
+
+
+def tracer():
+    """The ambient tracer (:data:`NULL_TRACER` unless activated)."""
+    return _tracer
+
+
+def metrics():
+    """The ambient metrics registry (:data:`NULL_METRICS` unless
+    activated)."""
+    return _metrics
+
+
+def activate(tracer: Optional[Tracer] = None, metrics: Optional[MetricsRegistry] = None) -> None:
+    """Install ``tracer``/``metrics`` as the ambient context.
+
+    ``None`` leaves the corresponding slot unchanged.  Prefer
+    :func:`activated` unless the activation must outlive a scope (the
+    CLI uses this form around its whole command body).
+    """
+    global _tracer, _metrics
+    if tracer is not None:
+        _tracer = tracer
+    if metrics is not None:
+        _metrics = metrics
+
+
+def deactivate() -> None:
+    """Reset both slots to the null implementations."""
+    global _tracer, _metrics
+    _tracer = NULL_TRACER
+    _metrics = NULL_METRICS
+
+
+@contextmanager
+def activated(
+    tracer: Optional[Tracer] = None, metrics: Optional[MetricsRegistry] = None
+) -> Iterator[None]:
+    """Scoped activation; restores the previous context on exit (so
+    nested activations -- a per-point registry inside a traced sweep --
+    compose)."""
+    global _tracer, _metrics
+    previous = (_tracer, _metrics)
+    if tracer is not None:
+        _tracer = tracer
+    if metrics is not None:
+        _metrics = metrics
+    try:
+        yield
+    finally:
+        _tracer, _metrics = previous

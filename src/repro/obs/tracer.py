@@ -1,0 +1,135 @@
+"""The tracer: how instrumented code emits structured events.
+
+Two implementations share one interface:
+
+* :class:`Tracer` appends :class:`~repro.obs.events.TraceEvent`
+  objects to a buffer (an unbounded list, or a bounded
+  :class:`~repro.obs.events.FlightRecorder`);
+* :class:`NullTracer` -- the default everywhere -- does nothing and is
+  *falsy*, so the idiom at every instrumented call site is::
+
+      self._trace = runtime.tracer()        # at construction
+      ...
+      if self._trace:                        # one truthiness check
+          self._trace.instant(now, "net", "send", src=..., dst=...)
+
+  With tracing off, the hot path pays a single branch: no kwargs dict
+  is built, no strings are formatted, nothing is appended.
+
+Events are keyed to **simulated** time supplied by the caller -- the
+tracer never reads a clock itself, never draws randomness, and never
+schedules anything, which is what makes a traced run byte-identical
+to an untraced one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional, Union
+
+from repro.obs.events import COMPLETE, COUNTER, INSTANT, FlightRecorder, TraceEvent
+
+Buffer = Union[List[TraceEvent], FlightRecorder]
+
+
+class Tracer:
+    """Collects structured trace events keyed to simulated time."""
+
+    enabled = True
+
+    def __init__(self, buffer: Optional[Buffer] = None) -> None:
+        self.buffer: Buffer = buffer if buffer is not None else []
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- emission --------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        self.buffer.append(event)
+
+    def instant(self, time: float, cat: str, name: str, **args: Any) -> None:
+        """An instantaneous event at simulated ``time``."""
+        self.buffer.append(TraceEvent(time, cat, name, INSTANT, 0.0, args or None))
+
+    def complete(
+        self, start: float, end: float, cat: str, name: str, **args: Any
+    ) -> None:
+        """A span covering ``[start, end]`` in simulated time."""
+        self.buffer.append(
+            TraceEvent(start, cat, name, COMPLETE, end - start, args or None)
+        )
+
+    def counter(self, time: float, cat: str, name: str, **values: float) -> None:
+        """A counter sample (renders as a stacked track in Perfetto)."""
+        self.buffer.append(TraceEvent(time, cat, name, COUNTER, 0.0, values))
+
+    @contextmanager
+    def span(self, cat: str, name: str, clock, **args: Any) -> Iterator[None]:
+        """A simulated-time span around a block: reads ``clock.now`` at
+        entry and exit (``clock`` is anything with a ``now`` attribute,
+        typically the scheduler)."""
+        start = clock.now
+        try:
+            yield
+        finally:
+            self.complete(start, clock.now, cat, name, **args)
+
+    # -- access ----------------------------------------------------------
+
+    def events(self) -> List[TraceEvent]:
+        if isinstance(self.buffer, FlightRecorder):
+            return self.buffer.events()
+        return list(self.buffer)
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+
+class _NullSpan:
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: falsy, every method a no-op.
+
+    Instrumented call sites should still guard event emission with
+    ``if self._trace:`` -- the guard, not the no-op methods, is what
+    keeps kwargs/string construction out of disabled hot paths.
+    """
+
+    enabled = False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def instant(self, time: float, cat: str, name: str, **args: Any) -> None:
+        pass
+
+    def complete(self, start: float, end: float, cat: str, name: str, **args: Any) -> None:
+        pass
+
+    def counter(self, time: float, cat: str, name: str, **values: float) -> None:
+        pass
+
+    def span(self, cat: str, name: str, clock, **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()

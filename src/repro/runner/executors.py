@@ -38,7 +38,9 @@ from repro.runner.sweep import (
 )
 
 #: One bundled point execution request; plain data so it pickles.
-_Task = Tuple[str, Dict[str, Any], int, int, int]
+#: The trailing flag asks the executing process to capture a per-point
+#: metrics snapshot into the record.
+_Task = Tuple[str, Dict[str, Any], int, int, int, bool]
 
 
 class SweepExecutionError(RuntimeError):
@@ -50,12 +52,25 @@ def _execute_point(task: _Task) -> PointRecord:
 
     Top-level so the parallel executor can ship it to workers; the
     record's ``values`` depend only on (point, params, seed) while
-    ``wall_time``/``worker``/``attempts`` are observability metadata.
+    ``wall_time``/``worker``/``attempts``/``metrics`` are
+    observability metadata.  Metrics capture activates a fresh
+    per-point registry around the point function (leaving any ambient
+    tracer in place), so snapshots never mix across points or workers.
     """
-    point_name, params, seed, index, attempt = task
+    point_name, params, seed, index, attempt, capture = task
     fn = resolve_point(point_name)
     start = time.perf_counter()
-    values = fn(params, seed)
+    snapshot = None
+    if capture:
+        from repro.obs import runtime as obs_runtime
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        with obs_runtime.activated(metrics=registry):
+            values = fn(params, seed)
+        snapshot = registry.snapshot()
+    else:
+        values = fn(params, seed)
     return PointRecord(
         index=index,
         point=point_name,
@@ -65,20 +80,22 @@ def _execute_point(task: _Task) -> PointRecord:
         wall_time=time.perf_counter() - start,
         worker=f"pid:{os.getpid()}",
         attempts=attempt,
+        metrics=snapshot,
     )
 
 
-def _task_for(point: SweepPoint, attempt: int) -> _Task:
-    return (point.point, dict(point.params), point.seed, point.index, attempt)
+def _task_for(point: SweepPoint, attempt: int, capture: bool = False) -> _Task:
+    return (point.point, dict(point.params), point.seed, point.index, attempt, capture)
 
 
 class _ExecutorBase:
     """Shared retry bookkeeping and progress emission."""
 
-    def __init__(self, max_retries: int = 2) -> None:
+    def __init__(self, max_retries: int = 2, capture_metrics: bool = False) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         self.max_retries = max_retries
+        self.capture_metrics = capture_metrics
 
     @staticmethod
     def _emit(progress: Optional[ProgressHook], event: ProgressEvent) -> None:
@@ -105,6 +122,7 @@ class _ExecutorBase:
                 completed=metrics.points_completed,
                 total=metrics.points_total,
                 detail=metrics.summary(),
+                elapsed=metrics.wall_time,
             ),
         )
         return SweepResult(spec=spec, records=merged, metrics=metrics)
@@ -125,7 +143,9 @@ class SerialExecutor(_ExecutorBase):
         for point in spec.points:
             for attempt in range(1, self._attempts_allowed() + 1):
                 try:
-                    record = _execute_point(_task_for(point, attempt))
+                    record = _execute_point(
+                        _task_for(point, attempt, self.capture_metrics)
+                    )
                 except Exception as exc:
                     if attempt >= self._attempts_allowed():
                         raise SweepExecutionError(
@@ -140,6 +160,7 @@ class SerialExecutor(_ExecutorBase):
                             len(spec),
                             point=point,
                             detail=repr(exc),
+                            elapsed=time.perf_counter() - started,
                         ),
                     )
                 else:
@@ -154,6 +175,7 @@ class SerialExecutor(_ExecutorBase):
                             len(spec),
                             point=point,
                             record=record,
+                            elapsed=time.perf_counter() - started,
                         ),
                     )
                     break
@@ -180,8 +202,9 @@ class ProcessExecutor(_ExecutorBase):
         workers: Optional[int] = None,
         max_retries: int = 2,
         mp_context: Optional[str] = None,
+        capture_metrics: bool = False,
     ) -> None:
-        super().__init__(max_retries=max_retries)
+        super().__init__(max_retries=max_retries, capture_metrics=capture_metrics)
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
@@ -210,7 +233,10 @@ class ProcessExecutor(_ExecutorBase):
                 for point in pending:
                     attempts[point.index] += 1
                     futures[
-                        pool.submit(_task_wrapper, _task_for(point, attempts[point.index]))
+                        pool.submit(
+                            _task_wrapper,
+                            _task_for(point, attempts[point.index], self.capture_metrics),
+                        )
                     ] = point
                 retry_round: List[SweepPoint] = []
                 pool_broken: Optional[BaseException] = None
@@ -244,6 +270,7 @@ class ProcessExecutor(_ExecutorBase):
                                 len(spec),
                                 point=point,
                                 detail=repr(exc),
+                                elapsed=time.perf_counter() - started,
                             ),
                         )
                         retry_round.append(point)
@@ -259,6 +286,7 @@ class ProcessExecutor(_ExecutorBase):
                                 len(spec),
                                 point=point,
                                 record=record,
+                                elapsed=time.perf_counter() - started,
                             ),
                         )
                 if pool_broken is not None:
@@ -272,6 +300,7 @@ class ProcessExecutor(_ExecutorBase):
                             metrics.points_completed,
                             len(spec),
                             detail=repr(pool_broken),
+                            elapsed=time.perf_counter() - started,
                         ),
                     )
                 pending = sorted(retry_round, key=lambda p: p.index)
@@ -292,12 +321,23 @@ def run_sweep(
     max_retries: int = 2,
     progress: Optional[ProgressHook] = None,
     mp_context: Optional[str] = None,
+    capture_metrics: bool = False,
 ) -> SweepResult:
     """Run ``spec`` with the executor matching ``workers``: serial for
-    1 (no process machinery at all), sharded otherwise."""
+    1 (no process machinery at all), sharded otherwise.
+
+    ``capture_metrics`` snapshots a fresh per-point metrics registry
+    into each record (see :meth:`SweepResult.merged_metrics`); it is
+    observability metadata and cannot change the records' values.
+    """
     if workers <= 1:
-        return SerialExecutor(max_retries=max_retries).run(spec, progress=progress)
+        return SerialExecutor(
+            max_retries=max_retries, capture_metrics=capture_metrics
+        ).run(spec, progress=progress)
     executor = ProcessExecutor(
-        workers=workers, max_retries=max_retries, mp_context=mp_context
+        workers=workers,
+        max_retries=max_retries,
+        mp_context=mp_context,
+        capture_metrics=capture_metrics,
     )
     return executor.run(spec, progress=progress)

@@ -29,6 +29,8 @@ class ProgressEvent:
     point: Optional[SweepPoint] = None
     record: Optional[PointRecord] = None
     detail: str = ""
+    #: Wall-clock seconds since the sweep started, at emission time.
+    elapsed: float = 0.0
 
 
 ProgressHook = Callable[[ProgressEvent], Any]
@@ -48,7 +50,7 @@ class ConsoleProgress:
             line = (
                 f"[{event.completed}/{event.total}] "
                 f"{event.point.label() if event.point else event.record.point} "
-                f"({event.record.wall_time:.2f}s)"
+                f"({event.record.wall_time:.2f}s, t+{event.elapsed:.2f}s)"
             )
         elif event.kind == POINT_RETRY and event.point is not None:
             line = f"retry {event.point.label()}: {event.detail}"

@@ -87,8 +87,11 @@ class PointRecord:
 
     ``values`` is the point function's return mapping and is the only
     field aggregation may read (it is deterministic).  ``wall_time``,
-    ``worker`` and ``attempts`` are observability metadata and vary
-    run to run; they feed metrics, never exhibits.
+    ``worker``, ``attempts`` and ``metrics`` are observability
+    metadata and vary run to run; they feed metrics, never exhibits.
+    ``metrics`` is the point's own metrics snapshot (see
+    :mod:`repro.obs.metrics`), captured only when the sweep ran with
+    ``capture_metrics=True``; ``None`` otherwise.
     """
 
     index: int
@@ -99,6 +102,7 @@ class PointRecord:
     wall_time: float = 0.0
     worker: str = ""
     attempts: int = 1
+    metrics: Optional[Mapping[str, Any]] = None
 
 
 @dataclass
@@ -158,6 +162,16 @@ class SweepResult:
 
     def record(self, index: int) -> PointRecord:
         return self.records[index]
+
+    def merged_metrics(self) -> Dict[str, Any]:
+        """Whole-sweep view of the per-point metrics snapshots
+        (counters summed, gauges maxed); empty when the sweep was run
+        without metrics capture."""
+        from repro.obs.metrics import merge_snapshots
+
+        return merge_snapshots(
+            record.metrics for record in self.records if record.metrics is not None
+        )
 
 
 def merge_records(records: Sequence[PointRecord], expected: int) -> List[PointRecord]:

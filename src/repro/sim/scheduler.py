@@ -8,9 +8,27 @@ by insertion order so runs are fully deterministic.
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.clock import Clock
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """A scheduler's lifetime counters (observability; see ``stats()``).
+
+    ``cancelled`` is cumulative over the scheduler's life, unlike the
+    internal dead-entry count that compaction resets.
+    """
+
+    dispatched: int
+    cancelled: int
+    compactions: int
+    peak_heap: int
+    pending: int
+    heap_size: int
 
 
 class Timer:
@@ -70,10 +88,15 @@ class Scheduler:
         self._sequence = 0
         self._dispatched = 0
         self._cancelled = 0
+        self._cancelled_total = 0
         self._compactions = 0
+        self._peak_heap = 0
         self._compaction_min = (
             self.COMPACTION_MIN if compaction_min is None else compaction_min
         )
+        # Optional observability hook: anything with record(callback,
+        # seconds).  None (the default) keeps step() branch-cheap.
+        self._profile: Optional[Any] = None
 
     @property
     def now(self) -> float:
@@ -99,6 +122,7 @@ class Scheduler:
         """A live heap entry was cancelled; compact once the dead
         outnumber the living (and exceed the minimum threshold)."""
         self._cancelled += 1
+        self._cancelled_total += 1
         if (
             self._cancelled >= self._compaction_min
             and self._cancelled * 2 >= len(self._heap)
@@ -121,6 +145,24 @@ class Scheduler:
         """Total callbacks dispatched since construction."""
         return self._dispatched
 
+    def stats(self) -> SchedulerStats:
+        """Lifetime counters as one immutable snapshot."""
+        return SchedulerStats(
+            dispatched=self._dispatched,
+            cancelled=self._cancelled_total,
+            compactions=self._compactions,
+            peak_heap=self._peak_heap,
+            pending=self.pending,
+            heap_size=len(self._heap),
+        )
+
+    def set_profile(self, profile: Optional[Any]) -> None:
+        """Install (or clear, with None) a callback wall-time profiler:
+        any object with ``record(callback, seconds)``.  Profiling reads
+        the host clock around each dispatch but never the simulated
+        one, so it cannot perturb event order."""
+        self._profile = profile
+
     def call_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Timer:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
         if time < self.clock.now:
@@ -130,6 +172,8 @@ class Scheduler:
         timer = Timer(time, callback, args, scheduler=self)
         heapq.heappush(self._heap, (time, self._sequence, timer))
         self._sequence += 1
+        if len(self._heap) > self._peak_heap:
+            self._peak_heap = len(self._heap)
         return timer
 
     def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
@@ -156,7 +200,12 @@ class Scheduler:
             return False
         self.clock.advance(timer.time)
         self._dispatched += 1
-        timer.callback(*timer.args)
+        if self._profile is None:
+            timer.callback(*timer.args)
+        else:
+            started = perf_counter()
+            timer.callback(*timer.args)
+            self._profile.record(timer.callback, perf_counter() - started)
         return True
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> int:

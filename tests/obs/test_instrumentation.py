@@ -1,0 +1,225 @@
+"""Instrumentation hooks: metrics agree with the layers' own stats."""
+
+import random
+
+from repro.obs import runtime
+from repro.obs.instrument import TraceProgress
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+
+def _value(snapshot, name, label=""):
+    return snapshot[name]["values"].get(label, 0.0)
+
+
+class TestTransportMetrics:
+    def _drive(self, registry):
+        from repro.net.transport import Endpoint, Transport, TransportConfig
+        from repro.sim.scheduler import Scheduler
+
+        sched = Scheduler()
+        with runtime.activated(metrics=registry):
+            transport = Transport(
+                sched, random.Random(3), config=TransportConfig(loss_rate=0.3)
+            )
+        a, b = Endpoint(1, 1000), Endpoint(2, 1000)
+        transport.bind(a, lambda m: None)
+        transport.bind(b, lambda m: None)
+        for i in range(100):
+            sched.call_later(float(i), transport.send, a, b, b"x")
+        # One rejected send: unbound source.
+        transport.send(Endpoint(9, 9), b, b"x")
+        sched.run()
+        return transport
+
+    def test_counters_match_stats(self):
+        registry = MetricsRegistry()
+        transport = self._drive(registry)
+        snap = registry.snapshot()
+        assert _value(snap, "net.sent") == transport.stats.sent
+        assert _value(snap, "net.delivered") == transport.stats.delivered
+        assert _value(snap, "net.dropped", "loss") == transport.stats.dropped_loss
+        assert _value(snap, "net.dropped", "unbound_src") == 1
+
+    def test_trace_records_sends_and_drops(self):
+        tracer = Tracer()
+        with runtime.activated(tracer=tracer):
+            transport = self._drive(MetricsRegistry())
+        names = [e.name for e in tracer.events()]
+        assert names.count("send") == transport.stats.sent
+        assert names.count("deliver") == transport.stats.delivered
+        drops = [e for e in tracer.events() if e.name == "drop"]
+        assert sum(1 for e in drops if e.args["reason"] == "loss") == (
+            transport.stats.dropped_loss
+        )
+
+
+class TestCrawlerMetrics:
+    def test_counters_match_report(self):
+        from repro.workloads.population import zeus_config
+        from repro.workloads.scenarios import build_zeus_scenario
+        from repro.core.crawler import ZeusCrawler
+        from repro.core.stealth import StealthPolicy
+        from repro.net.address import parse_ip
+        from repro.net.transport import Endpoint
+        from repro.sim.clock import HOUR
+
+        registry = MetricsRegistry()
+        with runtime.activated(metrics=registry):
+            scenario = build_zeus_scenario(
+                zeus_config("tiny", master_seed=5), sensor_count=2, announce_hours=0.5
+            )
+            crawler = ZeusCrawler(
+                name="obs-test",
+                endpoint=Endpoint(parse_ip("99.0.0.1"), 7000),
+                transport=scenario.net.transport,
+                scheduler=scenario.net.scheduler,
+                rng=random.Random(5),
+                policy=StealthPolicy(per_target_interval=15.0, requests_per_target=2),
+            )
+            crawler.start(scenario.net.bootstrap_sample(4, seed=5))
+            scenario.run_for(1 * HOUR)
+        snap = registry.snapshot()
+        report = crawler.report
+        assert _value(snap, "crawler.responses", "obs-test") == report.responses_received
+        assert _value(snap, "crawler.requests_expired", "obs-test") == report.requests_expired
+        assert _value(snap, "crawler.retries", "obs-test") == report.retries_sent
+        assert _value(snap, "sensor.observations", "sensor-0") >= 0
+        # The scenario's transport was built under the ambient registry
+        # too, so network totals land in the same snapshot.
+        assert _value(snap, "net.sent") == scenario.net.transport.stats.sent
+
+
+class TestDetectionMetrics:
+    def test_round_counters(self):
+        from repro.core.detection.coordinator import (
+            DetectionConfig,
+            ParticipantReport,
+            run_round,
+        )
+
+        participants = [
+            ParticipantReport(
+                node_id=f"bot-{i}",
+                requests=[(float(j), 0x7F000001) for j in range(4)],
+                bot_id=bytes([i]) * 20,
+            )
+            for i in range(8)
+        ]
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with runtime.activated(tracer=tracer, metrics=registry):
+            result = run_round(
+                participants,
+                DetectionConfig(group_bits=1),
+                random.Random(1),
+                round_end=50.0,
+                failed_groups=[0],
+            )
+        snap = registry.snapshot()
+        assert _value(snap, "detect.rounds") == 1
+        assert _value(snap, "detect.groups_lost") == len(result.failed_groups)
+        assert _value(snap, "detect.votes", "honest") == len(result.verdicts)
+        names = [e.name for e in tracer.events()]
+        assert "round" in names
+        assert names.count("group.aggregated") == len(result.verdicts)
+        assert names.count("group.lost") == len(result.failed_groups)
+
+
+class TestFaultMetrics:
+    def test_node_faults_traced(self):
+        from repro.faults.injector import NodeFaultDriver
+        from repro.faults.plan import CRASH, FaultPlan, NodeFault
+        from repro.sim.scheduler import Scheduler
+
+        class _Node:
+            def __init__(self):
+                self.running = True
+
+            def stop(self):
+                self.running = False
+
+            def start(self):
+                self.running = True
+
+        node = _Node()
+        sched = Scheduler()
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with runtime.activated(tracer=tracer, metrics=registry):
+            driver = NodeFaultDriver(sched, lambda _nid: node)
+        plan = FaultPlan(
+            node_faults=(NodeFault(node_id="bot-1", kind=CRASH, at=10.0, duration=5.0),)
+        )
+        assert driver.install(plan) == 1
+        sched.run()
+        assert node.running  # crashed at 10, restarted at 15
+        snap = registry.snapshot()
+        assert _value(snap, "faults.injected", CRASH) == 1
+        names = [e.name for e in tracer.events()]
+        assert f"{CRASH}.down" in names
+        assert f"{CRASH}.up" in names
+
+
+class TestTraceProgress:
+    def test_synthesizes_worker_timeline(self):
+        from repro.runner.progress import ProgressEvent
+        from repro.runner.sweep import PointRecord
+
+        seen = []
+        hook = TraceProgress(inner=seen.append)
+        record = PointRecord(
+            index=0, point="p", params={}, seed=1,
+            values={}, wall_time=2.0, worker="pid:1", attempts=1,
+        )
+        hook(ProgressEvent("point-done", 1, 2, record=record, elapsed=5.0))
+        hook(ProgressEvent("sweep-done", 2, 2, detail="done", elapsed=6.0))
+        assert len(seen) == 2
+        events = hook.events()
+        span = next(e for e in events if e.ph == "X")
+        assert span.cat == "pid:1"
+        assert span.time == 3.0  # elapsed - wall_time
+        assert span.dur == 2.0
+        assert any(e.name == "sweep-done" for e in events)
+
+
+class TestSweepMetricsCapture:
+    def test_per_point_snapshots_merge(self):
+        from repro.runner.registry import register_point
+        from repro.runner.sweep import SweepPoint, SweepSpec
+        from repro.runner.executors import run_sweep
+
+        def _point(params, seed):
+            runtime.metrics().counter("point.ticks").inc(params["n"])
+            return {"n": params["n"]}
+
+        register_point("obs-capture-test")(_point)
+        spec = SweepSpec(
+            name="obs-capture",
+            root_seed=0,
+            points=tuple(
+                SweepPoint(index=i, point="obs-capture-test", params={"n": i + 1}, seed=i)
+                for i in range(3)
+            ),
+        )
+        result = run_sweep(spec, workers=1, capture_metrics=True)
+        assert all(r.metrics is not None for r in result.records)
+        merged = result.merged_metrics()
+        assert merged["point.ticks"]["values"][""] == 1 + 2 + 3
+
+    def test_capture_off_leaves_records_clean(self):
+        from repro.runner.registry import register_point
+        from repro.runner.sweep import SweepPoint, SweepSpec
+        from repro.runner.executors import run_sweep
+
+        register_point("obs-nocapture-test")(lambda params, seed: {"ok": 1})
+        spec = SweepSpec(
+            name="obs-nocapture",
+            root_seed=0,
+            points=(
+                SweepPoint(index=0, point="obs-nocapture-test", params={}, seed=0),
+            ),
+        )
+        result = run_sweep(spec, workers=1)
+        assert result.records[0].metrics is None
+        assert result.merged_metrics() == {}

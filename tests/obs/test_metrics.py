@@ -1,0 +1,138 @@
+"""Unit tests for the metrics registry and snapshot merging."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRIC,
+    NULL_METRICS,
+    MetricsRegistry,
+    NullRegistry,
+    merge_snapshots,
+)
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x", "help")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_metrics_idempotent_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_labeled_children_are_cached(self):
+        reg = MetricsRegistry()
+        drops = reg.counter("drops")
+        assert drops.labels("loss") is drops.labels("loss")
+        assert drops.labels("loss") is not drops.labels("nat")
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_histogram_buckets_and_extremes(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 2.0):
+            h.observe(v)
+        snap = reg.snapshot()["lat"]["values"][""]
+        assert snap["count"] == 3
+        assert snap["min"] == 0.05
+        assert snap["max"] == 2.0
+        assert snap["buckets"] == {"0.1": 1, "1.0": 1, "+Inf": 1}
+
+    def test_snapshot_runs_collectors(self):
+        reg = MetricsRegistry()
+        reg.register_collector(lambda r: r.gauge("late").set(42))
+        assert reg.snapshot()["late"]["values"][""] == 42
+
+    def test_snapshot_is_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b", "bees").inc()
+        reg.gauge("a")
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b"]
+        assert snap["b"] == {"kind": "counter", "help": "bees", "values": {"": 1.0}}
+
+
+class TestNullImplementations:
+    def test_null_registry_is_falsy_and_free(self):
+        assert not NULL_METRICS
+        assert not NullRegistry()
+        assert NULL_METRICS.counter("x") is NULL_METRIC
+        assert NULL_METRICS.gauge("x") is NULL_METRIC
+        assert NULL_METRICS.histogram("x") is NULL_METRIC
+        assert NULL_METRICS.snapshot() == {}
+
+    def test_null_metric_absorbs_everything(self):
+        m = NULL_METRIC
+        assert m.labels("a", "b") is m
+        m.inc()
+        m.dec()
+        m.set(1)
+        m.observe(2)
+        assert m.value == 0.0
+
+    def test_real_registry_is_truthy(self):
+        assert MetricsRegistry()
+
+
+class TestMergeSnapshots:
+    def _snap(self, **counts):
+        reg = MetricsRegistry()
+        for name, value in counts.items():
+            reg.counter(name).inc(value)
+        return reg.snapshot()
+
+    def test_counters_sum(self):
+        merged = merge_snapshots([self._snap(x=1), self._snap(x=2)])
+        assert merged["x"]["values"][""] == 3
+
+    def test_gauges_take_max(self):
+        snaps = []
+        for v in (3, 7, 5):
+            reg = MetricsRegistry()
+            reg.gauge("peak").set(v)
+            snaps.append(reg.snapshot())
+        assert merge_snapshots(snaps)["peak"]["values"][""] == 7
+
+    def test_histograms_merge(self):
+        snaps = []
+        for v in (0.05, 5.0):
+            reg = MetricsRegistry()
+            reg.histogram("h", buckets=(0.1, 1.0)).observe(v)
+            snaps.append(reg.snapshot())
+        merged = merge_snapshots(snaps)["h"]["values"][""]
+        assert merged["count"] == 2
+        assert merged["min"] == 0.05
+        assert merged["max"] == 5.0
+        assert merged["buckets"] == {"0.1": 1, "1.0": 0, "+Inf": 1}
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.gauge("x").set(1)
+        with pytest.raises(ValueError):
+            merge_snapshots([self._snap(x=1), reg.snapshot()])
+
+    def test_merge_does_not_mutate_inputs(self):
+        first = self._snap(x=1)
+        merge_snapshots([first, self._snap(x=2)])
+        assert first["x"]["values"][""] == 1
+
+    def test_empty_merge(self):
+        assert merge_snapshots([]) == {}

@@ -1,0 +1,160 @@
+"""Unit tests for the tracer, flight recorder, and ambient runtime."""
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.events import COMPLETE, COUNTER, INSTANT, FlightRecorder, TraceEvent
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestTracer:
+    def test_instant_records_time_and_args(self):
+        tracer = Tracer()
+        tracer.instant(3.5, "net", "send", src="a", dst="b")
+        (event,) = tracer.events()
+        assert (event.time, event.cat, event.name, event.ph) == (3.5, "net", "send", INSTANT)
+        assert event.args == {"src": "a", "dst": "b"}
+
+    def test_instant_without_args_stores_none(self):
+        tracer = Tracer()
+        tracer.instant(1.0, "net", "send")
+        assert tracer.events()[0].args is None
+
+    def test_complete_span_duration(self):
+        tracer = Tracer()
+        tracer.complete(2.0, 5.0, "detect", "round")
+        (event,) = tracer.events()
+        assert event.ph == COMPLETE
+        assert event.time == 2.0
+        assert event.dur == 3.0
+
+    def test_counter_sample(self):
+        tracer = Tracer()
+        tracer.counter(1.0, "sched", "heap", depth=7)
+        (event,) = tracer.events()
+        assert event.ph == COUNTER
+        assert event.args == {"depth": 7}
+
+    def test_span_context_manager_reads_clock(self):
+        tracer = Tracer()
+        clock = _FakeClock()
+        with tracer.span("sim", "phase", clock, label="x"):
+            clock.now = 4.0
+        (event,) = tracer.events()
+        assert (event.time, event.dur) == (0.0, 4.0)
+        assert event.args == {"label": "x"}
+
+    def test_truthy_and_len(self):
+        tracer = Tracer()
+        assert tracer
+        tracer.instant(0.0, "a", "b")
+        assert len(tracer) == 1
+
+
+class TestNullTracer:
+    def test_falsy(self):
+        assert not NULL_TRACER
+        assert not NullTracer()
+
+    def test_all_methods_noop(self):
+        null = NullTracer()
+        null.instant(0.0, "a", "b", x=1)
+        null.complete(0.0, 1.0, "a", "b")
+        null.counter(0.0, "a", "b", v=1)
+        null.emit(TraceEvent(0.0, "a", "b"))
+        with null.span("a", "b", _FakeClock()):
+            pass
+        assert null.events() == []
+        assert len(null) == 0
+
+
+class TestFlightRecorder:
+    def test_capacity_bounds_length(self):
+        recorder = FlightRecorder(capacity=10)
+        for i in range(100):
+            recorder.append(TraceEvent(float(i), "c", "n"))
+        assert len(recorder) == 10
+        assert recorder.dropped == 90
+
+    def test_keeps_most_recent(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.append(TraceEvent(float(i), "c", "n"))
+        assert [e.time for e in recorder.events()] == [2.0, 3.0, 4.0]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_clear_resets(self):
+        recorder = FlightRecorder(capacity=2)
+        for i in range(4):
+            recorder.append(TraceEvent(float(i), "c", "n"))
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.dropped == 0
+
+    def test_as_tracer_buffer(self):
+        tracer = Tracer(buffer=FlightRecorder(capacity=2))
+        for i in range(5):
+            tracer.instant(float(i), "c", "n")
+        assert [e.time for e in tracer.events()] == [3.0, 4.0]
+
+
+class TestRuntime:
+    def test_defaults_are_null(self):
+        assert runtime.tracer() is NULL_TRACER
+        assert runtime.metrics() is NULL_METRICS
+
+    def test_activated_scopes_and_restores(self):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with runtime.activated(tracer=tracer, metrics=registry):
+            assert runtime.tracer() is tracer
+            assert runtime.metrics() is registry
+        assert runtime.tracer() is NULL_TRACER
+        assert runtime.metrics() is NULL_METRICS
+
+    def test_nested_activation_composes(self):
+        outer_tracer = Tracer()
+        outer_metrics = MetricsRegistry()
+        inner_metrics = MetricsRegistry()
+        with runtime.activated(tracer=outer_tracer, metrics=outer_metrics):
+            # A per-point registry leaves the outer tracer in place.
+            with runtime.activated(metrics=inner_metrics):
+                assert runtime.tracer() is outer_tracer
+                assert runtime.metrics() is inner_metrics
+            assert runtime.metrics() is outer_metrics
+
+    def test_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with runtime.activated(tracer=Tracer()):
+                raise RuntimeError("boom")
+        assert runtime.tracer() is NULL_TRACER
+
+    def test_activate_deactivate(self):
+        tracer = Tracer()
+        runtime.activate(tracer=tracer)
+        try:
+            assert runtime.tracer() is tracer
+            # metrics slot untouched by a tracer-only activation
+            assert runtime.metrics() is NULL_METRICS
+        finally:
+            runtime.deactivate()
+        assert runtime.tracer() is NULL_TRACER
+
+
+class TestEventSerialization:
+    def test_roundtrip(self):
+        event = TraceEvent(1.5, "net", "send", COMPLETE, 0.5, {"n": 1})
+        again = TraceEvent.from_dict(event.to_dict())
+        assert again.to_dict() == event.to_dict()
+
+    def test_instant_dict_omits_dur(self):
+        assert "dur" not in TraceEvent(1.0, "a", "b").to_dict()

@@ -137,6 +137,63 @@ class TestCompaction:
         assert sched.compactions == 0
 
 
+class TestStats:
+    def test_stats_snapshot_counters(self):
+        sched = Scheduler(compaction_min=1)
+        for i in range(5):
+            sched.call_at(10.0 + i, lambda: None)
+        for _ in range(20):
+            sched.call_at(5.0, lambda: None).cancel()
+        sched.run()
+        stats = sched.stats()
+        assert stats.dispatched == 5
+        # cancelled is cumulative, unlike the internal dead-entry count
+        # that compaction resets.
+        assert stats.cancelled == 20
+        assert stats.compactions == sched.compactions > 0
+        assert stats.pending == 0
+
+    def test_peak_heap_tracks_high_water_mark(self):
+        sched = Scheduler()
+        for i in range(7):
+            sched.call_at(1.0 + i, lambda: None)
+        sched.run()
+        assert sched.stats().peak_heap == 7
+        assert sched.stats().heap_size == 0
+
+    def test_compaction_counted_in_stats_under_churn(self):
+        sched = Scheduler()
+        for _ in range(3):
+            timers = [sched.call_at(1e9 + i, lambda: None) for i in range(1000)]
+            for timer in timers:
+                timer.cancel()
+        stats = sched.stats()
+        assert stats.compactions > 0
+        assert stats.cancelled == 3000
+        assert stats.heap_size <= 2000
+
+    def test_profile_hook_records_each_dispatch(self):
+        class _Profile:
+            def __init__(self):
+                self.samples = []
+
+            def record(self, callback, seconds):
+                self.samples.append((callback, seconds))
+
+        sched = Scheduler()
+        profile = _Profile()
+        sched.set_profile(profile)
+        sched.call_later(1.0, lambda: None)
+        sched.call_later(2.0, lambda: None)
+        sched.run()
+        assert len(profile.samples) == 2
+        assert all(seconds >= 0 for _, seconds in profile.samples)
+        sched.set_profile(None)
+        sched.call_later(3.0, lambda: None)
+        sched.run()
+        assert len(profile.samples) == 2
+
+
 class TestRunUntil:
     def test_runs_only_due_events(self):
         sched = Scheduler()

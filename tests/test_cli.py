@@ -90,3 +90,91 @@ class TestCrawlCommand:
         out = capsys.readouterr().out
         assert "coverage-based detection" in out
         assert "DETECTED" in out
+
+
+class TestObservabilityFlags:
+    def test_crawl_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace = str(tmp_path / "crawl.trace.jsonl")
+        metrics = str(tmp_path / "crawl.metrics.json")
+        assert main([
+            "crawl", "--hours", "1", "--sensors", "4", "--seed", "3",
+            "--trace", trace, "--metrics", metrics,
+        ]) == 0
+        events = [json.loads(line) for line in open(trace) if line.strip()]
+        assert events
+        assert {e["cat"] for e in events} >= {"net", "crawler"}
+        snapshot = json.load(open(metrics))
+        assert snapshot["net.sent"]["values"][""] > 0
+        assert "sched.dispatched" in snapshot
+
+    def test_trace_output_is_deterministic(self, tmp_path, capsys):
+        runs = []
+        for name in ("a.jsonl", "b.jsonl"):
+            path = tmp_path / name
+            assert main([
+                "crawl", "--hours", "1", "--sensors", "4", "--seed", "7",
+                "--trace", str(path),
+            ]) == 0
+            capsys.readouterr()
+            runs.append(path.read_bytes())
+        assert runs[0] == runs[1]
+
+    def test_flight_recorder_caps_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "capped.jsonl")
+        assert main([
+            "crawl", "--hours", "1", "--sensors", "4", "--seed", "3",
+            "--trace", trace, "--flight-recorder", "100",
+        ]) == 0
+        assert sum(1 for line in open(trace) if line.strip()) == 100
+
+    def test_metrics_dash_prints_to_stdout(self, capsys):
+        import json
+
+        assert main([
+            "detect", "--hours", "2", "--sensors", "8", "--seed", "3",
+            "--metrics", "-",
+        ]) == 0
+        out = capsys.readouterr().out
+        start = out.index("{")
+        snapshot = json.loads(out[start:])
+        assert "detect.rounds" in snapshot
+
+
+class TestTraceCommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        path = str(tmp_path / "run.trace.jsonl")
+        assert main([
+            "crawl", "--hours", "1", "--sensors", "4", "--seed", "3",
+            "--trace", path,
+        ]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_summary(self, trace_file, capsys):
+        assert main(["trace", "summary", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "net" in out
+
+    def test_events_tail_and_category_filter(self, trace_file, capsys):
+        assert main(["trace", "events", trace_file, "--cat", "crawler", "--tail", "5"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line]
+        assert 0 < len(lines) <= 5
+        assert all("crawler" in line for line in lines)
+
+    def test_convert_emits_chrome_trace(self, trace_file, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "run.chrome.json")
+        assert main(["trace", "convert", trace_file, "-o", out_path]) == 0
+        doc = json.load(open(out_path))
+        assert "traceEvents" in doc
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "M" in phases and "i" in phases
+
+    def test_missing_file_is_an_error(self, capsys, tmp_path):
+        assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 2
+        assert capsys.readouterr().err
