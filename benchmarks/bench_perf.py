@@ -1,0 +1,88 @@
+"""Perf bench harness over the canonical workloads.
+
+Deliberately *not* named ``test_*.py`` so the tier-1 suite never times
+workloads by accident; run it explicitly::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf.py -q
+    PYTHONPATH=src python benchmarks/bench_perf.py            # standalone
+
+Both paths run ``repro bench --quick`` semantics (fixed seeds, quick
+simulated horizons) and, when ``benchmarks/BENCH_recon.json`` exists,
+gate against it at the default threshold.  ``repro bench`` is the CLI
+face of the same machinery; see :mod:`repro.bench`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:  # allow running without PYTHONPATH=src
+    sys.path.insert(0, _SRC)
+
+from repro.bench import (  # noqa: E402
+    BENCH_SCHEMA,
+    DEFAULT_THRESHOLD,
+    WORKLOADS,
+    compare_bench,
+    load_bench,
+    render_bench,
+    run_bench,
+    run_workload,
+)
+
+BASELINE = os.path.join(_HERE, "BENCH_recon.json")
+
+
+def _check_workload(name: str) -> None:
+    entry = run_workload(name, quick=True)
+    assert entry["events"] > 0, f"{name}: produced no trace events"
+    assert entry["wall_s"] > 0, f"{name}: zero wall time"
+    assert entry["events_per_s"] > 0
+    assert entry["peak_rss_kb"] > 0
+
+
+def test_bench_crawl() -> None:
+    _check_workload("crawl")
+
+
+def test_bench_detect() -> None:
+    _check_workload("detect")
+
+
+def test_bench_sweep() -> None:
+    _check_workload("sweep")
+
+
+def test_bench_against_baseline() -> None:
+    """Full quick bench; gates on the checked-in baseline when present."""
+    doc = run_bench(quick=True)
+    assert doc["schema"] == BENCH_SCHEMA
+    assert set(doc["workloads"]) == set(WORKLOADS)
+    if not os.path.exists(BASELINE):
+        return
+    lines, regressions = compare_bench(
+        doc, load_bench(BASELINE), threshold=DEFAULT_THRESHOLD
+    )
+    print("\n".join(lines))
+    assert not regressions, f"workloads regressed past threshold: {regressions}"
+
+
+def main() -> int:
+    doc = run_bench(quick=True)
+    print(render_bench(doc))
+    if os.path.exists(BASELINE):
+        lines, regressions = compare_bench(doc, load_bench(BASELINE))
+        print(f"baseline compare vs {BASELINE}:")
+        for line in lines:
+            print(f"  {line}")
+        if regressions:
+            print(f"FAIL: regressions: {', '.join(regressions)}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

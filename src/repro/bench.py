@@ -1,0 +1,261 @@
+"""Perf-regression bench harness: time the canonical workloads.
+
+``repro bench`` (and ``benchmarks/bench_perf.py``) runs the three
+workload shapes everything else in the repo is built from -- a traced
+crawl, a capture-plus-detection evaluation, and a sharded-sweep cell
+grid -- and records wall time, simulated events per second, and peak
+RSS into a schema-versioned ``BENCH_recon.json``.  Comparing against a
+checked-in baseline with ``--baseline`` turns the ROADMAP's "fast as
+the hardware allows" north star into an enforced budget: CI fails when
+a workload regresses past the threshold (default 25%).
+
+Workload *results* are deterministic (fixed seeds); only the timings
+vary by machine.  Baselines should therefore be regenerated on the
+machine that enforces them, and compared with a threshold wide enough
+to absorb scheduler noise.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Bump when the BENCH_recon.json layout changes shape.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Default regression gate: fail past +25% wall time vs baseline.
+DEFAULT_THRESHOLD = 0.25
+
+_BENCH_SEED = 1729
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KiB (monotonic high-water mark)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+        peak //= 1024
+    return int(peak)
+
+
+# -- workloads -------------------------------------------------------------
+#
+# Each workload builds its scenario from fixed seeds, runs it under an
+# ambient tracer, and returns the trace-event count -- the denominator
+# for events/sec.  ``quick`` trims simulated hours, not the shape.
+
+
+def _workload_crawl(quick: bool) -> int:
+    import random
+
+    from repro.core.crawler import ZeusCrawler
+    from repro.core.defects import ZeusDefectProfile
+    from repro.core.stealth import StealthPolicy
+    from repro.net.address import parse_ip
+    from repro.net.transport import Endpoint
+    from repro.obs import runtime
+    from repro.sim.clock import HOUR
+    from repro.workloads.population import zeus_config
+    from repro.workloads.scenarios import build_zeus_scenario
+
+    scenario = build_zeus_scenario(
+        zeus_config("tiny", master_seed=_BENCH_SEED),
+        sensor_count=8,
+        announce_hours=1.0,
+    )
+    crawler = ZeusCrawler(
+        name="bench-crawler",
+        endpoint=Endpoint(parse_ip("99.0.0.1"), 7000),
+        transport=scenario.net.transport,
+        scheduler=scenario.net.scheduler,
+        rng=random.Random(_BENCH_SEED),
+        policy=StealthPolicy(per_target_interval=15.0, requests_per_target=4),
+        profile=ZeusDefectProfile(name="bench"),
+    )
+    crawler.start(scenario.net.bootstrap_sample(8, seed=_BENCH_SEED))
+    scenario.run_for((1.0 if quick else 4.0) * HOUR)
+    return len(runtime.tracer())
+
+
+def _workload_detect(quick: bool) -> int:
+    import random
+
+    from repro.core.detection import DetectionConfig, SensorLogDataset
+    from repro.core.detection.offline import evaluate_detection
+    from repro.obs import runtime
+    from repro.sim.clock import HOUR
+    from repro.workloads.crawler_profiles import ZEUS_CRAWLERS
+    from repro.workloads.population import zeus_config
+    from repro.workloads.scenarios import build_zeus_scenario, launch_zeus_fleet
+
+    scenario = build_zeus_scenario(
+        zeus_config("tiny", master_seed=_BENCH_SEED),
+        sensor_count=12,
+        announce_hours=1.0,
+    )
+    launch_zeus_fleet(scenario, ZEUS_CRAWLERS[:4])
+    scenario.run_for((2.0 if quick else 4.0) * HOUR)
+    dataset = SensorLogDataset.from_zeus_sensors(
+        scenario.sensors, since=scenario.measurement_start
+    )
+    truth = {crawler.endpoint.ip for crawler in scenario.crawlers}
+    evaluate_detection(
+        dataset,
+        truth,
+        DetectionConfig(group_bits=2, threshold=0.10),
+        random.Random(_BENCH_SEED),
+    )
+    return len(runtime.tracer())
+
+
+def _workload_sweep(quick: bool) -> int:
+    from repro.obs import runtime
+    from repro.runner import build_sweep, run_sweep
+    from repro.runner.points import clear_capture_cache
+
+    spec = build_sweep(
+        "fig2",
+        root_seed=_BENCH_SEED,
+        scale="tiny",
+        sensors=12,
+        announce_hours=1.0,
+        measure_hours=2.0 if quick else 4.0,
+        thresholds=(0.05, 0.10),
+        ratios=(1, 2) if quick else (1, 2, 4),
+        fleet_size=4,
+    )
+    clear_capture_cache()  # time the capture build, not a warm cache
+    run_sweep(spec, workers=1, capture_metrics=True)
+    return len(runtime.tracer())
+
+
+WORKLOADS: Dict[str, Callable[[bool], int]] = {
+    "crawl": _workload_crawl,
+    "detect": _workload_detect,
+    "sweep": _workload_sweep,
+}
+
+
+# -- running ---------------------------------------------------------------
+
+
+def run_workload(name: str, quick: bool = False, repeat: int = 1) -> Dict[str, Any]:
+    """Time one workload; best-of-``repeat`` wall time, traced event
+    count, and the process RSS high-water mark afterwards."""
+    from repro.obs import runtime
+    from repro.obs.tracer import Tracer
+
+    fn = WORKLOADS[name]
+    best_wall: Optional[float] = None
+    events = 0
+    for _ in range(max(1, repeat)):
+        tracer = Tracer()
+        start = time.perf_counter()
+        with runtime.activated(tracer=tracer):
+            events = fn(quick)
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    wall_s = best_wall or 0.0
+    return {
+        "wall_s": round(wall_s, 4),
+        "events": events,
+        "events_per_s": round(events / wall_s, 1) if wall_s > 0 else 0.0,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def run_bench(
+    names: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    repeat: int = 1,
+) -> Dict[str, Any]:
+    """Run the named workloads (all by default); returns the
+    schema-versioned document ``repro bench`` writes."""
+    selected = list(names) if names else sorted(WORKLOADS)
+    unknown = [name for name in selected if name not in WORKLOADS]
+    if unknown:
+        raise KeyError(f"unknown workloads {unknown}; available: {sorted(WORKLOADS)}")
+    return {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "repeat": max(1, repeat),
+        "python": sys.version.split()[0],
+        "platform": sys.platform,
+        "workloads": {
+            name: run_workload(name, quick=quick, repeat=repeat) for name in selected
+        },
+    }
+
+
+def write_bench(doc: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(doc, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as stream:
+        doc = json.load(stream)
+    schema = doc.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {schema!r} is not {BENCH_SCHEMA!r}; regenerate the file"
+        )
+    return doc
+
+
+# -- baseline compare ------------------------------------------------------
+
+
+def compare_bench(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[str], List[str]]:
+    """Compare wall times workload-by-workload.
+
+    Returns ``(report_lines, regressions)``; a non-empty second element
+    means at least one shared workload slowed past ``threshold``
+    (relative).  Workloads present on only one side are reported but
+    never fail the gate (the axis just changed).
+    """
+    lines: List[str] = []
+    regressions: List[str] = []
+    cur = current.get("workloads", {})
+    base = baseline.get("workloads", {})
+    for name in sorted(set(cur) | set(base)):
+        if name not in base:
+            lines.append(f"{name:<8} new workload ({cur[name]['wall_s']:.3f}s), no baseline")
+            continue
+        if name not in cur:
+            lines.append(f"{name:<8} missing from current run (baseline {base[name]['wall_s']:.3f}s)")
+            continue
+        was, now = base[name]["wall_s"], cur[name]["wall_s"]
+        change = (now - was) / was if was > 0 else 0.0
+        verdict = "ok"
+        if change > threshold:
+            verdict = f"REGRESSION (> +{threshold * 100:.0f}%)"
+            regressions.append(name)
+        lines.append(
+            f"{name:<8} {was:.3f}s -> {now:.3f}s ({change:+.1%}, "
+            f"{cur[name]['events_per_s']:.0f} ev/s, "
+            f"rss {cur[name]['peak_rss_kb']} KiB)  {verdict}"
+        )
+    return lines, regressions
+
+
+def render_bench(doc: Dict[str, Any]) -> str:
+    lines = [
+        f"bench ({'quick' if doc.get('quick') else 'full'}, "
+        f"best of {doc.get('repeat', 1)}, python {doc.get('python', '?')}):"
+    ]
+    for name, entry in sorted(doc.get("workloads", {}).items()):
+        lines.append(
+            f"  {name:<8} {entry['wall_s']:.3f}s wall, "
+            f"{entry['events']} events ({entry['events_per_s']:.0f} ev/s), "
+            f"peak RSS {entry['peak_rss_kb']} KiB"
+        )
+    return "\n".join(lines)

@@ -167,7 +167,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_retries=args.max_retries,
         progress=progress,
-        capture_metrics=bool(args.metrics),
+        capture_metrics=bool(args.metrics) or args.health,
     )
     if trace_progress is not None:
         from repro.obs import write_jsonl
@@ -186,6 +186,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(json.dumps(result.values(), indent=2, sort_keys=True))
     else:
         print(render_result(result))
+    if args.health:
+        from repro.runner import render_sweep_health
+
+        print()
+        print(render_sweep_health(result))
     return 0
 
 
@@ -232,6 +237,25 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import read_jsonl, render_events, render_summary, write_chrome_trace
 
+    if args.action == "diff":
+        if not args.file2:
+            print("trace diff: two recordings are required", file=sys.stderr)
+            return 2
+        from repro.obs.analyze import diff_files, render_diff
+
+        try:
+            diff = diff_files(args.file, args.file2)
+        except OSError as exc:
+            print(f"trace: cannot read recording: {exc}", file=sys.stderr)
+            return 2
+        except (ValueError, KeyError) as exc:
+            print(f"trace: not a trace recording: {exc!r}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(render_diff(diff, label_a=args.file, label_b=args.file2))
+        return 0 if diff.identical else 1
     try:
         events = read_jsonl(args.file)
     except OSError as exc:
@@ -242,6 +266,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 2
     if args.action == "summary":
         print(render_summary(events))
+        return 0
+    if args.action == "analyze":
+        from repro.obs.analyze import analyze_events, render_health
+
+        snapshot = None
+        if args.metrics_snapshot:
+            try:
+                with open(args.metrics_snapshot, "r", encoding="utf-8") as stream:
+                    snapshot = json.load(stream)
+            except (OSError, ValueError) as exc:
+                print(f"trace: cannot read metrics snapshot: {exc}", file=sys.stderr)
+                return 2
+        report = analyze_events(events, snapshot)
+        if args.json:
+            print(report.to_json())
+        else:
+            print(render_health(report))
         return 0
     if args.action == "events":
         if args.cat:
@@ -259,6 +300,80 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     count = write_chrome_trace(events, output, time_scale=args.time_scale)
     print(f"chrome trace: {count} events -> {output}")
     print("open in https://ui.perfetto.dev or chrome://tracing", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import analyze_file, write_html_report
+
+    try:
+        report = analyze_file(args.file, metrics_path=args.metrics_snapshot)
+    except OSError as exc:
+        print(f"report: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"report: {args.file} is not a trace recording: {exc!r}", file=sys.stderr)
+        return 2
+    output = args.output
+    if output is None:
+        stem = args.file
+        for suffix in (".jsonl.gz", ".jsonl"):
+            if stem.endswith(suffix):
+                stem = stem[: -len(suffix)]
+                break
+        output = stem + ".report.html"
+    title = args.title or f"repro run health: {args.file}"
+    write_html_report(report, output, title=title)
+    print(f"health report -> {output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_bench,
+        load_bench,
+        render_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if args.list:
+        from repro.bench import WORKLOADS
+
+        for name in sorted(WORKLOADS):
+            print(name)
+        return 0
+    if args.threshold < 0:
+        print("bench: --threshold must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        doc = run_bench(names=args.workloads, quick=args.quick, repeat=args.repeat)
+    except KeyError as exc:
+        print(f"bench: {exc.args[0]}", file=sys.stderr)
+        return 2
+    write_bench(doc, args.output)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(render_bench(doc))
+    print(f"bench results -> {args.output}", file=sys.stderr)
+    if args.baseline:
+        try:
+            baseline = load_bench(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        lines, regressions = compare_bench(doc, baseline, threshold=args.threshold)
+        print(f"baseline compare vs {args.baseline} (threshold +{args.threshold * 100:.0f}%):")
+        for line in lines:
+            print(f"  {line}")
+        if regressions:
+            print(
+                f"bench: {len(regressions)} workload(s) regressed: "
+                f"{', '.join(regressions)}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -352,6 +467,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture per-point metrics and write the merged snapshot to FILE "
              "('-' for stdout)",
     )
+    sweep.add_argument(
+        "--health", action="store_true",
+        help="capture per-point metrics and print merged health indicators",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     chaos = sub.add_parser(
@@ -390,23 +509,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace",
-        help="inspect or convert a trace recording",
+        help="inspect, analyze, diff, or convert a trace recording",
         description=(
-            "Work with JSONL trace recordings produced by --trace: "
-            "summarize them, print events, or convert to the Chrome "
-            "trace-event format that https://ui.perfetto.dev loads."
+            "Work with JSONL trace recordings produced by --trace "
+            "(plain or .gz): summarize them, print events, derive a "
+            "health report (analyze), compare two runs (diff), or "
+            "convert to the Chrome trace-event format that "
+            "https://ui.perfetto.dev loads."
         ),
     )
     trace.add_argument(
-        "action", choices=("summary", "events", "convert"),
+        "action", choices=("summary", "events", "analyze", "diff", "convert"),
         help="what to do with the recording",
     )
-    trace.add_argument("file", help="trace recording (JSONL)")
+    trace.add_argument("file", help="trace recording (JSONL, .gz ok)")
+    trace.add_argument(
+        "file2", nargs="?", default=None,
+        help="diff: the second recording to compare against",
+    )
     trace.add_argument(
         "--cat", default=None, help="events: only show this category"
     )
     trace.add_argument(
         "--tail", type=int, default=None, help="events: only the last N"
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="analyze/diff: emit the report as JSON instead of text",
+    )
+    trace.add_argument(
+        "--metrics-snapshot", metavar="FILE", default=None,
+        help="analyze: join a --metrics snapshot into the report",
     )
     trace.add_argument(
         "-o", "--output", default=None,
@@ -418,6 +551,69 @@ def build_parser() -> argparse.ArgumentParser:
              "(default treats times as seconds)",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    report = sub.add_parser(
+        "report",
+        help="render a recording as a self-contained HTML health report",
+        description=(
+            "Analyze a JSONL trace recording and write a single static "
+            "HTML file (inline JSON + tiny JS, no dependencies) with "
+            "coverage-convergence curves, the detection-round timeline, "
+            "drop/fault breakdowns, and latency percentiles.  The "
+            "embedded JSON is byte-identical to 'repro trace analyze "
+            "--json'."
+        ),
+    )
+    report.add_argument("file", help="trace recording (JSONL, .gz ok)")
+    report.add_argument(
+        "-o", "--output", default=None,
+        help="output HTML path (default: <file>.report.html)",
+    )
+    report.add_argument(
+        "--metrics-snapshot", metavar="FILE", default=None,
+        help="join a --metrics snapshot into the report",
+    )
+    report.add_argument("--title", default=None, help="report title")
+    report.set_defaults(func=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the canonical workloads and gate on a perf baseline",
+        description=(
+            "Run the canonical crawl/detect/sweep workloads, record "
+            "wall time, simulated events/sec, and peak RSS into a "
+            "schema-versioned BENCH_recon.json, and (with --baseline) "
+            "exit non-zero when any workload regresses past the "
+            "threshold."
+        ),
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="trim simulated hours for a fast smoke run",
+    )
+    bench.add_argument(
+        "-o", "--output", default="BENCH_recon.json",
+        help="where to write the results document",
+    )
+    bench.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="compare against a previous BENCH_recon.json; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="relative wall-time regression gate (default 0.25 = +25%%)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=1,
+        help="run each workload N times, keep the best wall time",
+    )
+    bench.add_argument(
+        "--workloads", nargs="+", default=None, metavar="NAME",
+        help="subset of workloads to run (see --list)",
+    )
+    bench.add_argument("--list", action="store_true", help="list workloads")
+    bench.add_argument("--json", action="store_true", help="print the document as JSON")
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -314,7 +314,15 @@ class _CrawlerBase:
         now = self.scheduler.now
         if via is not None:
             self.report.edges.add((via, bot_id))
+        ips_before = len(self.report.first_seen_ip) if self._trace else 0
         new = self.report.note_discovery(now, bot_id, endpoint)
+        if self._trace and len(self.report.first_seen_ip) > ips_before:
+            # Observation only: the analysis layer derives coverage-
+            # convergence curves from these (repro trace analyze).
+            self._trace.instant(
+                now, "crawler", "ip.discovered",
+                crawler=self.name, total=len(self.report.first_seen_ip),
+            )
         if not new or not self.running:
             return
         if not force_contact and not self.policy.should_contact(bot_id):

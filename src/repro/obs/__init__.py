@@ -22,7 +22,7 @@ crawl|detect|chaos|sweep``, then inspect/convert recordings with
 ``repro trace``.
 """
 
-from repro.obs import runtime
+from repro.obs import analyze, runtime
 from repro.obs.events import COMPLETE, COUNTER, INSTANT, FlightRecorder, TraceEvent
 from repro.obs.export import (
     chrome_trace,
@@ -55,6 +55,7 @@ from repro.obs.metrics import (
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
+    "analyze",
     "CallbackProfile",
     "chrome_trace",
     "COMPLETE",

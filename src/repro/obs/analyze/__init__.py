@@ -1,0 +1,62 @@
+"""Telemetry analysis: health reports, run diffing, HTML export.
+
+The read-only layer above :mod:`repro.obs`: it consumes recordings
+(JSONL traces, metric snapshots) that a run already wrote and derives
+the indicators the paper reasons about -- coverage convergence,
+detection latency and vote margins, drop/fault breakdowns, latency
+percentiles, stealth-budget burn.  Nothing here draws randomness or
+touches a live simulation, so analysis can never perturb an exhibit.
+
+Entry points::
+
+    from repro.obs.analyze import analyze_file, render_health
+    report = analyze_file("run.trace.jsonl")        # .gz works too
+    print(render_health(report))
+
+or from the CLI: ``repro trace analyze``, ``repro trace diff`` and
+``repro report``.
+"""
+
+from repro.obs.analyze.diff import (
+    TraceDiff,
+    diff_files,
+    diff_recordings,
+    render_diff,
+)
+from repro.obs.analyze.health import (
+    HEALTH_SCHEMA,
+    HealthAnalyzer,
+    HealthReport,
+    analyze_events,
+    analyze_file,
+    histogram_quantile,
+    latency_summary,
+    percentile,
+    render_health,
+    snapshot_indicators,
+)
+from repro.obs.analyze.htmlreport import (
+    extract_embedded_json,
+    render_html,
+    write_html_report,
+)
+
+__all__ = [
+    "HEALTH_SCHEMA",
+    "HealthAnalyzer",
+    "HealthReport",
+    "TraceDiff",
+    "analyze_events",
+    "analyze_file",
+    "diff_files",
+    "diff_recordings",
+    "extract_embedded_json",
+    "histogram_quantile",
+    "latency_summary",
+    "percentile",
+    "render_diff",
+    "render_health",
+    "render_html",
+    "snapshot_indicators",
+    "write_html_report",
+]

@@ -1,0 +1,220 @@
+"""Run diffing: align two recordings and explain how they diverge.
+
+``repro trace diff A B`` is the debugging primitive for "why did this
+chaos run degrade": two recordings of the same scenario are walked in
+lockstep (both are ordered by simulated time by construction), the
+**first divergence** is pinpointed down to the event and field that
+differ, and the per-run health indicators (coverage, drops, latency
+percentiles, detection confidence...) are compared so the *consequence*
+of the divergence is visible next to its first cause.
+
+Like the rest of the analysis layer this is read-only and
+deterministic: diffing two identical recordings always reports
+``identical``, regardless of size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.analyze.health import HealthAnalyzer, HealthReport
+from repro.obs.events import TraceEvent
+from repro.sim.clock import format_time
+
+#: Indicator deltas larger than nothing are reported; rendering shows
+#: at most this many, largest relative change first.
+MAX_RENDERED_DELTAS = 20
+
+
+class TraceDiff:
+    """The outcome of diffing two recordings."""
+
+    def __init__(
+        self,
+        count_a: int,
+        count_b: int,
+        first_divergence: Optional[Dict[str, Any]],
+        indicator_deltas: Dict[str, Dict[str, float]],
+        report_a: HealthReport,
+        report_b: HealthReport,
+    ) -> None:
+        self.count_a = count_a
+        self.count_b = count_b
+        self.first_divergence = first_divergence
+        self.indicator_deltas = indicator_deltas
+        self.report_a = report_a
+        self.report_b = report_b
+
+    @property
+    def identical(self) -> bool:
+        return self.first_divergence is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro-trace-diff/1",
+            "identical": self.identical,
+            "events": {"a": self.count_a, "b": self.count_b},
+            "first_divergence": self.first_divergence,
+            "indicator_deltas": {
+                key: self.indicator_deltas[key]
+                for key in sorted(self.indicator_deltas)
+            },
+        }
+
+
+def _event_key(event: TraceEvent) -> Tuple[Any, ...]:
+    args = event.args or {}
+    return (
+        round(event.time, 9),
+        event.cat,
+        event.name,
+        event.ph,
+        round(event.dur, 9),
+        tuple(sorted((str(k), str(v)) for k, v in args.items())),
+    )
+
+
+def _differing_field(a: TraceEvent, b: TraceEvent) -> str:
+    if round(a.time, 9) != round(b.time, 9):
+        return "time"
+    if a.cat != b.cat:
+        return "cat"
+    if a.name != b.name:
+        return "name"
+    if a.ph != b.ph:
+        return "ph"
+    if round(a.dur, 9) != round(b.dur, 9):
+        return "dur"
+    args_a, args_b = a.args or {}, b.args or {}
+    for key in sorted(set(args_a) | set(args_b)):
+        if str(args_a.get(key)) != str(args_b.get(key)):
+            return f"args.{key}"
+    return "args"
+
+
+def diff_recordings(
+    events_a: Iterable[TraceEvent], events_b: Iterable[TraceEvent]
+) -> TraceDiff:
+    """Stream both recordings once, in lockstep.
+
+    Recordings are aligned positionally -- both are written in
+    simulated-time dispatch order, so for deterministic replays of the
+    same scenario the Nth events correspond.  The first position where
+    they differ (or where one recording ends) is the first divergence.
+    """
+    analyzer_a, analyzer_b = HealthAnalyzer(), HealthAnalyzer()
+    iter_a, iter_b = iter(events_a), iter(events_b)
+    index = 0
+    count_a = count_b = 0
+    first: Optional[Dict[str, Any]] = None
+    while True:
+        event_a = next(iter_a, None)
+        event_b = next(iter_b, None)
+        if event_a is None and event_b is None:
+            break
+        if event_a is not None:
+            count_a += 1
+            analyzer_a.feed(event_a)
+        if event_b is not None:
+            count_b += 1
+            analyzer_b.feed(event_b)
+        if first is None:
+            if event_a is None or event_b is None:
+                which = "A" if event_a is None else "B"
+                survivor = event_b if event_a is None else event_a
+                first = {
+                    "index": index,
+                    "field": "length",
+                    "detail": f"recording {which} ends at event {index}",
+                    "event_a": event_a.to_dict() if event_a else None,
+                    "event_b": event_b.to_dict() if event_b else None,
+                    "time": round(survivor.time, 6) if survivor else None,
+                }
+            elif _event_key(event_a) != _event_key(event_b):
+                first = {
+                    "index": index,
+                    "field": _differing_field(event_a, event_b),
+                    "detail": None,
+                    "event_a": event_a.to_dict(),
+                    "event_b": event_b.to_dict(),
+                    "time": round(min(event_a.time, event_b.time), 6),
+                }
+        index += 1
+    report_a = analyzer_a.report()
+    report_b = analyzer_b.report()
+    deltas: Dict[str, Dict[str, float]] = {}
+    flat_a, flat_b = report_a.flatten(), report_b.flatten()
+    for key in set(flat_a) | set(flat_b):
+        value_a, value_b = flat_a.get(key), flat_b.get(key)
+        if value_a != value_b:
+            deltas[key] = {
+                "a": value_a,
+                "b": value_b,
+                "delta": (
+                    round(value_b - value_a, 6)
+                    if value_a is not None and value_b is not None
+                    else None
+                ),
+            }
+    return TraceDiff(count_a, count_b, first, deltas, report_a, report_b)
+
+
+def diff_files(path_a: str, path_b: str) -> TraceDiff:
+    """Diff two on-disk recordings (``.gz`` handled) streamingly."""
+    from repro.obs.export import iter_jsonl
+
+    return diff_recordings(iter_jsonl(path_a), iter_jsonl(path_b))
+
+
+def _relative_change(entry: Dict[str, float]) -> float:
+    a, b = entry.get("a"), entry.get("b")
+    if a is None or b is None:
+        return float("inf")
+    base = max(abs(a), abs(b), 1e-12)
+    return abs(b - a) / base
+
+
+def render_diff(diff: TraceDiff, label_a: str = "A", label_b: str = "B") -> str:
+    """Terminal-friendly diff: first divergence, then indicator deltas
+    ordered by relative change."""
+    lines: List[str] = [
+        f"{label_a}: {diff.count_a} events    {label_b}: {diff.count_b} events"
+    ]
+    if diff.identical:
+        lines.append("recordings are identical")
+        return "\n".join(lines)
+    first = diff.first_divergence
+    lines.append("")
+    when = format_time(first["time"]) if first.get("time") is not None else "-"
+    lines.append(
+        f"first divergence at event {first['index']} "
+        f"(~{when} simulated, field: {first['field']})"
+    )
+    if first.get("detail"):
+        lines.append(f"  {first['detail']}")
+    for side, key in ((label_a, "event_a"), (label_b, "event_b")):
+        event = first.get(key)
+        if event is None:
+            lines.append(f"  {side}: <recording ended>")
+        else:
+            args = " ".join(
+                f"{k}={v}" for k, v in sorted((event.get("args") or {}).items())
+            )
+            lines.append(
+                f"  {side}: t={event['time']:.3f} {event['cat']}/{event['name']} {args}".rstrip()
+            )
+    ordered = sorted(
+        diff.indicator_deltas.items(),
+        key=lambda item: (-_relative_change(item[1]), item[0]),
+    )
+    if ordered:
+        lines.append("")
+        lines.append(
+            f"indicator deltas ({len(ordered)} changed, "
+            f"top {min(len(ordered), MAX_RENDERED_DELTAS)}):"
+        )
+        for key, entry in ordered[:MAX_RENDERED_DELTAS]:
+            a = "-" if entry["a"] is None else f"{entry['a']:g}"
+            b = "-" if entry["b"] is None else f"{entry['b']:g}"
+            lines.append(f"  {key:<48} {a:>12} -> {b:<12}")
+    return "\n".join(lines)

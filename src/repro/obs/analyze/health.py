@@ -1,0 +1,532 @@
+"""Per-run health reports derived from trace recordings.
+
+A :class:`HealthAnalyzer` consumes a stream of
+:class:`~repro.obs.events.TraceEvent` (one pass, O(1) state per
+indicator plus bounded curves) and folds it into a
+:class:`HealthReport` -- the derived-indicator view the paper reasons
+about instead of raw event logs:
+
+* **coverage convergence** per crawler (distinct IPs over simulated
+  time, with time-to-X% milestones) from ``crawler/ip.discovered``;
+* **detection timeline**: one entry per ``detect/round`` span with the
+  leader-vote margin, confidence, and quorum-degradation flags, plus
+  the detection latency (first round that classified anything);
+* **drop/fault breakdowns** by reason/kind from ``net/drop`` and
+  ``faults/*``;
+* **request latency percentiles** from per-reply RTTs
+  (``crawler/request.replied``) and delivery latencies
+  (``net/deliver``);
+* **stealth-budget burn**: cumulative requests issued per crawler over
+  time -- the detectability budget a ratio-limited crawler spends.
+
+Analysis is read-only and draws no randomness: feeding the same
+recording always yields the same report, and analyzing a run can never
+perturb it (the events were written before analysis begins).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.obs.events import COMPLETE, TraceEvent
+from repro.sim.clock import format_time
+
+#: Bump when the report layout changes shape (consumers check this).
+HEALTH_SCHEMA = "repro-health/1"
+
+#: Coverage milestones reported as time-to-X% of the run's final count.
+MILESTONES = (0.25, 0.50, 0.75, 0.90, 0.95, 0.99)
+
+#: Curves are decimated to at most this many points before export.
+MAX_CURVE_POINTS = 256
+
+
+# -- small numeric helpers -------------------------------------------------
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list."""
+    if not sorted_values:
+        raise ValueError("percentile of empty data")
+    if q <= 0.0:
+        return sorted_values[0]
+    if q >= 1.0:
+        return sorted_values[-1]
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * len(sorted_values) + 0.5)) - 1))
+    return sorted_values[rank]
+
+
+def latency_summary(values: List[float]) -> Optional[Dict[str, float]]:
+    """count/mean/p50/p90/p99/max for a list of latencies (or None)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    return {
+        "count": len(ordered),
+        "mean": round(sum(ordered) / len(ordered), 6),
+        "p50": round(percentile(ordered, 0.50), 6),
+        "p90": round(percentile(ordered, 0.90), 6),
+        "p99": round(percentile(ordered, 0.99), 6),
+        "max": round(ordered[-1], 6),
+    }
+
+
+def histogram_quantile(buckets: Mapping[str, float], q: float) -> Optional[float]:
+    """Estimate a quantile from a snapshot histogram's bucket counts.
+
+    ``buckets`` is the ``{upper_bound: count}`` mapping a
+    :class:`~repro.obs.metrics.Histogram` snapshot carries (the last
+    key is ``"+Inf"``).  Linear interpolation inside the winning
+    bucket, prometheus-style; returns None for an empty histogram.
+    """
+    bounds: List[Tuple[float, float]] = []
+    inf_count = 0.0
+    for key, count in buckets.items():
+        if key == "+Inf":
+            inf_count = count
+        else:
+            bounds.append((float(key), count))
+    bounds.sort()
+    total = sum(count for _, count in bounds) + inf_count
+    if total <= 0:
+        return None
+    target = q * total
+    seen = 0.0
+    lower = 0.0
+    for bound, count in bounds:
+        if seen + count >= target and count > 0:
+            fraction = (target - seen) / count
+            return round(lower + (bound - lower) * fraction, 6)
+        seen += count
+        lower = bound
+    # Landed in the +Inf bucket: the last finite bound is the best bet.
+    return round(bounds[-1][0], 6) if bounds else None
+
+
+def snapshot_indicators(snapshot: Mapping[str, Any]) -> Dict[str, float]:
+    """Flatten a metrics snapshot into scalar health indicators.
+
+    Counters/gauges contribute their per-label values
+    (``name`` or ``name.label``); histograms contribute count, p50 and
+    p99 estimates.  The result is a flat, JSON-able, diff-friendly
+    mapping used by sweep aggregation and run diffing.
+    """
+    out: Dict[str, float] = {}
+    for name, entry in snapshot.items():
+        kind = entry.get("kind")
+        for label, value in entry.get("values", {}).items():
+            key = f"{name}.{label}" if label else name
+            if kind in ("counter", "gauge"):
+                out[key] = value
+            elif kind == "histogram":
+                out[f"{key}.count"] = value["count"]
+                for q, qname in ((0.5, "p50"), (0.99, "p99")):
+                    estimate = histogram_quantile(value["buckets"], q)
+                    if estimate is not None:
+                        out[f"{key}.{qname}"] = estimate
+    return out
+
+
+def _decimate(curve: List[List[float]], limit: int = MAX_CURVE_POINTS) -> List[List[float]]:
+    """Thin a curve to at most ``limit`` points, keeping first and
+    last; deterministic (uniform stride, no sampling)."""
+    if len(curve) <= limit:
+        return curve
+    stride = (len(curve) - 1) / (limit - 1)
+    indexes = sorted({int(round(i * stride)) for i in range(limit)} | {0, len(curve) - 1})
+    return [curve[i] for i in indexes]
+
+
+# -- streaming per-crawler / detection state -------------------------------
+
+
+class _CrawlerState:
+    __slots__ = (
+        "coverage_curve", "burn_curve", "issued", "replied", "expired",
+        "retries", "gave_up", "rtts", "first_request", "last_request",
+    )
+
+    def __init__(self) -> None:
+        self.coverage_curve: List[List[float]] = []
+        self.burn_curve: List[List[float]] = []
+        self.issued = 0
+        self.replied = 0
+        self.expired = 0
+        self.retries = 0
+        self.gave_up = 0
+        self.rtts: List[float] = []
+        self.first_request: Optional[float] = None
+        self.last_request: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        distinct = int(self.coverage_curve[-1][1]) if self.coverage_curve else 0
+        window = 0.0
+        if self.first_request is not None and self.last_request is not None:
+            window = self.last_request - self.first_request
+        per_hour = round(self.issued / (window / 3600.0), 3) if window > 0 else None
+        return {
+            "distinct_ips": distinct,
+            "requests_issued": self.issued,
+            "requests_replied": self.replied,
+            "requests_expired": self.expired,
+            "retries_scheduled": self.retries,
+            "targets_gave_up": self.gave_up,
+            "reply_rate": round(self.replied / self.issued, 4) if self.issued else None,
+            "requests_per_hour": per_hour,
+            "rtt": latency_summary(self.rtts),
+            "coverage_curve": _decimate(self.coverage_curve),
+            "milestones": self._milestones(),
+            "budget_burn": _decimate(self.burn_curve),
+        }
+
+    def _milestones(self) -> Dict[str, Optional[float]]:
+        """Simulated time at which coverage first reached X% of the
+        run's final distinct-IP count."""
+        out: Dict[str, Optional[float]] = {}
+        if not self.coverage_curve:
+            return {f"{int(m * 100)}%": None for m in MILESTONES}
+        final = self.coverage_curve[-1][1]
+        for m in MILESTONES:
+            target = m * final
+            out[f"{int(m * 100)}%"] = next(
+                (round(t, 6) for t, n in self.coverage_curve if n >= target), None
+            )
+        return out
+
+
+class _DetectionState:
+    __slots__ = (
+        "rounds", "pending_votes", "pending_lost", "gossip_messages",
+        "gossip_hops", "quorum_degraded",
+    )
+
+    def __init__(self) -> None:
+        self.rounds: List[Dict[str, Any]] = []
+        self.pending_votes: Dict[str, int] = {}
+        self.pending_lost = 0
+        self.gossip_messages = 0
+        self.gossip_hops = 0
+        self.quorum_degraded = 0
+
+    def feed_vote(self, behavior: str) -> None:
+        self.pending_votes[behavior] = self.pending_votes.get(behavior, 0) + 1
+
+    def feed_round(self, event: TraceEvent) -> None:
+        args = event.args or {}
+        tallies = sorted(self.pending_votes.values(), reverse=True)
+        total = sum(tallies)
+        margin = None
+        if total:
+            top = tallies[0]
+            runner_up = tallies[1] if len(tallies) > 1 else 0
+            margin = round((top - runner_up) / total, 4)
+        self.rounds.append(
+            {
+                "start": round(event.time, 6),
+                "end": round(event.time + event.dur, 6),
+                "groups": args.get("groups"),
+                "groups_lost": self.pending_lost,
+                "votes": args.get("votes"),
+                "vote_margin": margin,
+                "behaviors": dict(sorted(self.pending_votes.items())),
+                "classified": args.get("classified"),
+                "confidence": args.get("confidence"),
+                "quorum_met": args.get("quorum_met"),
+            }
+        )
+        self.pending_votes = {}
+        self.pending_lost = 0
+
+    def to_dict(self) -> Optional[Dict[str, Any]]:
+        if not self.rounds and not self.gossip_messages:
+            return None
+        confidences = [r["confidence"] for r in self.rounds if r["confidence"] is not None]
+        first_detection = next(
+            (r["end"] for r in self.rounds if (r["classified"] or 0) > 0), None
+        )
+        return {
+            "rounds": self.rounds,
+            "round_count": len(self.rounds),
+            "quorum_degraded_rounds": self.quorum_degraded,
+            "detection_latency": first_detection,
+            "mean_confidence": (
+                round(sum(confidences) / len(confidences), 4) if confidences else None
+            ),
+            "min_confidence": round(min(confidences), 4) if confidences else None,
+            "gossip": {"messages": self.gossip_messages, "hops": self.gossip_hops},
+        }
+
+
+# -- the analyzer ----------------------------------------------------------
+
+
+class HealthAnalyzer:
+    """Single-pass, constant-randomness fold of a recording into a
+    :class:`HealthReport`; feed events in recording order."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._by_cat: Dict[str, int] = {}
+        self._start: Optional[float] = None
+        self._end: Optional[float] = None
+        self._crawlers: Dict[str, _CrawlerState] = {}
+        self._detection = _DetectionState()
+        self._drops: Dict[str, int] = {}
+        self._faults: Dict[str, int] = {}
+        self._net = {"send": 0, "deliver": 0, "dup": 0, "reorder": 0}
+        self._deliver_latencies: List[float] = []
+
+    def _crawler(self, name: str) -> _CrawlerState:
+        state = self._crawlers.get(name)
+        if state is None:
+            state = _CrawlerState()
+            self._crawlers[name] = state
+        return state
+
+    def feed(self, event: TraceEvent) -> None:
+        self._count += 1
+        self._by_cat[event.cat] = self._by_cat.get(event.cat, 0) + 1
+        end = event.time + (event.dur if event.ph == COMPLETE else 0.0)
+        if self._start is None or event.time < self._start:
+            self._start = event.time
+        if self._end is None or end > self._end:
+            self._end = end
+        args = event.args or {}
+        cat, name = event.cat, event.name
+        if cat == "net":
+            if name == "drop":
+                reason = str(args.get("reason", "unknown"))
+                self._drops[reason] = self._drops.get(reason, 0) + 1
+            elif name in self._net:
+                self._net[name] += 1
+                if name == "deliver" and "latency" in args:
+                    self._deliver_latencies.append(float(args["latency"]))
+        elif cat == "crawler":
+            state = self._crawler(str(args.get("crawler", "")))
+            if name == "ip.discovered":
+                state.coverage_curve.append([round(event.time, 6), float(args.get("total", 0))])
+            elif name == "request.issued":
+                state.issued += 1
+                state.burn_curve.append([round(event.time, 6), float(state.issued)])
+                if state.first_request is None:
+                    state.first_request = event.time
+                state.last_request = event.time
+            elif name == "request.replied":
+                state.replied += 1
+                if "rtt" in args:
+                    state.rtts.append(float(args["rtt"]))
+            elif name == "request.expired":
+                state.expired += 1
+            elif name == "request.retry_scheduled":
+                state.retries += 1
+            elif name == "target.gave_up":
+                state.gave_up += 1
+        elif cat == "detect":
+            if name == "leader.vote":
+                self._detection.feed_vote(str(args.get("behavior", "")))
+            elif name == "group.lost":
+                self._detection.pending_lost += 1
+            elif name == "round":
+                self._detection.feed_round(event)
+            elif name == "round.quorum_degraded":
+                self._detection.quorum_degraded += 1
+            elif name == "gossip.done":
+                self._detection.gossip_messages += int(args.get("messages", 0))
+                self._detection.gossip_hops += int(args.get("hops", 0))
+        elif cat == "faults":
+            self._faults[name] = self._faults.get(name, 0) + 1
+
+    def feed_all(self, events: Iterable[TraceEvent]) -> "HealthAnalyzer":
+        for event in events:
+            self.feed(event)
+        return self
+
+    def report(self, metrics_snapshot: Optional[Mapping[str, Any]] = None) -> "HealthReport":
+        duration = 0.0
+        if self._start is not None and self._end is not None:
+            duration = self._end - self._start
+        data: Dict[str, Any] = {
+            "schema": HEALTH_SCHEMA,
+            "span": {
+                "start": round(self._start, 6) if self._start is not None else None,
+                "end": round(self._end, 6) if self._end is not None else None,
+                "duration": round(duration, 6),
+            },
+            "events": {"total": self._count, "by_cat": dict(sorted(self._by_cat.items()))},
+            "crawlers": {
+                name: state.to_dict() for name, state in sorted(self._crawlers.items())
+            },
+            "detection": self._detection.to_dict(),
+            "net": {
+                **self._net,
+                "drops": dict(sorted(self._drops.items())),
+                "drop_total": sum(self._drops.values()),
+                "deliver_latency": latency_summary(self._deliver_latencies),
+            },
+            "faults": {
+                "by_kind": dict(sorted(self._faults.items())),
+                "total": sum(self._faults.values()),
+            },
+        }
+        if metrics_snapshot is not None:
+            data["metrics_indicators"] = {
+                key: value
+                for key, value in sorted(snapshot_indicators(metrics_snapshot).items())
+            }
+        return HealthReport(data)
+
+
+class HealthReport:
+    """A finished health report: plain JSON-able data plus renderers."""
+
+    def __init__(self, data: Dict[str, Any]) -> None:
+        self.data = data
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.data
+
+    def to_json(self) -> str:
+        """The canonical JSON form.  ``repro report`` embeds exactly
+        this text, so the HTML export and ``repro trace analyze
+        --json`` agree byte-for-byte."""
+        return json.dumps(self.data, indent=2, sort_keys=True)
+
+    def flatten(self, prefix: str = "") -> Dict[str, float]:
+        """Scalar indicators only (numbers/bools), dotted keys; curves
+        and per-round lists are skipped.  This is the diffing view."""
+        flat: Dict[str, float] = {}
+        _flatten_scalars(self.data, prefix, flat)
+        return flat
+
+
+def _flatten_scalars(node: Any, prefix: str, out: Dict[str, float]) -> None:
+    if isinstance(node, Mapping):
+        for key, value in node.items():
+            _flatten_scalars(value, f"{prefix}{key}." if prefix or key else key, out)
+        return
+    if isinstance(node, bool):
+        out[prefix.rstrip(".")] = float(node)
+    elif isinstance(node, (int, float)):
+        out[prefix.rstrip(".")] = float(node)
+    # strings, lists (curves, round tables) are not scalar indicators
+
+
+def analyze_events(
+    events: Iterable[TraceEvent],
+    metrics_snapshot: Optional[Mapping[str, Any]] = None,
+) -> HealthReport:
+    """Fold a recording (any event iterable) into a health report."""
+    return HealthAnalyzer().feed_all(events).report(metrics_snapshot)
+
+
+def analyze_file(
+    path: str, metrics_path: Optional[str] = None
+) -> HealthReport:
+    """Analyze a JSONL recording on disk (``.gz`` handled), optionally
+    joining a metrics-snapshot JSON file."""
+    from repro.obs.export import iter_jsonl
+
+    snapshot = None
+    if metrics_path is not None:
+        with open(metrics_path, "r", encoding="utf-8") as stream:
+            snapshot = json.load(stream)
+    return analyze_events(iter_jsonl(path), snapshot)
+
+
+# -- rendering -------------------------------------------------------------
+
+
+def render_health(report: HealthReport) -> str:
+    """The health report as a terminal-friendly text block."""
+    data = report.data
+    span = data["span"]
+    lines: List[str] = []
+    if span["start"] is None:
+        return "no events (empty recording)"
+    lines.append(
+        f"{data['events']['total']} events over simulated "
+        f"[{format_time(span['start'])} .. {format_time(span['end'])}] "
+        f"({span['duration']:.1f}s)"
+    )
+    for name, crawler in data["crawlers"].items():
+        label = name or "(unnamed)"
+        lines.append("")
+        lines.append(f"crawler {label}:")
+        lines.append(
+            f"  coverage:    {crawler['distinct_ips']} distinct IPs; "
+            + "  ".join(
+                f"{pct}@{format_time(t)}" if t is not None else f"{pct}@-"
+                for pct, t in crawler["milestones"].items()
+            )
+        )
+        reply = crawler["reply_rate"]
+        lines.append(
+            f"  budget burn: {crawler['requests_issued']} requests"
+            + (
+                f" ({crawler['requests_per_hour']:.0f}/h)"
+                if crawler["requests_per_hour"]
+                else ""
+            )
+            + (f", reply rate {reply * 100:.0f}%" if reply is not None else "")
+        )
+        lines.append(
+            f"  resilience:  {crawler['requests_expired']} expired, "
+            f"{crawler['retries_scheduled']} retries, "
+            f"{crawler['targets_gave_up']} targets given up"
+        )
+        if crawler["rtt"]:
+            rtt = crawler["rtt"]
+            lines.append(
+                f"  rtt:         p50={rtt['p50'] * 1000:.1f}ms "
+                f"p90={rtt['p90'] * 1000:.1f}ms p99={rtt['p99'] * 1000:.1f}ms "
+                f"max={rtt['max'] * 1000:.1f}ms"
+            )
+    detection = data["detection"]
+    if detection:
+        lines.append("")
+        lines.append(
+            f"detection:     {detection['round_count']} rounds, "
+            f"{detection['quorum_degraded_rounds']} quorum-degraded, "
+            f"mean confidence "
+            + (
+                f"{detection['mean_confidence']:.2f}"
+                if detection["mean_confidence"] is not None
+                else "-"
+            )
+        )
+        if detection["detection_latency"] is not None:
+            lines.append(
+                f"  first verdict at {format_time(detection['detection_latency'])}"
+            )
+        for entry in detection["rounds"]:
+            margin = entry["vote_margin"]
+            flags = "" if entry["quorum_met"] in (None, True) else "  QUORUM-DEGRADED"
+            lines.append(
+                f"  round @{format_time(entry['end'])}: "
+                f"groups={entry['groups']} votes={entry['votes']} "
+                f"classified={entry['classified']} "
+                f"margin={margin if margin is not None else '-'} "
+                f"confidence={entry['confidence']}{flags}"
+            )
+    net = data["net"]
+    lines.append("")
+    lines.append(
+        f"network:       {net['send']} sends, {net['deliver']} delivers, "
+        f"{net['drop_total']} drops"
+    )
+    for reason, count in net["drops"].items():
+        lines.append(f"  drop[{reason}]: {count}")
+    if net["deliver_latency"]:
+        lat = net["deliver_latency"]
+        lines.append(
+            f"  delivery latency: p50={lat['p50'] * 1000:.1f}ms "
+            f"p99={lat['p99'] * 1000:.1f}ms"
+        )
+    faults = data["faults"]
+    if faults["total"]:
+        lines.append("")
+        lines.append(f"faults:        {faults['total']} injected")
+        for kind, count in faults["by_kind"].items():
+            lines.append(f"  {kind}: {count}")
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Self-contained static HTML export of a health report.
+
+``repro report run.jsonl -o report.html`` produces one file with zero
+external dependencies: the :class:`~repro.obs.analyze.health.HealthReport`
+JSON is embedded verbatim inside a ``<script type="application/json">``
+block (between :data:`JSON_BEGIN`/:data:`JSON_END` markers, so tooling
+can extract it and compare byte-for-byte against ``repro trace analyze
+--json``), and a small inline vanilla-JS renderer draws the summary
+tiles, tables, and SVG curves client-side.  The file opens from disk,
+from a CI artifact, or from an ``mailto:`` attachment -- no server, no
+CDN, no build step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.analyze.health import HealthReport
+
+#: Markers bracketing the embedded JSON (exclusive of the newlines).
+JSON_BEGIN = "/*HEALTH-JSON-BEGIN*/"
+JSON_END = "/*HEALTH-JSON-END*/"
+
+_CSS = """
+:root { --fg:#1a1c1f; --muted:#667085; --line:#e4e7ec; --accent:#3056d3; --bg:#fff; }
+* { box-sizing:border-box; }
+body { font:14px/1.5 system-ui,-apple-system,"Segoe UI",sans-serif; color:var(--fg);
+       background:var(--bg); margin:0 auto; max-width:1080px; padding:24px; }
+h1 { font-size:20px; margin:0 0 4px; }
+h2 { font-size:15px; margin:28px 0 8px; border-bottom:1px solid var(--line); padding-bottom:4px; }
+.sub { color:var(--muted); margin-bottom:16px; }
+.tiles { display:flex; flex-wrap:wrap; gap:12px; margin:16px 0; }
+.tile { border:1px solid var(--line); border-radius:8px; padding:10px 16px; min-width:130px; }
+.tile b { display:block; font-size:20px; }
+.tile span { color:var(--muted); font-size:12px; }
+table { border-collapse:collapse; width:100%; margin:8px 0; }
+th, td { text-align:right; padding:4px 10px; border-bottom:1px solid var(--line);
+         font-variant-numeric:tabular-nums; }
+th:first-child, td:first-child { text-align:left; }
+th { color:var(--muted); font-weight:600; font-size:12px; }
+.flag { color:#b42318; font-weight:600; }
+svg { border:1px solid var(--line); border-radius:8px; margin:8px 12px 8px 0; }
+.chart-title { font-size:12px; color:var(--muted); }
+"""
+
+_JS = """
+function el(tag, attrs, parent) {
+  var node = document.createElement(tag);
+  for (var k in (attrs || {})) {
+    if (k === 'text') node.textContent = attrs[k]; else node.setAttribute(k, attrs[k]);
+  }
+  if (parent) parent.appendChild(node);
+  return node;
+}
+function fmtTime(s) {
+  if (s === null || s === undefined) return '-';
+  var t = Math.floor(s), h = Math.floor(t / 3600), m = Math.floor((t % 3600) / 60);
+  var pad = function (n) { return String(n).padStart(2, '0'); };
+  return pad(h) + ':' + pad(m) + ':' + pad(t % 60);
+}
+function tile(parent, value, label) {
+  var box = el('div', {class: 'tile'}, parent);
+  el('b', {text: value}, box);
+  el('span', {text: label}, box);
+}
+function table(parent, headers, rows) {
+  var t = el('table', {}, parent), tr = el('tr', {}, el('thead', {}, t));
+  headers.forEach(function (h) { el('th', {text: h}, tr); });
+  var body = el('tbody', {}, t);
+  rows.forEach(function (row) {
+    var r = el('tr', {}, body);
+    row.forEach(function (cell) {
+      var td = el('td', {}, r);
+      if (cell && cell.flag) { td.textContent = cell.text; td.className = 'flag'; }
+      else td.textContent = (cell === null || cell === undefined) ? '-' : cell;
+    });
+  });
+}
+function curveChart(parent, title, curves, w, h) {
+  w = w || 420; h = h || 160;
+  var wrap = el('div', {style: 'display:inline-block'}, parent);
+  el('div', {class: 'chart-title', text: title}, wrap);
+  var svg = el('svg', {width: w, height: h, viewBox: '0 0 ' + w + ' ' + h}, wrap);
+  var pad = 8, xmax = 0, ymax = 0;
+  curves.forEach(function (c) { c.points.forEach(function (p) {
+    if (p[0] > xmax) xmax = p[0]; if (p[1] > ymax) ymax = p[1]; }); });
+  if (!xmax) xmax = 1; if (!ymax) ymax = 1;
+  var colors = ['#3056d3', '#d98014', '#12805c', '#b42318', '#6941c6', '#0e7090'];
+  curves.forEach(function (c, i) {
+    var d = c.points.map(function (p, j) {
+      var x = pad + (p[0] / xmax) * (w - 2 * pad);
+      var y = h - pad - (p[1] / ymax) * (h - 2 * pad);
+      return (j ? 'L' : 'M') + x.toFixed(1) + ',' + y.toFixed(1);
+    }).join(' ');
+    el('path', {d: d, fill: 'none', stroke: colors[i % colors.length],
+                'stroke-width': 1.5}, svg);
+  });
+  var legend = el('div', {class: 'chart-title'}, wrap);
+  legend.textContent = curves.map(function (c) { return c.label; }).join('  ·  ') +
+    '   (x: 0..' + fmtTime(xmax) + ', y: 0..' + ymax + ')';
+}
+function render(data) {
+  var root = document.getElementById('report');
+  document.getElementById('subtitle').textContent =
+    data.events.total + ' events over simulated [' + fmtTime(data.span.start) +
+    ' .. ' + fmtTime(data.span.end) + ']  ·  schema ' + data.schema;
+  var tiles = el('div', {class: 'tiles'}, root);
+  tile(tiles, data.events.total, 'trace events');
+  tile(tiles, fmtTime(data.span.duration), 'simulated span');
+  tile(tiles, Object.keys(data.crawlers).length, 'crawlers');
+  tile(tiles, data.net.drop_total, 'drops');
+  if (data.detection) {
+    tile(tiles, data.detection.round_count, 'detection rounds');
+    tile(tiles, data.detection.detection_latency !== null ?
+         fmtTime(data.detection.detection_latency) : '-', 'first verdict');
+  }
+  if (data.faults.total) tile(tiles, data.faults.total, 'faults injected');
+
+  var names = Object.keys(data.crawlers);
+  if (names.length) {
+    el('h2', {text: 'Crawlers'}, root);
+    table(root, ['crawler', 'distinct IPs', 'requests', 'req/h', 'reply %',
+                 'expired', 'retries', 'gave up', 'rtt p50 (ms)', 'rtt p99 (ms)'],
+      names.map(function (n) {
+        var c = data.crawlers[n];
+        return [n || '(unnamed)', c.distinct_ips, c.requests_issued,
+                c.requests_per_hour !== null ? c.requests_per_hour.toFixed(0) : null,
+                c.reply_rate !== null ? (c.reply_rate * 100).toFixed(1) : null,
+                c.requests_expired, c.retries_scheduled, c.targets_gave_up,
+                c.rtt ? (c.rtt.p50 * 1000).toFixed(1) : null,
+                c.rtt ? (c.rtt.p99 * 1000).toFixed(1) : null];
+      }));
+    el('h2', {text: 'Coverage convergence'}, root);
+    curveChart(root, 'distinct IPs over simulated time', names.map(function (n) {
+      return {label: n || '(unnamed)', points: data.crawlers[n].coverage_curve};
+    }));
+    curveChart(root, 'stealth-budget burn (cumulative requests)', names.map(function (n) {
+      return {label: n || '(unnamed)', points: data.crawlers[n].budget_burn};
+    }));
+    el('h2', {text: 'Coverage milestones'}, root);
+    table(root, ['crawler', '25%', '50%', '75%', '90%', '95%', '99%'],
+      names.map(function (n) {
+        var m = data.crawlers[n].milestones;
+        return [n || '(unnamed)'].concat(['25%', '50%', '75%', '90%', '95%', '99%']
+          .map(function (k) { return m[k] !== null ? fmtTime(m[k]) : null; }));
+      }));
+  }
+  if (data.detection && data.detection.rounds.length) {
+    el('h2', {text: 'Detection rounds'}, root);
+    table(root, ['end', 'groups', 'lost', 'votes', 'margin', 'classified',
+                 'confidence', 'quorum'],
+      data.detection.rounds.map(function (r) {
+        return [fmtTime(r.end), r.groups, r.groups_lost, r.votes,
+                r.vote_margin, r.classified, r.confidence,
+                r.quorum_met === false ? {flag: true, text: 'DEGRADED'} : 'ok'];
+      }));
+    curveChart(root, 'round confidence over simulated time',
+      [{label: 'confidence', points: data.detection.rounds.map(function (r) {
+        return [r.end, r.confidence === null ? 0 : r.confidence]; })}], 420, 120);
+  }
+  el('h2', {text: 'Network'}, root);
+  var dropRows = Object.keys(data.net.drops).map(function (r) {
+    return ['drop[' + r + ']', data.net.drops[r]];
+  });
+  table(root, ['indicator', 'count'],
+    [['send', data.net.send], ['deliver', data.net.deliver],
+     ['dup', data.net.dup], ['reorder', data.net.reorder]].concat(dropRows));
+  if (data.faults.total) {
+    el('h2', {text: 'Faults'}, root);
+    table(root, ['kind', 'count'], Object.keys(data.faults.by_kind).map(function (k) {
+      return [k, data.faults.by_kind[k]];
+    }));
+  }
+}
+render(JSON.parse(document.getElementById('health-report-data').textContent
+  .split('/*HEALTH-JSON-BEGIN*/')[1].split('/*HEALTH-JSON-END*/')[0]));
+"""
+
+
+def render_html(report: HealthReport, title: str = "repro run health") -> str:
+    """The report as one self-contained HTML document.
+
+    The embedded JSON between the markers is exactly
+    :meth:`HealthReport.to_json` -- the acceptance contract with
+    ``repro trace analyze --json``.
+    """
+    json_text = report.to_json()
+    return (
+        "<!doctype html>\n"
+        '<html lang="en">\n<head>\n<meta charset="utf-8">\n'
+        f"<title>{_escape(title)}</title>\n"
+        f"<style>{_CSS}</style>\n</head>\n<body>\n"
+        f"<h1>{_escape(title)}</h1>\n"
+        '<div class="sub" id="subtitle"></div>\n'
+        '<div id="report"></div>\n'
+        '<script type="application/json" id="health-report-data">'
+        f"{JSON_BEGIN}\n{json_text}\n{JSON_END}"
+        "</script>\n"
+        f"<script>{_JS}</script>\n"
+        "</body>\n</html>\n"
+    )
+
+
+def extract_embedded_json(html: str) -> Optional[str]:
+    """The embedded report JSON, byte-for-byte (None if absent).
+    The inverse of :func:`render_html`; tests and CI use it to check
+    the HTML against ``repro trace analyze --json``."""
+    start = html.find(JSON_BEGIN)
+    end = html.find(JSON_END)
+    if start < 0 or end < 0:
+        return None
+    return html[start + len(JSON_BEGIN) : end].strip("\n")
+
+
+def write_html_report(report: HealthReport, path: str, title: str = "repro run health") -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(render_html(report, title=title))
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )

@@ -11,6 +11,7 @@ category gets its own named track.
 
 from __future__ import annotations
 
+import gzip
 import json
 from collections import Counter as TallyCounter
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, TextIO, Union
@@ -24,10 +25,22 @@ PathOrFile = Union[str, TextIO]
 # -- JSONL recordings ------------------------------------------------------
 
 
+def _open_recording(path: str, mode: str) -> TextIO:
+    """Open a recording path as text, transparently gzipped for
+    ``.gz`` suffixes -- long chaos-run recordings compress ~20x."""
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
-    """Write a recording; returns the number of events written."""
+    """Write a recording; returns the number of events written.
+
+    A ``.gz`` suffix on ``path`` writes a gzip-compressed recording;
+    :func:`iter_jsonl`/:func:`read_jsonl` read it back transparently.
+    """
     count = 0
-    with open(path, "w", encoding="utf-8") as stream:
+    with _open_recording(path, "w") as stream:
         for event in events:
             stream.write(json.dumps(event.to_dict(), sort_keys=True))
             stream.write("\n")
@@ -36,8 +49,11 @@ def write_jsonl(events: Iterable[TraceEvent], path: str) -> int:
 
 
 def iter_jsonl(path: str) -> Iterator[TraceEvent]:
-    """Stream a recording back as events (blank lines skipped)."""
-    with open(path, "r", encoding="utf-8") as stream:
+    """Stream a recording back as events (blank lines skipped).
+
+    Handles plain and ``.gz`` recordings by suffix.
+    """
+    with _open_recording(path, "r") as stream:
         for line in stream:
             line = line.strip()
             if line:
@@ -116,16 +132,24 @@ def write_chrome_trace(
 # -- human-facing views ----------------------------------------------------
 
 
-def render_summary(events: List[TraceEvent]) -> str:
-    """A recording's shape at a glance: span, volume, top event names."""
+def render_summary(events: Iterable[TraceEvent]) -> str:
+    """A recording's shape at a glance: span, volume, top event names.
+
+    Accepts any iterable (including the :func:`iter_jsonl` stream) and
+    degrades gracefully: an empty recording gets a friendly "no
+    events" line, a single event a zero-length span -- never a
+    traceback.
+    """
+    events = list(events)
     if not events:
-        return "empty trace (0 events)"
+        return "no events (empty recording)"
     start = min(e.time for e in events)
     end = max(e.time + (e.dur if e.ph == COMPLETE else 0.0) for e in events)
     by_cat = TallyCounter(e.cat for e in events)
     by_name = TallyCounter(f"{e.cat}/{e.name}" for e in events)
+    noun = "event" if len(events) == 1 else "events"
     lines = [
-        f"{len(events)} events over simulated "
+        f"{len(events)} {noun} over simulated "
         f"[{format_time(start)} .. {format_time(end)}] "
         f"({end - start:.1f}s)",
         "",

@@ -30,6 +30,11 @@ from repro.runner.executors import (
     SweepExecutionError,
     run_sweep,
 )
+from repro.runner.health import (
+    point_indicators,
+    render_sweep_health,
+    sweep_health,
+)
 from repro.runner.progress import ConsoleProgress, ProgressEvent
 from repro.runner.registry import register_point, registered_points, resolve_point
 from repro.runner.sweep import (
@@ -69,10 +74,13 @@ __all__ = [
     "build_sweep",
     "make_points",
     "merge_records",
+    "point_indicators",
     "point_seed",
     "register_point",
     "registered_points",
     "render_result",
+    "render_sweep_health",
     "resolve_point",
     "run_sweep",
+    "sweep_health",
 ]

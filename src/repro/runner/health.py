@@ -1,0 +1,126 @@
+"""Per-point health indicators merged into sweep aggregation.
+
+When a sweep runs with metrics capture, every
+:class:`~repro.runner.sweep.PointRecord` carries its own metrics
+snapshot.  This module folds those into the same derived-indicator
+vocabulary the trace analyzer uses
+(:func:`repro.obs.analyze.snapshot_indicators`): per-point scalar
+indicators, a whole-sweep merged view, and a coverage summary of which
+points carried metrics at all -- mixed sweeps (some points captured,
+some not, e.g. records merged from pre-metrics runs) are first-class.
+
+Indicators are observability metadata: they are derived from
+``record.metrics`` only and can never reach ``record.values`` or an
+exhibit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.analyze.health import snapshot_indicators
+from repro.obs.metrics import merge_snapshots
+from repro.runner.sweep import PointRecord, SweepResult
+
+#: Indicators surfaced in the rendered table (when present).
+KEY_INDICATORS = (
+    "net.sent",
+    "net.delivered",
+    "net.dropped.loss",
+    "crawler.requests_issued",
+    "crawler.responses",
+    "crawler.requests_expired",
+    "crawler.retries",
+    "sensor.observations",
+    "detect.rounds",
+    "detect.gossip_messages",
+)
+
+
+def point_indicators(record: PointRecord) -> Optional[Dict[str, float]]:
+    """One point's flat scalar indicators, or None when the record
+    carries no metrics snapshot (pre-capture records merge cleanly)."""
+    if record.metrics is None:
+        return None
+    return snapshot_indicators(record.metrics)
+
+
+def sweep_health(result: SweepResult) -> Dict[str, Any]:
+    """The sweep's merged health view.
+
+    ``indicators`` is derived from the merged snapshot (counters
+    summed across points, gauges maxed -- the
+    :func:`~repro.obs.metrics.merge_snapshots` contract), so it is
+    independent of worker count and point order.  ``per_point`` keeps
+    the per-index indicator mappings (None for uncaptured points) for
+    drill-down.
+    """
+    captured = [record for record in result.records if record.metrics is not None]
+    merged = merge_snapshots(record.metrics for record in captured)
+    per_point: Dict[str, Optional[Dict[str, float]]] = {
+        str(record.index): point_indicators(record) for record in result.records
+    }
+    return {
+        "schema": "repro-sweep-health/1",
+        "sweep": result.spec.name,
+        "points": len(result.records),
+        "points_with_metrics": len(captured),
+        "indicators": dict(sorted(snapshot_indicators(merged).items())),
+        "per_point": per_point,
+        "execution": {
+            "workers": result.metrics.workers,
+            "wall_time": round(result.metrics.wall_time, 4),
+            "retries": result.metrics.retries,
+            "utilization": round(result.metrics.utilization(), 4),
+        },
+    }
+
+
+def render_sweep_health(result: SweepResult) -> str:
+    """Terminal-friendly sweep health: coverage of capture, the key
+    merged indicators, and the widest per-point spread."""
+    health = sweep_health(result)
+    lines: List[str] = [
+        f"sweep health ({health['sweep']}): "
+        f"{health['points_with_metrics']}/{health['points']} points captured metrics"
+    ]
+    if not health["points_with_metrics"]:
+        lines.append("  (run with --metrics/capture_metrics=True to populate indicators)")
+        return "\n".join(lines)
+    indicators = health["indicators"]
+    shown = [key for key in KEY_INDICATORS if key in indicators]
+    width = max((len(key) for key in shown), default=0)
+    for key in shown:
+        lines.append(f"  {key:<{width}}  {indicators[key]:g}")
+    spread = _widest_spread(health["per_point"])
+    if spread is not None:
+        key, low, high = spread
+        lines.append(f"  widest per-point spread: {key} ({low:g} .. {high:g})")
+    return "\n".join(lines)
+
+
+def _widest_spread(
+    per_point: Dict[str, Optional[Dict[str, float]]]
+) -> Optional[tuple]:
+    """The indicator with the largest relative min..max spread across
+    captured points -- the first place to look when one point behaves
+    unlike the rest."""
+    ranges: Dict[str, List[float]] = {}
+    for indicators in per_point.values():
+        if not indicators:
+            continue
+        for key, value in indicators.items():
+            ranges.setdefault(key, []).append(value)
+    best: Optional[tuple] = None
+    best_ratio = 0.0
+    for key, values in sorted(ranges.items()):
+        if len(values) < 2:
+            continue
+        low, high = min(values), max(values)
+        if high <= low:
+            continue
+        ratio = (high - low) / max(abs(high), abs(low), 1e-12)
+        if ratio > best_ratio:
+            best_ratio = ratio
+            best = (key, low, high)
+    return best

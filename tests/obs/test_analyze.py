@@ -1,0 +1,296 @@
+"""Unit tests for the health analyzer and the HTML report export."""
+
+import json
+
+from repro.obs.analyze import (
+    HEALTH_SCHEMA,
+    HealthAnalyzer,
+    analyze_events,
+    analyze_file,
+    extract_embedded_json,
+    histogram_quantile,
+    latency_summary,
+    percentile,
+    render_health,
+    render_html,
+    snapshot_indicators,
+    write_html_report,
+)
+from repro.obs.analyze.health import MAX_CURVE_POINTS, _decimate
+from repro.obs.events import COMPLETE, TraceEvent
+from repro.obs.export import write_jsonl
+from repro.obs.metrics import MetricsRegistry
+
+import pytest
+
+
+def _crawl_events(name="c1", ips=4, requests=6):
+    """A tiny synthetic crawl recording with a known shape."""
+    events = []
+    for i in range(ips):
+        events.append(
+            TraceEvent(
+                float(i + 1), "crawler", "ip.discovered",
+                args={"crawler": name, "total": i + 1},
+            )
+        )
+    for i in range(requests):
+        t = 10.0 + i
+        events.append(
+            TraceEvent(
+                t, "crawler", "request.issued",
+                args={"crawler": name, "target": f"10.0.0.{i}"},
+            )
+        )
+        if i % 2 == 0:
+            events.append(
+                TraceEvent(
+                    t + 0.2, "crawler", "request.replied",
+                    args={"crawler": name, "rtt": 0.2},
+                )
+            )
+        else:
+            events.append(
+                TraceEvent(t + 5.0, "crawler", "request.expired", args={"crawler": name})
+            )
+    return events
+
+
+class TestNumericHelpers:
+    def test_percentile_nearest_rank(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 4.0
+        assert percentile(data, 0.5) in (2.0, 3.0)
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_latency_summary_empty_is_none(self):
+        assert latency_summary([]) is None
+
+    def test_latency_summary_fields(self):
+        summary = latency_summary([0.1, 0.2, 0.3])
+        assert summary["count"] == 3
+        assert summary["max"] == 0.3
+        assert abs(summary["mean"] - 0.2) < 1e-9
+        assert set(summary) == {"count", "mean", "p50", "p90", "p99", "max"}
+
+    def test_histogram_quantile_interpolates(self):
+        buckets = {"1": 10, "2": 10, "+Inf": 0}
+        assert histogram_quantile(buckets, 0.5) == 1.0
+        assert histogram_quantile(buckets, 0.75) == 1.5
+
+    def test_histogram_quantile_empty_is_none(self):
+        assert histogram_quantile({"+Inf": 0}, 0.5) is None
+
+    def test_histogram_quantile_all_in_inf_uses_last_bound(self):
+        assert histogram_quantile({"1": 0, "+Inf": 5}, 0.5) == 1.0
+
+    def test_decimate_keeps_endpoints(self):
+        curve = [[float(i), float(i)] for i in range(1000)]
+        out = _decimate(curve)
+        assert len(out) <= MAX_CURVE_POINTS
+        assert out[0] == curve[0]
+        assert out[-1] == curve[-1]
+        assert _decimate(curve) == _decimate(curve)  # deterministic
+
+    def test_decimate_short_curve_untouched(self):
+        curve = [[0.0, 1.0], [1.0, 2.0]]
+        assert _decimate(curve) == curve
+
+
+class TestSnapshotIndicators:
+    def test_counters_gauges_and_histograms_flatten(self):
+        reg = MetricsRegistry()
+        reg.counter("net.sent").inc(5)
+        reg.counter("net.dropped").labels("loss").inc(2)
+        reg.gauge("sched.peak_heap").set(7)
+        hist = reg.histogram("net.latency", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        flat = snapshot_indicators(reg.snapshot())
+        assert flat["net.sent"] == 5
+        assert flat["net.dropped.loss"] == 2
+        assert flat["sched.peak_heap"] == 7
+        assert flat["net.latency.count"] == 2
+        assert "net.latency.p50" in flat
+        assert "net.latency.p99" in flat
+
+    def test_empty_snapshot(self):
+        assert snapshot_indicators({}) == {}
+
+
+class TestHealthAnalyzer:
+    def test_empty_report(self):
+        report = analyze_events([])
+        assert report.data["schema"] == HEALTH_SCHEMA
+        assert report.data["span"]["start"] is None
+        assert report.data["events"]["total"] == 0
+        assert report.data["detection"] is None
+        assert "no events" in render_health(report)
+
+    def test_crawler_coverage_and_burn(self):
+        report = analyze_events(_crawl_events(ips=4, requests=6))
+        crawler = report.data["crawlers"]["c1"]
+        assert crawler["distinct_ips"] == 4
+        assert crawler["requests_issued"] == 6
+        assert crawler["requests_replied"] == 3
+        assert crawler["requests_expired"] == 3
+        assert crawler["reply_rate"] == 0.5
+        assert crawler["coverage_curve"][-1] == [4.0, 4.0]
+        assert crawler["budget_burn"][-1][1] == 6.0
+        assert crawler["rtt"]["count"] == 3
+
+    def test_milestones_are_time_to_fraction_of_final(self):
+        report = analyze_events(_crawl_events(ips=4, requests=0))
+        milestones = report.data["crawlers"]["c1"]["milestones"]
+        # final = 4 IPs at t=1..4: 25% -> first curve point, 99% -> last.
+        assert milestones["25%"] == 1.0
+        assert milestones["50%"] == 2.0
+        assert milestones["99%"] == 4.0
+
+    def test_detection_round_votes_and_margin(self):
+        events = [
+            TraceEvent(10.0, "detect", "leader.vote", args={"behavior": "crawler"}),
+            TraceEvent(10.0, "detect", "leader.vote", args={"behavior": "crawler"}),
+            TraceEvent(10.0, "detect", "leader.vote", args={"behavior": "crawler"}),
+            TraceEvent(10.0, "detect", "leader.vote", args={"behavior": "bot"}),
+            TraceEvent(
+                8.0, "detect", "round", COMPLETE, 4.0,
+                {"groups": 4, "votes": 4, "classified": 2,
+                 "confidence": 0.9, "quorum_met": True},
+            ),
+        ]
+        report = analyze_events(events)
+        detection = report.data["detection"]
+        assert detection["round_count"] == 1
+        entry = detection["rounds"][0]
+        assert entry["vote_margin"] == 0.5  # (3 - 1) / 4
+        assert entry["behaviors"] == {"bot": 1, "crawler": 3}
+        assert entry["end"] == 12.0
+        assert detection["detection_latency"] == 12.0
+        assert detection["mean_confidence"] == 0.9
+
+    def test_votes_reset_between_rounds(self):
+        events = [
+            TraceEvent(1.0, "detect", "leader.vote", args={"behavior": "crawler"}),
+            TraceEvent(0.5, "detect", "round", COMPLETE, 1.0, {"classified": 0}),
+            TraceEvent(2.0, "detect", "round", COMPLETE, 1.0, {"classified": 0}),
+        ]
+        detection = analyze_events(events).data["detection"]
+        assert detection["rounds"][0]["behaviors"] == {"crawler": 1}
+        assert detection["rounds"][1]["behaviors"] == {}
+        assert detection["rounds"][1]["vote_margin"] is None
+        assert detection["detection_latency"] is None
+
+    def test_quorum_degradation_counted(self):
+        events = [
+            TraceEvent(1.0, "detect", "round.quorum_degraded", args={}),
+            TraceEvent(0.0, "detect", "round", COMPLETE, 2.0, {"quorum_met": False}),
+        ]
+        detection = analyze_events(events).data["detection"]
+        assert detection["quorum_degraded_rounds"] == 1
+
+    def test_drop_and_fault_breakdowns(self):
+        events = [
+            TraceEvent(1.0, "net", "send", args={}),
+            TraceEvent(1.1, "net", "deliver", args={"latency": 0.1}),
+            TraceEvent(2.0, "net", "drop", args={"reason": "loss"}),
+            TraceEvent(3.0, "net", "drop", args={"reason": "loss"}),
+            TraceEvent(4.0, "net", "drop", args={"reason": "unroutable"}),
+            TraceEvent(5.0, "faults", "partition.heal", args={}),
+        ]
+        report = analyze_events(events)
+        net = report.data["net"]
+        assert net["drops"] == {"loss": 2, "unroutable": 1}
+        assert net["drop_total"] == 3
+        assert net["send"] == 1 and net["deliver"] == 1
+        assert net["deliver_latency"]["count"] == 1
+        assert report.data["faults"] == {"by_kind": {"partition.heal": 1}, "total": 1}
+
+    def test_span_includes_complete_duration(self):
+        events = [TraceEvent(1.0, "detect", "round", COMPLETE, 5.0, {})]
+        span = analyze_events(events).data["span"]
+        assert span["start"] == 1.0
+        assert span["end"] == 6.0
+        assert span["duration"] == 5.0
+
+    def test_feed_incrementally_matches_feed_all(self):
+        events = _crawl_events()
+        one = HealthAnalyzer()
+        for event in events:
+            one.feed(event)
+        assert one.report().to_json() == analyze_events(events).to_json()
+
+    def test_to_json_is_deterministic(self):
+        events = _crawl_events()
+        assert analyze_events(events).to_json() == analyze_events(events).to_json()
+
+    def test_metrics_snapshot_joined_as_indicators(self):
+        reg = MetricsRegistry()
+        reg.counter("net.sent").inc(3)
+        report = analyze_events([], metrics_snapshot=reg.snapshot())
+        assert report.data["metrics_indicators"]["net.sent"] == 3
+
+    def test_flatten_skips_curves(self):
+        flat = analyze_events(_crawl_events()).flatten()
+        assert "events.total" in flat
+        assert all("coverage_curve" not in key for key in flat)
+
+    def test_analyze_file_gzip_roundtrip(self, tmp_path):
+        events = _crawl_events()
+        path = str(tmp_path / "run.jsonl.gz")
+        write_jsonl(events, path)
+        assert analyze_file(path).to_json() == analyze_events(events).to_json()
+
+    def test_analyze_file_joins_metrics(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        write_jsonl(_crawl_events(), path)
+        metrics_path = str(tmp_path / "metrics.json")
+        reg = MetricsRegistry()
+        reg.counter("net.sent").inc(9)
+        with open(metrics_path, "w") as stream:
+            json.dump(reg.snapshot(), stream)
+        report = analyze_file(path, metrics_path)
+        assert report.data["metrics_indicators"]["net.sent"] == 9
+
+    def test_render_health_mentions_key_sections(self):
+        events = _crawl_events() + [
+            TraceEvent(20.0, "net", "drop", args={"reason": "loss"}),
+        ]
+        text = render_health(analyze_events(events))
+        assert "crawler c1:" in text
+        assert "budget burn" in text
+        assert "drop[loss]" in text
+
+
+class TestHtmlReport:
+    def test_embedded_json_is_byte_identical(self):
+        report = analyze_events(_crawl_events())
+        html = render_html(report)
+        assert extract_embedded_json(html) == report.to_json()
+
+    def test_html_is_self_contained(self):
+        html = render_html(analyze_events(_crawl_events()), title="t")
+        assert html.lower().startswith("<!doctype html>")
+        lowered = html.lower()
+        assert "http://" not in lowered and "https://" not in lowered
+        assert "<script" in lowered and "<style" in lowered
+
+    def test_title_is_escaped(self):
+        html = render_html(analyze_events([]), title="<run & report>")
+        assert "<run &" not in html
+        assert "&lt;run &amp; report&gt;" in html
+
+    def test_write_html_report(self, tmp_path):
+        report = analyze_events(_crawl_events())
+        path = str(tmp_path / "report.html")
+        write_html_report(report, path)
+        with open(path, encoding="utf-8") as stream:
+            html = stream.read()
+        assert extract_embedded_json(html) == report.to_json()
+
+    def test_extract_missing_markers_is_none(self):
+        assert extract_embedded_json("<html></html>") is None

@@ -1,0 +1,88 @@
+"""Unit tests for trace diffing."""
+
+from repro.obs.analyze import diff_files, diff_recordings, render_diff
+from repro.obs.events import TraceEvent
+from repro.obs.export import write_jsonl
+
+
+def _events(drop_reason="loss", count=5):
+    events = []
+    for i in range(count):
+        events.append(
+            TraceEvent(
+                float(i), "net", "send",
+                args={"src": "10.0.0.1:1", "dst": f"10.0.0.{i + 2}:1", "bytes": 64},
+            )
+        )
+    events.append(TraceEvent(float(count), "net", "drop", args={"reason": drop_reason}))
+    return events
+
+
+class TestDiffRecordings:
+    def test_identical(self):
+        diff = diff_recordings(_events(), _events())
+        assert diff.identical
+        assert diff.first_divergence is None
+        assert diff.indicator_deltas == {}
+        assert diff.count_a == diff.count_b == 6
+        assert "identical" in render_diff(diff)
+
+    def test_arg_divergence_pinpointed(self):
+        a = _events(drop_reason="loss")
+        b = _events(drop_reason="unroutable")
+        diff = diff_recordings(a, b)
+        assert not diff.identical
+        first = diff.first_divergence
+        assert first["index"] == 5
+        assert first["field"] == "args.reason"
+        assert first["time"] == 5.0
+        assert "net.drops.loss" in diff.indicator_deltas
+        assert diff.indicator_deltas["net.drops.loss"]["a"] == 1.0
+        assert diff.indicator_deltas["net.drops.loss"]["b"] is None
+
+    def test_time_divergence(self):
+        a = [TraceEvent(1.0, "net", "send", args={})]
+        b = [TraceEvent(2.0, "net", "send", args={})]
+        diff = diff_recordings(a, b)
+        assert diff.first_divergence["field"] == "time"
+        assert diff.first_divergence["index"] == 0
+
+    def test_length_mismatch(self):
+        a = _events()
+        diff = diff_recordings(a, a[:-2])
+        assert not diff.identical
+        first = diff.first_divergence
+        assert first["field"] == "length"
+        assert first["index"] == 4
+        assert first["event_b"] is None
+        assert diff.count_a == 6 and diff.count_b == 4
+        assert "<recording ended>" in render_diff(diff)
+
+    def test_both_empty_is_identical(self):
+        diff = diff_recordings([], [])
+        assert diff.identical
+        assert diff.count_a == diff.count_b == 0
+
+    def test_to_dict_schema(self):
+        doc = diff_recordings(_events(), _events("dup")).to_dict()
+        assert doc["schema"] == "repro-trace-diff/1"
+        assert doc["identical"] is False
+        assert doc["events"] == {"a": 6, "b": 6}
+        assert sorted(doc["indicator_deltas"]) == list(doc["indicator_deltas"])
+
+    def test_render_orders_by_relative_change(self):
+        diff = diff_recordings(_events(), _events("unroutable"))
+        text = render_diff(diff, "runA", "runB")
+        assert "runA: 6 events" in text
+        assert "first divergence at event 5" in text
+        assert "indicator deltas" in text
+
+
+class TestDiffFiles:
+    def test_streams_from_disk_including_gzip(self, tmp_path):
+        path_a = str(tmp_path / "a.jsonl.gz")
+        path_b = str(tmp_path / "b.jsonl")
+        write_jsonl(_events(), path_a)
+        write_jsonl(_events("unroutable"), path_b)
+        diff = diff_files(path_a, path_b)
+        assert diff.first_divergence["field"] == "args.reason"

@@ -38,6 +38,32 @@ class TestJsonl:
         events = read_jsonl(path)
         assert [e.to_dict() for e in events] == [e.to_dict() for e in _sample_events()]
 
+    def test_gzip_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl.gz")
+        assert write_jsonl(_sample_events(), path) == 3
+        events = read_jsonl(path)
+        assert [e.to_dict() for e in events] == [e.to_dict() for e in _sample_events()]
+
+    def test_gzip_file_is_actually_compressed(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl.gz")
+        write_jsonl(_sample_events(), path)
+        with open(path, "rb") as stream:
+            magic = stream.read(2)
+        assert magic == b"\x1f\x8b"
+
+    def test_gzip_and_plain_carry_identical_lines(self, tmp_path):
+        import gzip
+
+        plain = str(tmp_path / "trace.jsonl")
+        gz = str(tmp_path / "trace.jsonl.gz")
+        write_jsonl(_sample_events(), plain)
+        write_jsonl(_sample_events(), gz)
+        with open(plain, "rb") as stream:
+            plain_bytes = stream.read()
+        with gzip.open(gz, "rb") as stream:
+            gz_bytes = stream.read()
+        assert plain_bytes == gz_bytes
+
     def test_lines_are_independent_json(self, tmp_path):
         path = str(tmp_path / "trace.jsonl")
         write_jsonl(_sample_events(), path)
@@ -85,8 +111,18 @@ class TestRenderers:
         assert "3 events" in text
         assert "net" in text and "detect" in text
 
-    def test_summary_empty(self):
-        assert "0 events" in render_summary([])
+    def test_summary_empty_is_friendly(self):
+        text = render_summary([])
+        assert "no events" in text
+        assert "Traceback" not in text
+
+    def test_summary_empty_accepts_any_iterable(self):
+        assert "no events" in render_summary(iter(()))
+
+    def test_summary_single_event(self):
+        text = render_summary([TraceEvent(1.0, "net", "send")])
+        assert "1 event" in text
+        assert "1 events" not in text
 
     def test_render_events_lines(self):
         lines = render_events(_sample_events()).splitlines()

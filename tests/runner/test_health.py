@@ -1,0 +1,129 @@
+"""Tests for sweep health indicators and record merging with mixed
+per-point metrics capture (some points carry snapshots, some don't)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.runner import (
+    PointRecord,
+    SweepMetrics,
+    SweepPoint,
+    SweepResult,
+    SweepSpec,
+    merge_records,
+    point_indicators,
+    render_sweep_health,
+    sweep_health,
+)
+
+
+def _snapshot(sent):
+    reg = MetricsRegistry()
+    reg.counter("net.sent").inc(sent)
+    reg.gauge("sched.peak_heap").set(sent * 2)
+    return reg.snapshot()
+
+
+def _record(index, metrics=None, sent=0):
+    return PointRecord(
+        index=index,
+        point="cell",
+        params={"ratio": index},
+        seed=index * 7,
+        values={"coverage": 0.5},
+        wall_time=0.01,
+        metrics=_snapshot(sent) if metrics else None,
+    )
+
+
+def _result(records, workers=2):
+    spec = SweepSpec(
+        name="mixed",
+        root_seed=0,
+        points=tuple(
+            SweepPoint(index=r.index, point=r.point, params=r.params, seed=r.seed)
+            for r in records
+        ),
+    )
+    metrics = SweepMetrics(
+        workers=workers, points_total=len(records),
+        points_completed=len(records), wall_time=1.0,
+    )
+    return SweepResult(spec=spec, records=list(records), metrics=metrics)
+
+
+class TestMergeRecords:
+    def test_orders_by_index(self):
+        records = [_record(2), _record(0), _record(1)]
+        merged = merge_records(records, expected=3)
+        assert [r.index for r in merged] == [0, 1, 2]
+
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            merge_records([_record(0), _record(0)], expected=2)
+
+    def test_missing_index_rejected(self):
+        with pytest.raises(ValueError, match="missing points \\[1\\]"):
+            merge_records([_record(0), _record(2)], expected=3)
+
+    def test_mixed_metrics_survive_merge(self):
+        # Records merged from pre-capture runs (metrics=None) coexist
+        # with captured ones; the merge keeps each record's snapshot.
+        records = [_record(1), _record(0, metrics=True, sent=5)]
+        merged = merge_records(records, expected=2)
+        assert merged[0].metrics is not None
+        assert merged[1].metrics is None
+
+    def test_merged_snapshot_ignores_uncaptured_points(self):
+        records = merge_records(
+            [_record(0, metrics=True, sent=5), _record(1), _record(2, metrics=True, sent=3)],
+            expected=3,
+        )
+        merged = merge_snapshots(r.metrics for r in records if r.metrics is not None)
+        assert merged["net.sent"]["values"][""] == 8  # counters sum
+        assert merged["sched.peak_heap"]["values"][""] == 10  # gauges max
+
+
+class TestPointIndicators:
+    def test_none_without_metrics(self):
+        assert point_indicators(_record(0)) is None
+
+    def test_flattens_snapshot(self):
+        flat = point_indicators(_record(0, metrics=True, sent=4))
+        assert flat["net.sent"] == 4
+        assert flat["sched.peak_heap"] == 8
+
+
+class TestSweepHealth:
+    def test_mixed_capture_counts(self):
+        result = _result([_record(0, metrics=True, sent=5), _record(1)])
+        health = sweep_health(result)
+        assert health["schema"] == "repro-sweep-health/1"
+        assert health["points"] == 2
+        assert health["points_with_metrics"] == 1
+        assert health["indicators"]["net.sent"] == 5
+        assert health["per_point"]["0"]["net.sent"] == 5
+        assert health["per_point"]["1"] is None
+
+    def test_indicators_merge_across_points(self):
+        result = _result([_record(0, metrics=True, sent=5), _record(1, metrics=True, sent=3)])
+        health = sweep_health(result)
+        assert health["indicators"]["net.sent"] == 8
+        assert health["indicators"]["sched.peak_heap"] == 10
+
+    def test_execution_metadata(self):
+        health = sweep_health(_result([_record(0)], workers=3))
+        assert health["execution"]["workers"] == 3
+        assert health["execution"]["wall_time"] == 1.0
+
+    def test_render_without_capture_points_at_flag(self):
+        text = render_sweep_health(_result([_record(0), _record(1)]))
+        assert "0/2 points captured metrics" in text
+        assert "--metrics" in text
+
+    def test_render_shows_key_indicators_and_spread(self):
+        result = _result([_record(0, metrics=True, sent=5), _record(1, metrics=True, sent=3)])
+        text = render_sweep_health(result)
+        assert "2/2 points captured metrics" in text
+        assert "net.sent" in text
+        assert "widest per-point spread" in text

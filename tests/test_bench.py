@@ -1,0 +1,113 @@
+"""Unit tests for the perf bench harness (mechanics, not timings).
+
+The real workloads are timed by ``repro bench`` / CI's bench-smoke job
+and ``benchmarks/bench_perf.py``; here a stub workload keeps the tier-1
+suite fast while still exercising run/compare/load end to end.
+"""
+
+import pytest
+
+from repro import bench
+from repro.bench import (
+    BENCH_SCHEMA,
+    DEFAULT_THRESHOLD,
+    WORKLOADS,
+    compare_bench,
+    load_bench,
+    run_bench,
+    run_workload,
+    write_bench,
+)
+
+
+@pytest.fixture
+def stub_workload(monkeypatch):
+    def fake(quick):
+        from repro.obs import runtime
+
+        runtime.tracer().instant(1.0, "test", "tick")
+        return len(runtime.tracer())
+
+    monkeypatch.setitem(WORKLOADS, "stub", fake)
+    return "stub"
+
+
+class TestRunWorkload:
+    def test_canonical_workloads_registered(self):
+        assert set(WORKLOADS) >= {"crawl", "detect", "sweep"}
+
+    def test_entry_shape(self, stub_workload):
+        entry = run_workload(stub_workload, quick=True)
+        assert set(entry) == {"wall_s", "events", "events_per_s", "peak_rss_kb"}
+        assert entry["events"] == 1
+        assert entry["wall_s"] >= 0
+        assert entry["peak_rss_kb"] > 0
+
+    def test_repeat_uses_fresh_tracer(self, stub_workload):
+        # Each repetition activates a new tracer, so the event count
+        # does not accumulate across repeats.
+        entry = run_workload(stub_workload, quick=True, repeat=3)
+        assert entry["events"] == 1
+
+
+class TestRunBench:
+    def test_document_shape(self, stub_workload):
+        doc = run_bench([stub_workload], quick=True)
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["quick"] is True
+        assert list(doc["workloads"]) == [stub_workload]
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            run_bench(["nope"])
+
+    def test_write_and_load_roundtrip(self, tmp_path, stub_workload):
+        path = str(tmp_path / "BENCH_recon.json")
+        doc = run_bench([stub_workload], quick=True)
+        write_bench(doc, path)
+        assert load_bench(path) == doc
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        write_bench({"schema": "repro-bench/0", "workloads": {}}, path)
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+
+def _doc(**walls):
+    return {
+        "schema": BENCH_SCHEMA,
+        "workloads": {
+            name: {"wall_s": wall, "events": 100, "events_per_s": 100.0, "peak_rss_kb": 1}
+            for name, wall in walls.items()
+        },
+    }
+
+
+class TestCompareBench:
+    def test_within_threshold_passes(self):
+        lines, regressions = compare_bench(_doc(crawl=1.1), _doc(crawl=1.0))
+        assert regressions == []
+        assert any("ok" in line for line in lines)
+
+    def test_regression_past_threshold_fails(self):
+        lines, regressions = compare_bench(
+            _doc(crawl=1.5), _doc(crawl=1.0), threshold=DEFAULT_THRESHOLD
+        )
+        assert regressions == ["crawl"]
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_improvement_never_fails(self):
+        _, regressions = compare_bench(_doc(crawl=0.2), _doc(crawl=1.0))
+        assert regressions == []
+
+    def test_threshold_is_configurable(self):
+        _, loose = compare_bench(_doc(crawl=1.4), _doc(crawl=1.0), threshold=0.5)
+        _, tight = compare_bench(_doc(crawl=1.4), _doc(crawl=1.0), threshold=0.1)
+        assert loose == [] and tight == ["crawl"]
+
+    def test_new_and_missing_workloads_reported_not_gated(self):
+        lines, regressions = compare_bench(_doc(new=1.0), _doc(old=1.0))
+        assert regressions == []
+        assert any("new workload" in line for line in lines)
+        assert any("missing from current" in line for line in lines)

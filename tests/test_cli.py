@@ -178,3 +178,161 @@ class TestTraceCommand:
     def test_missing_file_is_an_error(self, capsys, tmp_path):
         assert main(["trace", "summary", str(tmp_path / "nope.jsonl")]) == 2
         assert capsys.readouterr().err
+
+    def test_gzip_trace_read_transparently(self, tmp_path, capsys):
+        path = str(tmp_path / "run.trace.jsonl.gz")
+        assert main([
+            "crawl", "--hours", "1", "--sensors", "4", "--seed", "3",
+            "--trace", path,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summary", path]) == 0
+        assert "events" in capsys.readouterr().out
+
+
+class TestAnalyzeAndReport:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        path = str(tmp_path / "run.trace.jsonl")
+        assert main([
+            "crawl", "--hours", "1", "--sensors", "4", "--seed", "3",
+            "--trace", path,
+        ]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_analyze_renders_health(self, trace_file, capsys):
+        assert main(["trace", "analyze", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "distinct IPs" in out
+        assert "budget burn" in out
+        assert "network:" in out
+
+    def test_analyze_json_schema(self, trace_file, capsys):
+        import json
+
+        assert main(["trace", "analyze", trace_file, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-health/1"
+        assert doc["events"]["total"] > 0
+
+    def test_report_embeds_analyze_json_byte_for_byte(self, trace_file, capsys, tmp_path):
+        from repro.obs.analyze import extract_embedded_json
+
+        assert main(["trace", "analyze", trace_file, "--json"]) == 0
+        analyze_json = capsys.readouterr().out.rstrip("\n")
+        out_path = str(tmp_path / "report.html")
+        assert main(["report", trace_file, "-o", out_path]) == 0
+        capsys.readouterr()
+        with open(out_path, encoding="utf-8") as stream:
+            html = stream.read()
+        assert extract_embedded_json(html) == analyze_json
+
+    def test_report_default_output_name(self, trace_file, capsys):
+        import os
+
+        assert main(["report", trace_file]) == 0
+        out = capsys.readouterr().out
+        expected = trace_file[: -len(".jsonl")] + ".report.html"
+        assert expected in out
+        assert os.path.exists(expected)
+
+    def test_diff_identical_and_divergent(self, tmp_path, capsys):
+        paths = {}
+        for name, seed in (("a", "3"), ("b", "3"), ("c", "5")):
+            path = str(tmp_path / f"{name}.jsonl")
+            assert main([
+                "crawl", "--hours", "1", "--sensors", "4", "--seed", seed,
+                "--trace", path,
+            ]) == 0
+            capsys.readouterr()
+            paths[name] = path
+        assert main(["trace", "diff", paths["a"], paths["b"]]) == 0
+        assert "identical" in capsys.readouterr().out
+        assert main(["trace", "diff", paths["a"], paths["c"]]) == 1
+        out = capsys.readouterr().out
+        assert "first divergence" in out
+        assert "indicator deltas" in out
+
+    def test_diff_requires_two_files(self, capsys, tmp_path):
+        path = str(tmp_path / "only.jsonl")
+        open(path, "w").close()
+        assert main(["trace", "diff", path]) == 2
+        assert capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_list_workloads(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "crawl" in out and "detect" in out and "sweep" in out
+
+    def test_bad_threshold_rejected(self, capsys):
+        assert main(["bench", "--threshold", "-1"]) == 2
+        assert capsys.readouterr().err
+
+    def test_unknown_workload_rejected(self, capsys):
+        assert main(["bench", "--workloads", "meteor"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_quick_bench_writes_doc_and_compares(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        from repro.bench import WORKLOADS
+
+        def fake(quick):
+            return 10
+
+        monkeypatch.setitem(WORKLOADS, "stub", fake)
+        out_path = str(tmp_path / "BENCH_recon.json")
+        assert main([
+            "bench", "--quick", "--workloads", "stub", "-o", out_path,
+        ]) == 0
+        capsys.readouterr()
+        doc = json.load(open(out_path))
+        assert doc["schema"] == "repro-bench/1"
+        assert "stub" in doc["workloads"]
+        # Same doc as baseline: no regression possible, exit 0.
+        assert main([
+            "bench", "--quick", "--workloads", "stub",
+            "-o", str(tmp_path / "second.json"), "--baseline", out_path,
+            "--threshold", "1000",
+        ]) == 0
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        from repro.bench import WORKLOADS
+
+        import time
+
+        def slow_stub(quick):
+            time.sleep(0.02)
+            return 10
+
+        monkeypatch.setitem(WORKLOADS, "stub", slow_stub)
+        baseline = {
+            "schema": "repro-bench/1",
+            "workloads": {
+                "stub": {"wall_s": 0.001, "events": 10,
+                         "events_per_s": 1.0, "peak_rss_kb": 1},
+            },
+        }
+        base_path = str(tmp_path / "baseline.json")
+        with open(base_path, "w") as stream:
+            json.dump(baseline, stream)
+        assert main([
+            "bench", "--quick", "--workloads", "stub",
+            "-o", str(tmp_path / "out.json"), "--baseline", base_path,
+        ]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestSweepHealthFlag:
+    def test_sweep_health_prints_indicators(self, capsys):
+        assert main([
+            "sweep", "fig3-zeus", "--scale", "tiny", "--workers", "1", "--health",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sweep health" in out
+        assert "points captured metrics" in out
