@@ -24,7 +24,13 @@ import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 #: Bump when the BENCH_recon.json layout changes shape.
-BENCH_SCHEMA = "repro-bench/1"
+#: v2: workloads return extras (population memory line items) and the
+#: ``population`` workload (build + churn, no recon) joined the set.
+BENCH_SCHEMA = "repro-bench/2"
+#: Baselines this module can still *read* for comparison.  v1 lacks the
+#: per-workload memory line items but its core keys line up, so an old
+#: baseline stays usable as a regression reference until refreshed.
+_READABLE_SCHEMAS = frozenset({"repro-bench/1", BENCH_SCHEMA})
 
 #: Default regression gate: fail past +25% wall time vs baseline.
 DEFAULT_THRESHOLD = 0.25
@@ -40,14 +46,27 @@ def _peak_rss_kb() -> int:
     return int(peak)
 
 
+def _current_rss_kb() -> int:
+    """Instantaneous RSS in KiB; deltas around a build step measure the
+    population's resident footprint (the peak counter never goes down)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as stream:
+            rss_pages = int(stream.read().split()[1])
+        return rss_pages * (resource.getpagesize() // 1024)
+    except (OSError, ValueError, IndexError):  # non-Linux fallback
+        return _peak_rss_kb()
+
+
 # -- workloads -------------------------------------------------------------
 #
 # Each workload builds its scenario from fixed seeds, runs it under an
-# ambient tracer, and returns the trace-event count -- the denominator
-# for events/sec.  ``quick`` trims simulated hours, not the shape.
+# ambient tracer, and returns a dict with ``events`` (the denominator
+# for events/sec, trace events unless noted) plus extra line items such
+# as ``population_rss_kb`` (RSS delta around the population build).
+# ``quick`` trims simulated hours, not the shape.
 
 
-def _workload_crawl(quick: bool) -> int:
+def _workload_crawl(quick: bool) -> Dict[str, Any]:
     import random
 
     from repro.core.crawler import ZeusCrawler
@@ -60,11 +79,13 @@ def _workload_crawl(quick: bool) -> int:
     from repro.workloads.population import zeus_config
     from repro.workloads.scenarios import build_zeus_scenario
 
+    rss_before = _current_rss_kb()
     scenario = build_zeus_scenario(
         zeus_config("tiny", master_seed=_BENCH_SEED),
         sensor_count=8,
         announce_hours=1.0,
     )
+    population_rss_kb = max(0, _current_rss_kb() - rss_before)
     crawler = ZeusCrawler(
         name="bench-crawler",
         endpoint=Endpoint(parse_ip("99.0.0.1"), 7000),
@@ -76,10 +97,10 @@ def _workload_crawl(quick: bool) -> int:
     )
     crawler.start(scenario.net.bootstrap_sample(8, seed=_BENCH_SEED))
     scenario.run_for((1.0 if quick else 4.0) * HOUR)
-    return len(runtime.tracer())
+    return {"events": len(runtime.tracer()), "population_rss_kb": population_rss_kb}
 
 
-def _workload_detect(quick: bool) -> int:
+def _workload_detect(quick: bool) -> Dict[str, Any]:
     import random
 
     from repro.core.detection import DetectionConfig, SensorLogDataset
@@ -90,11 +111,13 @@ def _workload_detect(quick: bool) -> int:
     from repro.workloads.population import zeus_config
     from repro.workloads.scenarios import build_zeus_scenario, launch_zeus_fleet
 
+    rss_before = _current_rss_kb()
     scenario = build_zeus_scenario(
         zeus_config("tiny", master_seed=_BENCH_SEED),
         sensor_count=12,
         announce_hours=1.0,
     )
+    population_rss_kb = max(0, _current_rss_kb() - rss_before)
     launch_zeus_fleet(scenario, ZEUS_CRAWLERS[:4])
     scenario.run_for((2.0 if quick else 4.0) * HOUR)
     dataset = SensorLogDataset.from_zeus_sensors(
@@ -107,10 +130,10 @@ def _workload_detect(quick: bool) -> int:
         DetectionConfig(group_bits=2, threshold=0.10),
         random.Random(_BENCH_SEED),
     )
-    return len(runtime.tracer())
+    return {"events": len(runtime.tracer()), "population_rss_kb": population_rss_kb}
 
 
-def _workload_sweep(quick: bool) -> int:
+def _workload_sweep(quick: bool) -> Dict[str, Any]:
     from repro.obs import runtime
     from repro.runner import build_sweep, run_sweep
     from repro.runner.points import clear_capture_cache
@@ -128,12 +151,48 @@ def _workload_sweep(quick: bool) -> int:
     )
     clear_capture_cache()  # time the capture build, not a warm cache
     run_sweep(spec, workers=1, capture_metrics=True)
-    return len(runtime.tracer())
+    return {"events": len(runtime.tracer())}
 
 
-WORKLOADS: Dict[str, Callable[[bool], int]] = {
+def _workload_population(quick: bool) -> Dict[str, Any]:
+    """Build and churn a ``large`` Zeus population -- no recon.
+
+    Exercises exactly the layers the hot-path engine refactor targets
+    (scheduler batching, SoA population core, pooled transport) and
+    reports the population's resident footprint as a line item, so
+    memory regressions in the core gate the bench even when the traced
+    recon workloads stay fast.  ``events`` counts scheduler dispatches.
+    """
+    from repro.botnets.zeus.network import ZeusNetwork
+    from repro.net.churn import ChurnConfig
+    from repro.sim.clock import HOUR
+    from repro.workloads.population import zeus_config
+
+    config = zeus_config(
+        "large", master_seed=_BENCH_SEED, churn=ChurnConfig(), recycle_messages=True
+    )
+    rss_before = _current_rss_kb()
+    net = ZeusNetwork(config)
+    net.build()
+    population_rss_kb = max(0, _current_rss_kb() - rss_before)
+    net.start_all()
+    net.run_for((0.5 if quick else 2.0) * HOUR)
+    extras: Dict[str, Any] = {
+        "events": net.scheduler.stats().dispatched,
+        "population_rss_kb": population_rss_kb,
+        "churn_transitions": net.churn.transitions if net.churn is not None else 0,
+    }
+    if net.state is not None:
+        stats = net.state.stats()
+        extras["peer_slots_live"] = stats["peer_slots_live"]
+        extras["peer_slots_allocated"] = stats["peer_slots_allocated"]
+    return extras
+
+
+WORKLOADS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "crawl": _workload_crawl,
     "detect": _workload_detect,
+    "population": _workload_population,
     "sweep": _workload_sweep,
 }
 
@@ -142,29 +201,43 @@ WORKLOADS: Dict[str, Callable[[bool], int]] = {
 
 
 def run_workload(name: str, quick: bool = False, repeat: int = 1) -> Dict[str, Any]:
-    """Time one workload; best-of-``repeat`` wall time, traced event
-    count, and the process RSS high-water mark afterwards."""
+    """Time one workload; best-of-``repeat`` wall time, event count,
+    per-workload extras, and the process RSS high-water mark."""
     from repro.obs import runtime
     from repro.obs.tracer import Tracer
 
     fn = WORKLOADS[name]
     best_wall: Optional[float] = None
-    events = 0
-    for _ in range(max(1, repeat)):
+    result: Dict[str, Any] = {"events": 0}
+    for attempt in range(max(1, repeat)):
         tracer = Tracer()
         start = time.perf_counter()
         with runtime.activated(tracer=tracer):
-            events = fn(quick)
+            attempt_result = fn(quick)
         wall = time.perf_counter() - start
+        if attempt == 0:
+            result = attempt_result
+        else:
+            # Wall time is best-of; numeric extras (footprint gauges)
+            # take the max across repeats.  Warm repeats rebuild into
+            # memory the allocator already holds, so their RSS deltas
+            # read near zero -- the first, cold build is the honest one.
+            for key, value in attempt_result.items():
+                if isinstance(value, (int, float)) and key != "events":
+                    if value > result.get(key, 0):
+                        result[key] = value
         if best_wall is None or wall < best_wall:
             best_wall = wall
     wall_s = best_wall or 0.0
-    return {
+    events = result.pop("events")
+    entry = {
         "wall_s": round(wall_s, 4),
         "events": events,
         "events_per_s": round(events / wall_s, 1) if wall_s > 0 else 0.0,
         "peak_rss_kb": _peak_rss_kb(),
     }
+    entry.update(result)  # memory/occupancy line items
+    return entry
 
 
 def run_bench(
@@ -200,9 +273,10 @@ def load_bench(path: str) -> Dict[str, Any]:
     with open(path, "r", encoding="utf-8") as stream:
         doc = json.load(stream)
     schema = doc.get("schema")
-    if schema != BENCH_SCHEMA:
+    if schema not in _READABLE_SCHEMAS:
         raise ValueError(
-            f"{path}: schema {schema!r} is not {BENCH_SCHEMA!r}; regenerate the file"
+            f"{path}: schema {schema!r} is not one of {sorted(_READABLE_SCHEMAS)}; "
+            "regenerate the file"
         )
     return doc
 
@@ -247,6 +321,11 @@ def compare_bench(
     return lines, regressions
 
 
+#: Keys every workload entry carries; anything else is a per-workload
+#: extra line item (memory footprints, slab occupancy, churn counts).
+_CORE_KEYS = ("wall_s", "events", "events_per_s", "peak_rss_kb")
+
+
 def render_bench(doc: Dict[str, Any]) -> str:
     lines = [
         f"bench ({'quick' if doc.get('quick') else 'full'}, "
@@ -258,4 +337,10 @@ def render_bench(doc: Dict[str, Any]) -> str:
             f"{entry['events']} events ({entry['events_per_s']:.0f} ev/s), "
             f"peak RSS {entry['peak_rss_kb']} KiB"
         )
+        extras = {k: v for k, v in entry.items() if k not in _CORE_KEYS}
+        if extras:
+            lines.append(
+                "           "
+                + ", ".join(f"{key}={value}" for key, value in sorted(extras.items()))
+            )
     return "\n".join(lines)

@@ -17,9 +17,8 @@ the other three as composable attack components:
 from __future__ import annotations
 
 import random
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.net.address import Subnet, format_ip
 from repro.net.transport import Endpoint
@@ -66,30 +65,54 @@ class AutoBlacklister:
     crawlers trip it (Section 3.2).
     """
 
+    #: Sweep stale source IPs once the tracking dict reaches this size
+    #: (then 2x the surviving size).  Small because the tracker is
+    #: per-bot: thousands of instances, each seeing tens of sources.
+    SWEEP_MIN = 64
+
     def __init__(self, window: float = 60.0, max_requests: int = 6) -> None:
         if window <= 0 or max_requests < 1:
             raise ValueError("window and max_requests must be positive")
         self.window = window
         self.max_requests = max_requests
         self.blocked: Set[int] = set()
-        self._recent: Dict[int, Deque[float]] = {}
+        # Request times are short lists (at most max_requests + 1 after
+        # the in-window prune), not deques: an idle deque alone costs
+        # ~0.6 KB and these dicts exist once per bot.
+        self._recent: Dict[int, List[float]] = {}
+        self._sweep_at = self.SWEEP_MIN
 
     def record(self, ip: int, now: float) -> bool:
         """Record a request from ``ip``; returns True if ``ip`` is
         (now or already) blocked."""
         if ip in self.blocked:
             return True
-        times = self._recent.get(ip)
-        if times is None:
-            times = deque()
-            self._recent[ip] = times
-        times.append(now)
+        recent = self._recent
+        times = recent.get(ip)
         cutoff = now - self.window
-        while times and times[0] < cutoff:
-            times.popleft()
+        if times is None:
+            times = [now]
+            recent[ip] = times
+            if len(recent) >= self._sweep_at:
+                # Reclaim IPs whose whole history has aged out of the
+                # window; their next request recreates them, so the
+                # sweep cannot change any blocking decision.
+                stale = [key for key, hist in recent.items() if hist[-1] < cutoff]
+                for key in stale:
+                    del recent[key]
+                self._sweep_at = max(self.SWEEP_MIN, 2 * len(recent))
+        else:
+            times.append(now)
+            drop = 0
+            for t in times:
+                if t >= cutoff:
+                    break
+                drop += 1
+            if drop:
+                del times[:drop]
         if len(times) > self.max_requests:
             self.blocked.add(ip)
-            del self._recent[ip]
+            del recent[ip]
             return True
         return False
 

@@ -19,7 +19,7 @@ from repro.net.transport import Endpoint, Message, Transport
 from repro.sim.scheduler import Scheduler, Timer
 
 
-@dataclass
+@dataclass(slots=True)
 class PeerEntry:
     """One peer-list entry: protocol identity plus network address."""
 
@@ -47,6 +47,11 @@ class PeerList:
         self.capacity = capacity
         self.ip_filter_prefix = ip_filter_prefix
         self._entries: Dict[bytes, PeerEntry] = {}
+        # Subnet-occupancy index for O(1) filter checks.  add() keeps
+        # at most one entry per subnet, so a plain dict suffices.
+        self._subnets: Optional[Dict[int, PeerEntry]] = (
+            {} if ip_filter_prefix is not None else None
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -69,16 +74,52 @@ class PeerList:
     def ips(self) -> Set[int]:
         return {entry.endpoint.ip for entry in self._entries.values()}
 
+    def maintenance_view(self) -> List[Tuple[bytes, Endpoint, int]]:
+        """(bot_id, endpoint, failures) tuples sorted by last_seen.
+
+        The shape bot maintenance cycles consume: a stable sort over
+        insertion order, snapshotted as plain tuples so the slab
+        backend can produce the identical view without materializing
+        entry objects.
+        """
+        ordered = sorted(self._entries.values(), key=lambda e: e.last_seen)
+        return [(e.bot_id, e.endpoint, e.failures) for e in ordered]
+
+    def closest(self, lookup_key: bytes, exclude_id: bytes, limit: int) -> List[Tuple[bytes, Endpoint]]:
+        """The ``limit`` (bot_id, endpoint) pairs XOR-closest to
+        ``lookup_key``, excluding ``exclude_id`` (the requester).
+
+        Selection semantics are exactly
+        :func:`repro.botnets.zeus.protocol.select_closest` over this
+        list's entries; the slab backend overrides this with a
+        column-level implementation."""
+        key_int = int.from_bytes(lookup_key, "big")
+        from_bytes = int.from_bytes
+        pairs = [
+            (entry.bot_id, entry.endpoint)
+            for entry in self._entries.values()
+            if entry.bot_id != exclude_id
+        ]
+        pairs.sort(key=lambda item: key_int ^ from_bytes(item[0], "big"))
+        return pairs[:limit]
+
     def _subnet_conflict(self, candidate: PeerEntry) -> Optional[PeerEntry]:
-        if self.ip_filter_prefix is None:
+        if self._subnets is None:
             return None
-        key = subnet_key(candidate.endpoint.ip, self.ip_filter_prefix)
-        for entry in self._entries.values():
-            if entry.bot_id == candidate.bot_id:
-                continue
-            if subnet_key(entry.endpoint.ip, self.ip_filter_prefix) == key:
-                return entry
-        return None
+        occupant = self._subnets.get(
+            subnet_key(candidate.endpoint.ip, self.ip_filter_prefix)
+        )
+        if occupant is None or occupant.bot_id == candidate.bot_id:
+            return None
+        return occupant
+
+    def _index_add(self, entry: PeerEntry) -> None:
+        if self._subnets is not None:
+            self._subnets[subnet_key(entry.endpoint.ip, self.ip_filter_prefix)] = entry
+
+    def _index_drop(self, entry: PeerEntry) -> None:
+        if self._subnets is not None:
+            self._subnets.pop(subnet_key(entry.endpoint.ip, self.ip_filter_prefix), None)
 
     def add(self, entry: PeerEntry) -> bool:
         """Insert or refresh ``entry``.
@@ -94,10 +135,15 @@ class PeerList:
             # An address update must still respect the subnet filter:
             # moving into an occupied subnet is rejected (the entry
             # stays alive at its old address).
-            if existing.endpoint != entry.endpoint and self._subnet_conflict(entry) is not None:
-                existing.last_seen = max(existing.last_seen, entry.last_seen)
-                return True
-            existing.endpoint = entry.endpoint
+            if existing.endpoint != entry.endpoint:
+                if self._subnet_conflict(entry) is not None:
+                    existing.last_seen = max(existing.last_seen, entry.last_seen)
+                    return True
+                self._index_drop(existing)
+                existing.endpoint = entry.endpoint
+                self._index_add(existing)
+            else:
+                existing.endpoint = entry.endpoint
             existing.last_seen = max(existing.last_seen, entry.last_seen)
             return True
         if self._subnet_conflict(entry) is not None:
@@ -107,11 +153,17 @@ class PeerList:
             if stalest.last_seen >= entry.last_seen:
                 return False
             del self._entries[stalest.bot_id]
+            self._index_drop(stalest)
         self._entries[entry.bot_id] = entry
+        self._index_add(entry)
         return True
 
     def remove(self, bot_id: bytes) -> bool:
-        return self._entries.pop(bot_id, None) is not None
+        entry = self._entries.pop(bot_id, None)
+        if entry is None:
+            return False
+        self._index_drop(entry)
+        return True
 
     def touch(self, bot_id: bytes, now: float) -> None:
         """Mark a peer responsive: refresh last_seen, clear failures."""
@@ -133,11 +185,12 @@ class PeerList:
         entry.failures += 1
         if entry.failures >= evict_after:
             del self._entries[bot_id]
+            self._index_drop(entry)
             return True
         return False
 
 
-@dataclass
+@dataclass(slots=True)
 class BotCounters:
     """Per-bot traffic counters used by tests and coverage metrics."""
 
@@ -154,7 +207,29 @@ class BotNode:
     :meth:`run_cycle` (the periodic active behaviour between suspend
     periods).  The base class owns binding, the cycle timer, and
     counters.
+
+    Hot classes are slotted; subclasses that need ad-hoc attributes
+    (sensors, crawlers, test spies) simply omit ``__slots__`` and get a
+    normal instance dict on top.
     """
+
+    __slots__ = (
+        "node_id",
+        "bot_id",
+        "endpoint",
+        "transport",
+        "scheduler",
+        "rng",
+        "routable",
+        "cycle_interval",
+        "cycle_jitter",
+        "counters",
+        "gossip_suppressed",
+        "_cycle_timer",
+        "_online",
+        "_state",
+        "_index",
+    )
 
     def __init__(
         self,
@@ -178,12 +253,34 @@ class BotNode:
         self.cycle_interval = cycle_interval
         self.cycle_jitter = cycle_jitter
         self.counters = BotCounters()
-        self.online = False
+        self._online = False
+        self._state = None  # PopulationState, when adopted (SoA backend)
+        self._index = -1
         # Gossip suppression (the "mute" node fault): the node stays
         # bound and keeps answering, but its periodic active behaviour
         # is skipped -- a leader that silently stops participating.
         self.gossip_suppressed = False
         self._cycle_timer: Optional[Timer] = None
+
+    # -- population state -------------------------------------------------
+
+    @property
+    def online(self) -> bool:
+        return self._online
+
+    @online.setter
+    def online(self, value: bool) -> None:
+        self._online = value
+        state = self._state
+        if state is not None:
+            state.online[self._index] = 1 if value else 0
+
+    def attach_state(self, state, index: int) -> None:
+        """Bind this bot to a :class:`~repro.botnets.state.PopulationState`
+        slot; the state's online column mirrors this bot from then on."""
+        self._state = state
+        self._index = index
+        state.online[index] = 1 if self._online else 0
 
     # -- lifecycle -------------------------------------------------------
 
@@ -197,7 +294,7 @@ class BotNode:
             # Stagger initial cycles uniformly so the population does
             # not fire in lock-step.
             first_cycle_delay = self.rng.uniform(0, self.cycle_interval)
-        self._cycle_timer = self.scheduler.call_later(first_cycle_delay, self._cycle)
+        self._cycle_timer = self.scheduler.call_every(first_cycle_delay, self._cycle)
 
     def stop(self) -> None:
         if not self.online:
@@ -229,16 +326,20 @@ class BotNode:
 
     # -- periodic behaviour -------------------------------------------------
 
-    def _cycle(self) -> None:
+    def _cycle(self) -> Optional[float]:
+        """One repeating-timer occurrence; returns the next delay.
+
+        Scheduled via :meth:`Scheduler.call_every`, so one Timer handle
+        covers the bot's whole lifetime instead of a fresh closure per
+        cycle.  Going offline ends the cycle by returning None.
+        """
         if not self.online:
-            return
+            return None
         if not self.gossip_suppressed:
             self.counters.cycles += 1
             self.run_cycle()
         jitter = self.rng.uniform(1 - self.cycle_jitter, 1 + self.cycle_jitter)
-        self._cycle_timer = self.scheduler.call_later(
-            self.cycle_interval * jitter, self._cycle
-        )
+        return self.cycle_interval * jitter
 
     def run_cycle(self) -> None:
         raise NotImplementedError

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.botnets.base import BotNode
 from repro.botnets.graph import ConnectivityGraph
+from repro.botnets.state import PopulationState
 from repro.faults.injector import FaultyTransport
 from repro.faults.plan import FaultPlan
 from repro.net.address import AddressPool, Subnet, subnet_key
@@ -60,6 +61,14 @@ class PopulationConfig:
     # Scheduled transport faults (chaos experiments).  None/empty keeps
     # the plain Transport so healthy runs replay byte-for-byte.
     fault_plan: Optional[FaultPlan] = None
+    # Peer/online storage backend: "soa" keeps hot per-peer scalars in
+    # the shared struct-of-arrays slab (repro.botnets.state); "objects"
+    # keeps one PeerEntry object per peer.  Both behave identically.
+    state_backend: str = "soa"
+    # Reuse delivered Message objects through the transport free list.
+    # Safe for builder-owned populations (no sim handler retains the
+    # Message); handlers bound externally must snapshot what they keep.
+    recycle_messages: bool = True
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -70,6 +79,8 @@ class PopulationConfig:
             raise ValueError("max_bots_per_gateway must be >= 1")
         if not 0.0 <= self.subnet_hotspot_fraction <= 1.0:
             raise ValueError("subnet_hotspot_fraction must be in [0, 1]")
+        if self.state_backend not in ("soa", "objects"):
+            raise ValueError(f"unknown state_backend: {self.state_backend!r}")
 
 
 class PopulationBuilder:
@@ -88,11 +99,18 @@ class PopulationBuilder:
                 plan=config.fault_plan,
                 fault_rng=self.rngs.stream("faults"),
                 config=config.transport,
+                recycle_messages=config.recycle_messages,
             )
         else:
             self.transport = Transport(
-                self.scheduler, self.rngs.stream("transport"), config=config.transport
+                self.scheduler,
+                self.rngs.stream("transport"),
+                config=config.transport,
+                recycle_messages=config.recycle_messages,
             )
+        self.state: Optional[PopulationState] = (
+            PopulationState() if config.state_backend == "soa" else None
+        )
         net_rng = self.rngs.stream("addresses")
         self.routable_pool = AddressPool(
             [Subnet.parse(block) for block in config.routable_blocks], net_rng
@@ -185,6 +203,8 @@ class PopulationBuilder:
             else:
                 endpoint = self.allocate_nat_endpoint()
             bot = self.make_bot(node_id, endpoint, routable, bot_rng)
+            if self.state is not None:
+                self.state.adopt(bot)
             self.bots[node_id] = bot
             self.bots_by_bot_id[bot.bot_id] = bot
         self.bootstrap()

@@ -56,7 +56,7 @@ class SalityConfig:
             raise ValueError("urlpack_probability must be in [0, 1]")
 
 
-@dataclass
+@dataclass(slots=True)
 class _Pending:
     peer_key: bytes
     command: int
@@ -70,6 +70,18 @@ def _id_key(bot_id: int) -> bytes:
 
 class SalityBot(BotNode):
     """One emulated Sality v3 bot."""
+
+    __slots__ = (
+        "config",
+        "int_id",
+        "peer_list",
+        "_pending",
+        "_plr_history",
+        "undecodable",
+        "urlpack_sequence",
+        "urlpack_blob",
+        "_dispatch",
+    )
 
     def __init__(
         self,
@@ -103,7 +115,16 @@ class SalityBot(BotNode):
         self._plr_history: List[Tuple[float, int]] = []
         self.undecodable = 0
         self.urlpack_sequence = 1
-        self.urlpack_blob = bytes(self.rng.getrandbits(8) for _ in range(32))
+        self.urlpack_blob = bytes([self.rng.getrandbits(8) for _ in range(32)])
+        # Inbound dispatch keyed by raw wire byte; built once per bot so
+        # handle_message avoids a dict literal + enum call per message.
+        self._dispatch = {
+            int(Command.HELLO): self._on_hello,
+            int(Command.PEER_REQUEST): self._on_peer_request,
+            int(Command.PEER_RESPONSE): self._on_peer_response,
+            int(Command.URLPACK_REQUEST): self._on_urlpack_request,
+            int(Command.URLPACK_RESPONSE): self._on_urlpack_response,
+        }
 
     # -- bootstrap / detection hooks ----------------------------------------
 
@@ -222,13 +243,7 @@ class SalityBot(BotNode):
         except SalityDecodeError:
             self.undecodable += 1
             return
-        handler = {
-            Command.HELLO: self._on_hello,
-            Command.PEER_REQUEST: self._on_peer_request,
-            Command.PEER_RESPONSE: self._on_peer_response,
-            Command.URLPACK_REQUEST: self._on_urlpack_request,
-            Command.URLPACK_RESPONSE: self._on_urlpack_response,
-        }.get(Command(decoded.command))
+        handler = self._dispatch.get(decoded.command)
         if handler is not None:
             handler(decoded, message.src)
 

@@ -59,7 +59,7 @@ class SalityDecodeError(ValueError):
     """Bytes do not form a rational Sality packet."""
 
 
-@dataclass
+@dataclass(slots=True)
 class SalityMessage:
     """A decoded (plaintext) Sality packet."""
 
@@ -97,7 +97,8 @@ def make_message(
         nonce=nonce if nonce is not None else rng.getrandbits(32),
         payload=payload,
         minor_version=minor_version,
-        padding=bytes(rng.getrandbits(8) for _ in range(pad_len)),
+        # Per-byte draws are load-bearing for replay compatibility.
+        padding=bytes([rng.getrandbits(8) for _ in range(pad_len)]),
     )
 
 

@@ -70,7 +70,7 @@ class ZeusConfig:
             raise ValueError("peers_per_response must be >= 1")
 
 
-@dataclass
+@dataclass(slots=True)
 class _Pending:
     peer_id: bytes
     msg_type: int
@@ -79,6 +79,21 @@ class _Pending:
 
 class ZeusBot(BotNode):
     """One emulated GameOver Zeus bot."""
+
+    __slots__ = (
+        "config",
+        "peer_list",
+        "proxy_list",
+        "static_blacklist",
+        "auto_blacklister",
+        "disinformation",
+        "_pending",
+        "_plr_history",
+        "undecryptable",
+        "blacklist_drops",
+        "config_blob",
+        "_dispatch",
+    )
 
     def __init__(
         self,
@@ -120,7 +135,19 @@ class ZeusBot(BotNode):
         self._plr_history: List[Tuple[float, int]] = []
         self.undecryptable = 0
         self.blacklist_drops = 0
-        self.config_blob = bytes(self.rng.getrandbits(8) for _ in range(64))
+        self.config_blob = bytes([self.rng.getrandbits(8) for _ in range(64)])
+        # Inbound dispatch keyed by raw wire byte; built once per bot so
+        # handle_message avoids a dict literal + enum call per message.
+        self._dispatch = {
+            int(MessageType.VERSION_REQUEST): self._on_version_request,
+            int(MessageType.VERSION_REPLY): self._on_version_reply,
+            int(MessageType.PEER_LIST_REQUEST): self._on_peer_list_request,
+            int(MessageType.PEER_LIST_REPLY): self._on_peer_list_reply,
+            int(MessageType.PROXY_REQUEST): self._on_proxy_request,
+            int(MessageType.DATA_REQUEST): self._on_data_request,
+            int(MessageType.DATA_REPLY): self._on_data_reply,
+            int(MessageType.PROXY_REPLY): self._on_proxy_reply,
+        }
 
     # -- bootstrap ---------------------------------------------------------
 
@@ -146,18 +173,19 @@ class ZeusBot(BotNode):
     def run_cycle(self) -> None:
         now = self.scheduler.now
         self._expire_pending(now)
-        entries = self.peer_list.entries()
-        entries.sort(key=lambda e: e.last_seen)
-        for entry in entries[: self.config.verify_per_cycle]:
-            self._send_request(entry, MessageType.VERSION_REQUEST, b"")
+        # (bot_id, endpoint, failures) tuples sorted by last_seen; the
+        # slab backend builds this straight from its columns.
+        view = self.peer_list.maintenance_view()
+        for peer_id, endpoint, _ in view[: self.config.verify_per_cycle]:
+            self._send_request(peer_id, endpoint, MessageType.VERSION_REQUEST, b"")
         plr_budget = self.config.maintenance_plr_per_cycle
         if len(self.peer_list) < self.config.needed_peers:
             plr_budget += self.config.plr_per_cycle
-        candidates = [e for e in entries if e.failures == 0] or entries
+        candidates = [item for item in view if item[2] == 0] or view
         count = min(plr_budget, len(candidates))
-        for entry in self.rng.sample(candidates, count):
+        for peer_id, endpoint, _ in self.rng.sample(candidates, count):
             # Normal semantics: lookup key is the remote peer's ID.
-            self._send_request(entry, MessageType.PEER_LIST_REQUEST, entry.bot_id)
+            self._send_request(peer_id, endpoint, MessageType.PEER_LIST_REQUEST, peer_id)
 
     def _expire_pending(self, now: float) -> None:
         expired = [
@@ -169,14 +197,14 @@ class ZeusBot(BotNode):
             pending = self._pending.pop(sid)
             self.peer_list.record_failure(pending.peer_id, self.config.evict_after_failures)
 
-    def _send_request(self, entry: PeerEntry, msg_type: int, payload: bytes) -> None:
+    def _send_request(self, peer_id: bytes, endpoint: Endpoint, msg_type: int, payload: bytes) -> None:
         message = protocol.make_message(
             msg_type=msg_type, source_id=self.bot_id, rng=self.rng, payload=payload
         )
         self._pending[message.session_id] = _Pending(
-            peer_id=entry.bot_id, msg_type=msg_type, sent_at=self.scheduler.now
+            peer_id=peer_id, msg_type=msg_type, sent_at=self.scheduler.now
         )
-        self.send(entry.endpoint, protocol.encrypt_message(message, entry.bot_id))
+        self.send(endpoint, protocol.encrypt_message(message, peer_id))
 
     # -- inbound ---------------------------------------------------------------
 
@@ -192,16 +220,7 @@ class ZeusBot(BotNode):
         if self.auto_blacklister.is_blocked(message.src.ip):
             self.blacklist_drops += 1
             return
-        handler = {
-            MessageType.VERSION_REQUEST: self._on_version_request,
-            MessageType.VERSION_REPLY: self._on_version_reply,
-            MessageType.PEER_LIST_REQUEST: self._on_peer_list_request,
-            MessageType.PEER_LIST_REPLY: self._on_peer_list_reply,
-            MessageType.PROXY_REQUEST: self._on_proxy_request,
-            MessageType.DATA_REQUEST: self._on_data_request,
-            MessageType.DATA_REPLY: self._on_data_reply,
-            MessageType.PROXY_REPLY: self._on_proxy_reply,
-        }.get(MessageType(decoded.msg_type))
+        handler = self._dispatch.get(decoded.msg_type)
         if handler is not None:
             handler(decoded, message.src)
 
@@ -231,14 +250,10 @@ class ZeusBot(BotNode):
         self._plr_history.append((now, src.ip))
         # Push mechanism: the requester advertises itself.
         self.peer_list.add(PeerEntry(bot_id=request.source_id, endpoint=src, last_seen=now))
-        lookup_key = request.payload
-        candidates = [
-            (entry.bot_id, entry.endpoint)
-            for entry in self.peer_list
-            if entry.bot_id != request.source_id
-        ]
-        selected = protocol.select_closest(
-            lookup_key, candidates, limit=self.config.peers_per_response
+        # XOR-nearest selection, delegated to the peer list so the slab
+        # backend can rank on its precomputed id integers.
+        selected = self.peer_list.closest(
+            request.payload, request.source_id, self.config.peers_per_response
         )
         if self.disinformation is not None:
             selected = self.disinformation.pollute(selected)

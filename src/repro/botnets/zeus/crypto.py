@@ -26,8 +26,8 @@ KEY_LEN = 20
 MAX_MESSAGE_LEN = 4096
 
 
-def rc4_keystream(key: bytes, length: int) -> bytes:
-    """Generate ``length`` bytes of RC4 keystream for ``key``."""
+def _rc4_init(key: bytes):
+    """RC4 key schedule: returns the (state, i, j) PRGA start state."""
     if not key:
         raise ValueError("empty RC4 key")
     state = list(range(256))
@@ -36,46 +36,94 @@ def rc4_keystream(key: bytes, length: int) -> bytes:
     for i in range(256):
         j = (j + state[i] + key[i % key_len]) & 0xFF
         state[i], state[j] = state[j], state[i]
+    return state, 0, 0
+
+
+def _rc4_prga(state, i: int, j: int, length: int):
+    """Emit ``length`` keystream bytes, mutating ``state`` in place.
+
+    Returns (bytes, i, j) so the stream can be resumed later: RC4 is a
+    stream cipher, so a prefix plus a continuation equals one long run.
+    """
     out = bytearray(length)
-    i = j = 0
     for n in range(length):
         i = (i + 1) & 0xFF
         j = (j + state[i]) & 0xFF
         state[i], state[j] = state[j], state[i]
         out[n] = state[(state[i] + state[j]) & 0xFF]
-    return bytes(out)
+    return bytes(out), i, j
+
+
+def rc4_keystream(key: bytes, length: int) -> bytes:
+    """Generate ``length`` bytes of RC4 keystream for ``key``."""
+    state, i, j = _rc4_init(key)
+    out, _, _ = _rc4_prga(state, i, j, length)
+    return out
 
 
 class KeystreamCache:
-    """Cache of RC4 keystreams keyed by recipient ID.
+    """Cache of lazily-grown RC4 keystreams keyed by recipient ID.
 
     One shared instance per simulation keeps total KSA work at
-    O(#distinct recipients) instead of O(#messages).
+    O(#distinct recipients) instead of O(#messages).  Keystreams start
+    at ``INITIAL_LEN`` bytes and double (resuming the saved PRGA state)
+    only when a longer message appears, so families that derive a fresh
+    key per exchange (Sality's per-nonce keys) never pay for the
+    MAX_MESSAGE_LEN worst case on their short packets.
     """
+
+    #: First chunk of keystream computed per key; covers every Sality
+    #: packet and most Zeus messages outright.
+    INITIAL_LEN = 128
 
     def __init__(self, max_entries: int = 100_000) -> None:
         self.max_entries = max_entries
-        self._cache: Dict[bytes, int] = {}
+        # key -> [keystream_int, length, prga_state, i, j]
+        self._cache: Dict[bytes, list] = {}
+
+    def _entry(self, key: bytes, need: int) -> list:
+        entry = self._cache.get(key)
+        if entry is None:
+            if len(self._cache) >= self.max_entries:
+                self._cache.clear()
+            state, i, j = _rc4_init(key)
+            length = self.INITIAL_LEN
+            while length < need:
+                length <<= 1
+            if length > MAX_MESSAGE_LEN:
+                length = MAX_MESSAGE_LEN
+            chunk, i, j = _rc4_prga(state, i, j, length)
+            entry = [int.from_bytes(chunk, "big"), length, state, i, j]
+            self._cache[key] = entry
+        elif entry[1] < need:
+            length = entry[1]
+            target = length
+            while target < need:
+                target <<= 1
+            if target > MAX_MESSAGE_LEN:
+                target = MAX_MESSAGE_LEN
+            extra, i, j = _rc4_prga(entry[2], entry[3], entry[4], target - length)
+            entry[0] = (entry[0] << (8 * (target - length))) | int.from_bytes(extra, "big")
+            entry[1] = target
+            entry[3] = i
+            entry[4] = j
+        return entry
 
     def keystream_int(self, key: bytes) -> int:
         """Keystream as a big int (big-endian, MAX_MESSAGE_LEN bytes)."""
-        ks = self._cache.get(key)
-        if ks is None:
-            if len(self._cache) >= self.max_entries:
-                self._cache.clear()
-            ks = int.from_bytes(rc4_keystream(key, MAX_MESSAGE_LEN), "big")
-            self._cache[key] = ks
-        return ks
+        return self._entry(key, MAX_MESSAGE_LEN)[0]
 
     def xor(self, key: bytes, data: bytes) -> bytes:
         """XOR ``data`` with the key's keystream (its own inverse)."""
-        if len(data) > MAX_MESSAGE_LEN:
-            raise ValueError(f"message too long: {len(data)} > {MAX_MESSAGE_LEN}")
+        size = len(data)
+        if size > MAX_MESSAGE_LEN:
+            raise ValueError(f"message too long: {size} > {MAX_MESSAGE_LEN}")
         if not data:
             return data
-        ks = self.keystream_int(key) >> (8 * (MAX_MESSAGE_LEN - len(data)))
+        entry = self._entry(key, size)
+        ks = entry[0] >> (8 * (entry[1] - size))
         value = int.from_bytes(data, "big") ^ ks
-        return value.to_bytes(len(data), "big")
+        return value.to_bytes(size, "big")
 
 
 _shared_cache = KeystreamCache()
@@ -103,10 +151,23 @@ def visual_decode(data: bytes) -> bytes:
 
 
 def zeus_encrypt(recipient_id: bytes, plaintext: bytes, cache: KeystreamCache = _shared_cache) -> bytes:
-    """Encrypt ``plaintext`` for the bot identified by ``recipient_id``."""
+    """Encrypt ``plaintext`` for the bot identified by ``recipient_id``.
+
+    Fused form of ``cache.xor(recipient_id, visual_encode(plaintext))``:
+    both layers run on one big int, skipping the intermediate bytes
+    round-trip on the per-message hot path.
+    """
     if len(recipient_id) != KEY_LEN:
         raise ValueError(f"recipient id must be {KEY_LEN} bytes")
-    return cache.xor(recipient_id, visual_encode(plaintext))
+    size = len(plaintext)
+    if size > MAX_MESSAGE_LEN:
+        raise ValueError(f"message too long: {size} > {MAX_MESSAGE_LEN}")
+    if size < 2:
+        return cache.xor(recipient_id, plaintext)
+    entry = cache._entry(recipient_id, size)
+    ks = entry[0] >> (8 * (entry[1] - size))
+    value = int.from_bytes(plaintext, "big")
+    return ((value ^ (value >> 8)) ^ ks).to_bytes(size, "big")
 
 
 def zeus_decrypt(own_id: bytes, ciphertext: bytes, cache: KeystreamCache = _shared_cache) -> bytes:
@@ -119,4 +180,18 @@ def zeus_decrypt(own_id: bytes, ciphertext: bytes, cache: KeystreamCache = _shar
     """
     if len(own_id) != KEY_LEN:
         raise ValueError(f"own id must be {KEY_LEN} bytes")
-    return visual_decode(cache.xor(own_id, ciphertext))
+    size = len(ciphertext)
+    if size > MAX_MESSAGE_LEN:
+        raise ValueError(f"message too long: {size} > {MAX_MESSAGE_LEN}")
+    if size < 2:
+        return cache.xor(own_id, ciphertext)
+    # Fused cache.xor + visual_decode: one big int carries both layers.
+    entry = cache._entry(own_id, size)
+    ks = entry[0] >> (8 * (entry[1] - size))
+    value = int.from_bytes(ciphertext, "big") ^ ks
+    bits = size * 8
+    shift = 8
+    while shift < bits:
+        value ^= value >> shift
+        shift <<= 1
+    return value.to_bytes(size, "big")

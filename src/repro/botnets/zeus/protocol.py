@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.botnets.zeus import crypto
 from repro.net.transport import Endpoint
@@ -58,7 +58,7 @@ class ZeusDecodeError(ValueError):
     """
 
 
-@dataclass
+@dataclass(slots=True)
 class ZeusMessage:
     """A decoded (plaintext) Zeus message."""
 
@@ -107,7 +107,10 @@ def make_message(
         payload=payload,
         random_byte=rng.randrange(256),
         ttl=rng.randrange(256),
-        padding=bytes(rng.getrandbits(8) for _ in range(lop)),
+        # List comprehension, not a genexpr: bytes() can preallocate
+        # from a list.  The per-byte draw sequence is load-bearing for
+        # replay compatibility; do not switch to randbytes().
+        padding=bytes([rng.getrandbits(8) for _ in range(lop)]),
     )
 
 
@@ -197,6 +200,16 @@ def encode_peer_entries(entries: List[Tuple[bytes, Endpoint]]) -> bytes:
     return b"".join(parts)
 
 
+#: Intern table for decoded endpoints.  The same few thousand peers
+#: are re-decoded from every peer-list reply; reusing one Endpoint per
+#: (ip, port) skips dataclass construction/validation on the hot path
+#: and shares the cached ``str()`` form.  Endpoints compare by value,
+#: so interning is observationally identical.  Bounded like the
+#: keystream cache: cleared wholesale if churn ever floods it.
+_ENDPOINT_INTERN_MAX = 1 << 17
+_endpoint_intern: Dict[Tuple[int, int], Endpoint] = {}
+
+
 def decode_peer_entries(payload: bytes) -> List[Tuple[bytes, Endpoint]]:
     """Parse a PEER_LIST_REPLY / PROXY_REPLY payload."""
     if not payload:
@@ -207,13 +220,22 @@ def decode_peer_entries(payload: bytes) -> List[Tuple[bytes, Endpoint]]:
         raise ZeusDecodeError("peer entries length mismatch")
     entries = []
     offset = 1
+    intern = _endpoint_intern
+    from_bytes = int.from_bytes
     for _ in range(count):
         bot_id = payload[offset : offset + ID_LEN]
-        ip = int.from_bytes(payload[offset + ID_LEN : offset + ID_LEN + 4], "big")
-        port = int.from_bytes(payload[offset + ID_LEN + 4 : offset + ID_LEN + 6], "big")
+        ip = from_bytes(payload[offset + ID_LEN : offset + ID_LEN + 4], "big")
+        port = from_bytes(payload[offset + ID_LEN + 4 : offset + ID_LEN + 6], "big")
         if port == 0:
             raise ZeusDecodeError("zero port in peer entry")
-        entries.append((bot_id, Endpoint(ip, port)))
+        key = (ip, port)
+        endpoint = intern.get(key)
+        if endpoint is None:
+            if len(intern) >= _ENDPOINT_INTERN_MAX:
+                intern.clear()
+            endpoint = Endpoint(ip, port)
+            intern[key] = endpoint
+        entries.append((bot_id, endpoint))
         offset += PEER_ENTRY_LEN
     return entries
 
@@ -265,7 +287,11 @@ def select_closest(
     "clustering" deterrence measure (Table 1).  Crawlers that randomize
     the key to widen coverage produce the "abnormal lookup" defect.
     """
-    return sorted(candidates, key=lambda item: xor_distance(lookup_key, item[0]))[:limit]
+    key_int = int.from_bytes(lookup_key, "big")
+    from_bytes = int.from_bytes
+    return sorted(
+        candidates, key=lambda item: key_int ^ from_bytes(item[0], "big")
+    )[:limit]
 
 
 # -- encryption shims ----------------------------------------------------------

@@ -181,7 +181,7 @@ class ZeusSensor(ZeusBot):
         for entry in self.rng.sample(entries, fanout):
             # A peer-list request is the announcement: the receiving
             # bot learns us through the push mechanism.
-            self._send_request(entry, MessageType.PEER_LIST_REQUEST, entry.bot_id)
+            self._send_request(entry.bot_id, entry.endpoint, MessageType.PEER_LIST_REQUEST, entry.bot_id)
 
     # -- logging + dispatch ----------------------------------------------------
 
@@ -212,7 +212,9 @@ class ZeusSensor(ZeusBot):
                         self.scheduler.now, "sensor", "probe.issued",
                         sensor=self.node_id, target=observed.source_id.hex(),
                     )
-                self._send_request(current, MessageType.PEER_LIST_REQUEST, observed.source_id)
+                self._send_request(
+                    current.bot_id, current.endpoint, MessageType.PEER_LIST_REQUEST, observed.source_id
+                )
         super().handle_message(message)
 
     def _observe(self, message: Message) -> ObservedZeusMessage:
@@ -292,7 +294,7 @@ class ZeusSensor(ZeusBot):
                 self.scheduler.now, "sensor", "probe.issued",
                 sensor=self.node_id, target=peer_id.hex(), retry=True,
             )
-        self._send_request(entry, MessageType.PEER_LIST_REQUEST, peer_id)
+        self._send_request(entry.bot_id, entry.endpoint, MessageType.PEER_LIST_REQUEST, peer_id)
 
     # -- edge collection from our own peer-list requests -------------------------
 
@@ -318,13 +320,10 @@ class ZeusSensor(ZeusBot):
                 request, src, MessageType.PEER_LIST_REPLY, zeus_protocol.encode_peer_entries([])
             )
             return
-        candidates = [
-            (entry.bot_id, entry.endpoint)
-            for entry in self.peer_list
-            if entry.bot_id != request.source_id
-        ]
-        selected = zeus_protocol.select_closest(
-            request.payload, candidates, limit=self.config.peers_per_response
+        # Same selection as select_closest over this list's entries;
+        # delegated so a slab-backed list ranks on precomputed id ints.
+        selected = self.peer_list.closest(
+            request.payload, request.source_id, self.config.peers_per_response
         )
         if self.profile.duplicate_peers and selected:
             # Promote the first entry (e.g. a sinkhole) by duplication --

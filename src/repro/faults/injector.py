@@ -52,6 +52,7 @@ class FaultyTransport(Transport):
         fault_rng: random.Random,
         config: Optional[TransportConfig] = None,
         routability: Optional[RoutabilityTable] = None,
+        recycle_messages: bool = False,
     ) -> None:
         config = config if config is not None else TransportConfig()
         if plan.duplicate_rate or plan.reorder_rate:
@@ -60,7 +61,13 @@ class FaultyTransport(Transport):
                 duplicate_rate=max(config.duplicate_rate, plan.duplicate_rate),
                 reorder_rate=max(config.reorder_rate, plan.reorder_rate),
             )
-        super().__init__(scheduler, rng, config=config, routability=routability)
+        super().__init__(
+            scheduler,
+            rng,
+            config=config,
+            routability=routability,
+            recycle_messages=recycle_messages,
+        )
         self.plan = plan
         self.fault_rng = fault_rng
         self.fault_stats = FaultStats()

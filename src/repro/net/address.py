@@ -53,20 +53,37 @@ def parse_ip(text: str) -> int:
     return value
 
 
+#: Rendered-address cache: format_ip is on the tracing hot path (every
+#: traced net event renders two endpoints) and populations reuse a
+#: bounded set of addresses, so memoization pays for itself.  Bounded
+#: to keep pathological address scans from growing it without limit.
+_FORMAT_CACHE: dict = {}
+_FORMAT_CACHE_MAX = 1 << 17
+
+
 def format_ip(ip: int) -> str:
     """Render an int address as a dotted quad."""
-    if not 0 <= ip <= MAX_IP:
-        raise ValueError(f"address out of range: {ip}")
-    return ".".join(str((ip >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+    rendered = _FORMAT_CACHE.get(ip)
+    if rendered is None:
+        if not 0 <= ip <= MAX_IP:
+            raise ValueError(f"address out of range: {ip}")
+        rendered = ".".join(str((ip >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+        if len(_FORMAT_CACHE) < _FORMAT_CACHE_MAX:
+            _FORMAT_CACHE[ip] = rendered
+    return rendered
+
+
+#: All 33 netmasks, indexed by prefix length.
+_MASKS = tuple(
+    (MAX_IP << (32 - prefix)) & MAX_IP if prefix else 0 for prefix in range(33)
+)
 
 
 def prefix_mask(prefix: int) -> int:
     """Netmask for a prefix length, as an int."""
     if not 0 <= prefix <= 32:
         raise ValueError(f"prefix out of range: {prefix}")
-    if prefix == 0:
-        return 0
-    return (MAX_IP << (32 - prefix)) & MAX_IP
+    return _MASKS[prefix]
 
 
 def subnet_key(ip: int, prefix: int) -> int:
@@ -75,7 +92,9 @@ def subnet_key(ip: int, prefix: int) -> int:
     Two addresses share a subnet iff their keys match.  The crawler
     detector aggregates hard-hitter reports by this key (/32 == per-IP).
     """
-    return ip & prefix_mask(prefix)
+    if not 0 <= prefix <= 32:
+        raise ValueError(f"prefix out of range: {prefix}")
+    return ip & _MASKS[prefix]
 
 
 @dataclass(frozen=True)

@@ -12,11 +12,35 @@ from __future__ import annotations
 
 import math
 import random
+from array import array
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.sim.clock import DAY, HOUR
-from repro.sim.scheduler import Scheduler
+from repro.sim.scheduler import Scheduler, Timer
+
+try:  # vectorized deadline scans; the array fallback is ~100x slower
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships in the toolchain
+    _np = None
+
+
+def _due_indices(deadlines: "array", now: float) -> List[int]:
+    """Indices whose deadline has arrived (normally a handful)."""
+    n = len(deadlines)
+    if _np is not None:
+        view = _np.frombuffer(deadlines, dtype=_np.float64, count=n)
+        return _np.flatnonzero(view <= now).tolist()
+    return [i for i in range(n) if deadlines[i] <= now]
+
+
+def _min_deadline(deadlines: "array") -> float:
+    if not len(deadlines):
+        return math.inf
+    if _np is not None:
+        view = _np.frombuffer(deadlines, dtype=_np.float64, count=len(deadlines))
+        return float(view.min())
+    return min(deadlines)
 
 
 @dataclass
@@ -63,6 +87,15 @@ class ChurnProcess:
 
     The process calls ``on_up(node_id)`` / ``on_down(node_id)`` at
     session boundaries.  Node identity is opaque to the process.
+
+    Instead of one scheduler timer per node (a timer + closure per bot,
+    forever), per-node flip deadlines live in a flat float array and a
+    *single* timer sits at the earliest one; each firing scans the
+    array for due nodes.  Flip times and RNG draw order are exactly
+    those of the timer-per-node scheme: deadlines equal the old firing
+    times, each node draws its next holding time right after flipping,
+    and simultaneous flips are processed in scheduling order (the old
+    scheduler-sequence tie-break).
     """
 
     def __init__(
@@ -78,54 +111,87 @@ class ChurnProcess:
         self.config = config
         self.on_up = on_up
         self.on_down = on_down
-        self._online: Dict[str, bool] = {}
         self.transitions = 0
+        self._ids: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._up = bytearray()
+        self._deadline = array("d")
+        self._stamp = array("Q")  # scheduling order, for same-time ties
+        self._stamps = 0
+        self._timer: Optional[Timer] = None
 
     def add_node(self, node_id: str, online: bool = True) -> None:
         """Register a node and start its session cycle."""
-        if node_id in self._online:
+        if node_id in self._index:
             raise ValueError(f"node already managed: {node_id}")
-        self._online[node_id] = online
-        self._schedule_flip(node_id)
+        index = len(self._ids)
+        self._index[node_id] = index
+        self._ids.append(node_id)
+        self._up.append(1 if online else 0)
+        self._deadline.append(0.0)
+        self._stamp.append(0)
+        self._arm(index)
+        self._retime(self._deadline[index])
 
     def is_online(self, node_id: str) -> bool:
-        return self._online.get(node_id, False)
+        index = self._index.get(node_id)
+        return False if index is None else bool(self._up[index])
 
     def online_count(self) -> int:
-        return sum(1 for up in self._online.values() if up)
+        return sum(self._up)
 
-    def _schedule_flip(self, node_id: str) -> None:
-        if self._online[node_id]:
+    def _arm(self, index: int) -> None:
+        """Draw the next holding time for a node's *current* state."""
+        if self._up[index]:
             delay = self.rng.expovariate(1.0 / self.config.mean_session)
         else:
             delay = self.rng.expovariate(1.0 / self.config.mean_offline)
-        self.scheduler.call_later(max(1.0, delay), self._flip, node_id)
+        self._deadline[index] = self.scheduler.now + max(1.0, delay)
+        self._stamp[index] = self._stamps
+        self._stamps += 1
 
-    def _flip(self, node_id: str) -> None:
-        currently_up = self._online[node_id]
-        if currently_up:
-            self._go_down(node_id)
-        else:
-            # Diurnal bias: at the trough, offline bots tend to stay
-            # offline a while longer instead of returning immediately.
-            diurnal = self.config.diurnal
-            if diurnal is not None:
-                p = diurnal.online_probability(self.scheduler.now)
-                if self.rng.random() > p:
-                    self._schedule_flip(node_id)
-                    return
-            self._go_up(node_id)
-        self._schedule_flip(node_id)
+    def _retime(self, deadline: float) -> None:
+        """Pull the single timer earlier if ``deadline`` beats it."""
+        timer = self._timer
+        if timer is not None:
+            if timer.time <= deadline:
+                return
+            timer.cancel()
+        self._timer = self.scheduler.call_at(deadline, self._fire)
 
-    def _go_up(self, node_id: str) -> None:
-        self._online[node_id] = True
+    def _fire(self) -> None:
+        self._timer = None
+        now = self.scheduler.now
+        due = _due_indices(self._deadline, now)
+        if len(due) > 1:
+            due.sort(key=self._stamp.__getitem__)
+        for index in due:
+            if self._up[index]:
+                self._go_down(index)
+            else:
+                # Diurnal bias: at the trough, offline bots tend to stay
+                # offline a while longer instead of returning immediately.
+                diurnal = self.config.diurnal
+                if diurnal is not None:
+                    p = diurnal.online_probability(now)
+                    if self.rng.random() > p:
+                        self._arm(index)
+                        continue
+                self._go_up(index)
+            self._arm(index)
+        next_deadline = _min_deadline(self._deadline)
+        if next_deadline < math.inf:
+            self._retime(next_deadline)
+
+    def _go_up(self, index: int) -> None:
+        self._up[index] = 1
         self.transitions += 1
-        self.on_up(node_id)
+        self.on_up(self._ids[index])
 
-    def _go_down(self, node_id: str) -> None:
-        self._online[node_id] = False
+    def _go_down(self, index: int) -> None:
+        self._up[index] = 0
         self.transitions += 1
-        self.on_down(node_id)
+        self.on_down(self._ids[index])
 
 
 class IpChurnProcess:
@@ -136,6 +202,9 @@ class IpChurnProcess:
     actual rebind and returns nothing.  Crawls that span many leases
     will count the same bot under several addresses, inflating size
     estimates -- the aliasing effect that caps useful crawls at ~24h.
+
+    Like :class:`ChurnProcess`, lease expiries live in one deadline
+    array scanned from a single timer rather than one timer per node.
     """
 
     def __init__(
@@ -153,16 +222,43 @@ class IpChurnProcess:
         self.mean_lease = mean_lease
         self.reassignments = 0
         self._managed: List[str] = []
+        self._deadline = array("d")
+        self._stamp = array("Q")
+        self._stamps = 0
+        self._timer: Optional[Timer] = None
 
     def add_node(self, node_id: str) -> None:
+        index = len(self._managed)
         self._managed.append(node_id)
-        self._schedule(node_id)
+        self._deadline.append(0.0)
+        self._stamp.append(0)
+        self._arm(index)
+        self._retime(self._deadline[index])
 
-    def _schedule(self, node_id: str) -> None:
+    def _arm(self, index: int) -> None:
         delay = self.rng.expovariate(1.0 / self.mean_lease)
-        self.scheduler.call_later(max(60.0, delay), self._fire, node_id)
+        self._deadline[index] = self.scheduler.now + max(60.0, delay)
+        self._stamp[index] = self._stamps
+        self._stamps += 1
 
-    def _fire(self, node_id: str) -> None:
-        self.reassignments += 1
-        self.reassign(node_id)
-        self._schedule(node_id)
+    def _retime(self, deadline: float) -> None:
+        timer = self._timer
+        if timer is not None:
+            if timer.time <= deadline:
+                return
+            timer.cancel()
+        self._timer = self.scheduler.call_at(deadline, self._fire)
+
+    def _fire(self) -> None:
+        self._timer = None
+        now = self.scheduler.now
+        due = _due_indices(self._deadline, now)
+        if len(due) > 1:
+            due.sort(key=self._stamp.__getitem__)
+        for index in due:
+            self.reassignments += 1
+            self.reassign(self._managed[index])
+            self._arm(index)
+        next_deadline = _min_deadline(self._deadline)
+        if next_deadline < math.inf:
+            self._retime(next_deadline)

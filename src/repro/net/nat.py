@@ -31,11 +31,6 @@ from repro.net.address import format_ip
 DEFAULT_HOLE_TTL = 120.0
 
 
-@dataclass
-class _Hole:
-    expires: float
-
-
 class RoutabilityTable:
     """Tracks endpoint routability and NAT punch-holes.
 
@@ -43,13 +38,25 @@ class RoutabilityTable:
     this table on every delivery: traffic to a non-routable endpoint is
     dropped unless the destination previously sent traffic to the
     source's IP (which opened a hole).
+
+    A hole is stored as a bare expiry timestamp -- long runs open
+    millions of them, so there is no per-hole object.  Expired holes
+    are normally deleted when re-checked; quiet pairs are reclaimed by
+    a size-triggered sweep (deterministic: keyed on table size and
+    simulated time only, and removing an expired hole is
+    behavior-neutral).
     """
+
+    #: Never sweep below this size; the threshold then doubles with the
+    #: live population so sweep cost stays amortized O(1) per insert.
+    SWEEP_MIN = 4096
 
     def __init__(self, hole_ttl: float = DEFAULT_HOLE_TTL) -> None:
         self.hole_ttl = hole_ttl
         self._routable: Dict[Tuple[int, int], bool] = {}
-        # (non-routable endpoint, remote ip) -> hole
-        self._holes: Dict[Tuple[Tuple[int, int], int], _Hole] = {}
+        # (non-routable endpoint, remote ip) -> expiry time
+        self._holes: Dict[Tuple[Tuple[int, int], int], float] = {}
+        self._sweep_at = self.SWEEP_MIN
 
     def register(self, endpoint: Tuple[int, int], routable: bool) -> None:
         self._routable[endpoint] = routable
@@ -69,7 +76,13 @@ class RoutabilityTable:
     def note_outbound(self, src: Tuple[int, int], dst_ip: int, now: float) -> None:
         """Record outbound traffic, opening/refreshing a punch-hole."""
         if self._routable.get(src) is False:
-            self._holes[(src, dst_ip)] = _Hole(expires=now + self.hole_ttl)
+            holes = self._holes
+            holes[(src, dst_ip)] = now + self.hole_ttl
+            if len(holes) >= self._sweep_at:
+                expired = [key for key, expires in holes.items() if expires < now]
+                for key in expired:
+                    del holes[key]
+                self._sweep_at = max(self.SWEEP_MIN, 2 * len(holes))
 
     def inbound_allowed(self, dst: Tuple[int, int], src_ip: int, now: float) -> bool:
         """Is delivery from ``src_ip`` to endpoint ``dst`` permitted?"""
@@ -78,10 +91,10 @@ class RoutabilityTable:
             return False  # nobody bound there
         if routable:
             return True
-        hole = self._holes.get((dst, src_ip))
-        if hole is None:
+        expires = self._holes.get((dst, src_ip))
+        if expires is None:
             return False
-        if hole.expires < now:
+        if expires < now:
             del self._holes[(dst, src_ip)]
             return False
         return True
@@ -90,8 +103,8 @@ class RoutabilityTable:
         """IPs currently allowed to reach non-routable endpoint ``dst``."""
         return {
             remote_ip
-            for (endpoint, remote_ip), hole in self._holes.items()
-            if endpoint == dst and hole.expires >= now
+            for (endpoint, remote_ip), expires in self._holes.items()
+            if endpoint == dst and expires >= now
         }
 
 

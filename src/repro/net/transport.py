@@ -40,27 +40,53 @@ class Endpoint:
             raise ValueError(f"bad ip: {self.ip}")
         if not 0 < self.port <= 65535:
             raise ValueError(f"bad port: {self.port}")
+        # ``key`` indexes every handler/routability lookup, several
+        # times per message; precompute the tuple once (the instance is
+        # frozen, hence object.__setattr__).
+        object.__setattr__(self, "key", (self.ip, self.port))
 
     def __str__(self) -> str:
-        return f"{format_ip(self.ip)}:{self.port}"
+        # Endpoints are immutable and rendered on every traced event;
+        # cache the dotted-quad form on first use.
+        rendered = self.__dict__.get("_str")
+        if rendered is None:
+            rendered = f"{format_ip(self.ip)}:{self.port}"
+            object.__setattr__(self, "_str", rendered)
+        return rendered
 
-    @property
-    def key(self) -> Tuple[int, int]:
-        return (self.ip, self.port)
 
-
-@dataclass(frozen=True)
 class Message:
     """A delivered (or dropped) payload with transport metadata.
 
     ``src`` is stamped by the transport and therefore trustworthy.
+    Instances may come from the transport's free-list pool (see
+    ``recycle_messages``), so handlers must not retain them past the
+    handler call; retain ``src``/``dst``/``payload`` instead, which are
+    immutable and never recycled.
     """
 
-    src: Endpoint
-    dst: Endpoint
-    payload: bytes
-    sent_at: float
-    delivered_at: float
+    __slots__ = ("src", "dst", "payload", "sent_at", "delivered_at")
+
+    def __init__(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: bytes,
+        sent_at: float,
+        delivered_at: float,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.sent_at = sent_at
+        self.delivered_at = delivered_at
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(src={self.src}, dst={self.dst}, "
+            f"payload={self.payload!r}, sent_at={self.sent_at}, "
+            f"delivered_at={self.delivered_at})"
+        )
 
 
 Handler = Callable[[Message], None]
@@ -116,8 +142,20 @@ class TransportStats:
     reordered: int = 0
 
 
+#: Upper bound on pooled Message instances kept for reuse.
+_POOL_MAX = 1024
+
+
 class Transport:
-    """The shared message fabric of one simulated network."""
+    """The shared message fabric of one simulated network.
+
+    ``recycle_messages=True`` enables a free-list pool of Message
+    envelopes: a delivered message is reclaimed after its handler
+    returns instead of being garbage.  Only enable it when every bound
+    handler is known not to retain messages (population builders do;
+    ad-hoc test harnesses that keep inboxes must leave it off).  Taps
+    disable reuse automatically since they may retain what they see.
+    """
 
     def __init__(
         self,
@@ -125,6 +163,7 @@ class Transport:
         rng: random.Random,
         config: Optional[TransportConfig] = None,
         routability: Optional[RoutabilityTable] = None,
+        recycle_messages: bool = False,
     ) -> None:
         self.scheduler = scheduler
         self.rng = rng
@@ -134,6 +173,8 @@ class Transport:
         self._handlers: Dict[Tuple[int, int], Handler] = {}
         self._taps: List[Tap] = []
         self._drop_taps: List[DropTap] = []
+        self._recycle = recycle_messages
+        self._pool: List[Message] = []
         # Observability: capture the ambient context at construction.
         # Disabled (the default) leaves falsy/no-op stubs here, so the
         # send/deliver paths pay one branch and no-op calls per event.
@@ -144,6 +185,29 @@ class Transport:
         self._m_dropped = registry.counter("net.dropped", "drops by reason")
         self._m_duplicated = registry.counter("net.duplicated", "messages duplicated in flight")
         self._m_reordered = registry.counter("net.reordered", "messages delayed past later sends")
+        self._refresh_path()
+
+    def _refresh_path(self) -> None:
+        """Precompute the deliver-path switches.
+
+        ``_slow`` is the single falsy check on the deliver path: it is
+        False only when no tap, no drop tap, no tracer, and no
+        fault-injection subclass (one that overrides ``_drop_reason``)
+        is active, in which case ``_deliver`` takes a hook-free fast
+        path.  ``_reuse`` gates the message pool: recycling is safe
+        only when no tap can retain a message.
+        """
+        hooked = bool(
+            self._taps
+            or self._drop_taps
+            or type(self)._drop_reason is not Transport._drop_reason
+        )
+        self._slow = hooked or bool(self._trace)
+        # ``_lean``: tracing is the *only* active hook.  _deliver then
+        # runs the fast-path drop checks (no Message for drops, no
+        # _drop_reason dispatch, no tap loop) and just emits events.
+        self._lean = not hooked and bool(self._trace)
+        self._reuse = self._recycle and not self._taps and not self._drop_taps
 
     # -- binding -------------------------------------------------------
 
@@ -179,6 +243,7 @@ class Transport:
     def add_tap(self, tap: Tap) -> None:
         """Observe every send attempt: ``tap(message, delivered)``."""
         self._taps.append(tap)
+        self._refresh_path()
 
     def add_drop_tap(self, tap: DropTap) -> None:
         """Observe every drop with its reason: ``tap(message, reason)``.
@@ -188,6 +253,7 @@ class Transport:
         account for everything the network ate.
         """
         self._drop_taps.append(tap)
+        self._refresh_path()
 
     def _notify_drop(self, message: Message, reason: str) -> None:
         for tap in self._drop_taps:
@@ -209,8 +275,9 @@ class Transport:
             self.stats.rejected_unbound_src += 1
             self._m_dropped.labels("unbound_src").inc()
             if self._trace:
-                self._trace.instant(
-                    now, "net", "drop", reason="unbound_src", src=str(src), dst=str(dst)
+                self._trace.instant_args(
+                    now, "net", "drop",
+                    {"reason": "unbound_src", "src": str(src), "dst": str(dst)},
                 )
             if self._drop_taps:
                 self._notify_drop(
@@ -243,7 +310,7 @@ class Transport:
                 args["reordered"] = True
             if duplicated:
                 args["duplicated"] = True
-            self._trace.instant(now, "net", "send", **args)
+            self._trace.instant_args(now, "net", "send", args)
         return True
 
     def _latency(self) -> float:
@@ -271,7 +338,106 @@ class Transport:
 
     def _deliver(self, src: Endpoint, dst: Endpoint, payload: bytes, sent_at: float) -> None:
         now = self.scheduler.now
-        message = Message(src=src, dst=dst, payload=payload, sent_at=sent_at, delivered_at=now)
+        if not self._slow:
+            # Fast path: no taps, no tracer, no fault subclass.  The
+            # drop checks mirror _drop_reason exactly (same order, same
+            # RNG draws) without building a Message for drops.
+            stats = self.stats
+            dst_key = dst.key
+            handler = self._handlers.get(dst_key)
+            if handler is None:
+                stats.dropped_unbound_dst += 1
+                self._m_dropped.labels("unbound_dst").inc()
+                return
+            if not self.routability.inbound_allowed(dst_key, src.ip, now):
+                stats.dropped_unroutable += 1
+                self._m_dropped.labels("unroutable").inc()
+                return
+            loss_rate = self.config.loss_rate
+            if loss_rate and self.rng.random() < loss_rate:
+                stats.dropped_loss += 1
+                self._m_dropped.labels("loss").inc()
+                return
+            stats.delivered += 1
+            self._m_delivered.inc()
+            pool = self._pool
+            if pool:
+                message = pool.pop()
+                message.src = src
+                message.dst = dst
+                message.payload = payload
+                message.sent_at = sent_at
+                message.delivered_at = now
+            else:
+                message = Message(src, dst, payload, sent_at, now)
+            handler(message)
+            if self._reuse and len(pool) < _POOL_MAX:
+                pool.append(message)
+            return
+        if self._lean:
+            # Traced fast path: same checks and RNG draws as above, with
+            # trace events emitted in the same order the generic slow
+            # path would (drop/deliver event before the handler runs).
+            trace = self._trace
+            stats = self.stats
+            dst_key = dst.key
+            handler = self._handlers.get(dst_key)
+            if handler is None:
+                stats.dropped_unbound_dst += 1
+                self._m_dropped.labels("unbound_dst").inc()
+                trace.instant_args(
+                    now, "net", "drop",
+                    {"reason": "unbound_dst", "src": str(src), "dst": str(dst)},
+                )
+                return
+            if not self.routability.inbound_allowed(dst_key, src.ip, now):
+                stats.dropped_unroutable += 1
+                self._m_dropped.labels("unroutable").inc()
+                trace.instant_args(
+                    now, "net", "drop",
+                    {"reason": "unroutable", "src": str(src), "dst": str(dst)},
+                )
+                return
+            loss_rate = self.config.loss_rate
+            if loss_rate and self.rng.random() < loss_rate:
+                stats.dropped_loss += 1
+                self._m_dropped.labels("loss").inc()
+                trace.instant_args(
+                    now, "net", "drop",
+                    {"reason": "loss", "src": str(src), "dst": str(dst)},
+                )
+                return
+            stats.delivered += 1
+            self._m_delivered.inc()
+            trace.instant_args(
+                now, "net", "deliver",
+                {"src": str(src), "dst": str(dst), "latency": round(now - sent_at, 6)},
+            )
+            pool = self._pool
+            if pool:
+                message = pool.pop()
+                message.src = src
+                message.dst = dst
+                message.payload = payload
+                message.sent_at = sent_at
+                message.delivered_at = now
+            else:
+                message = Message(src, dst, payload, sent_at, now)
+            handler(message)
+            if self._reuse and len(pool) < _POOL_MAX:
+                pool.append(message)
+            return
+        reuse = self._reuse
+        pool = self._pool
+        if reuse and pool:
+            message = pool.pop()
+            message.src = src
+            message.dst = dst
+            message.payload = payload
+            message.sent_at = sent_at
+            message.delivered_at = now
+        else:
+            message = Message(src, dst, payload, sent_at, now)
         reason = self._drop_reason(message)
         delivered = reason is None
         for tap in self._taps:
@@ -292,3 +458,5 @@ class Transport:
                     now, "net", "drop", reason=reason, src=str(src), dst=str(dst)
                 )
             self._notify_drop(message, reason)
+        if reuse and len(pool) < _POOL_MAX:
+            pool.append(message)

@@ -52,6 +52,15 @@ class Tracer:
         """An instantaneous event at simulated ``time``."""
         self.buffer.append(TraceEvent(time, cat, name, INSTANT, 0.0, args or None))
 
+    def instant_args(self, time: float, cat: str, name: str, args=None) -> None:
+        """:meth:`instant` taking a prebuilt args dict (or None).
+
+        Hot emitters (the transport fires two events per message) build
+        their args dict once and pass it through, skipping the kwargs
+        repack ``**args`` would cost.  Event content is identical.
+        """
+        self.buffer.append(TraceEvent(time, cat, name, INSTANT, 0.0, args))
+
     def complete(
         self, start: float, end: float, cat: str, name: str, **args: Any
     ) -> None:
@@ -114,6 +123,9 @@ class NullTracer:
         pass
 
     def instant(self, time: float, cat: str, name: str, **args: Any) -> None:
+        pass
+
+    def instant_args(self, time: float, cat: str, name: str, args=None) -> None:
         pass
 
     def complete(self, start: float, end: float, cat: str, name: str, **args: Any) -> None:

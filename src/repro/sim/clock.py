@@ -21,17 +21,15 @@ class Clock:
     :meth:`advance`; everything else reads :attr:`now`.
     """
 
-    __slots__ = ("_now",)
+    #: ``now`` is a plain attribute, not a property: it is read on
+    #: every send, deliver, and cycle, and the descriptor hop showed up
+    #: in profiles.  Treat it as read-only outside :meth:`advance`.
+    __slots__ = ("now",)
 
     def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise ValueError("clock cannot start before t=0")
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
+        self.now = float(start)
 
     def advance(self, to: float) -> None:
         """Move the clock forward to ``to``.
@@ -39,11 +37,11 @@ class Clock:
         Raises :class:`ValueError` on any attempt to move backwards;
         a time-travelling clock would invalidate every log timestamp.
         """
-        if to < self._now:
+        if to < self.now:
             raise ValueError(
-                f"clock cannot move backwards ({to:.6f} < {self._now:.6f})"
+                f"clock cannot move backwards ({to:.6f} < {self.now:.6f})"
             )
-        self._now = to
+        self.now = to
 
 
 def format_time(seconds: float) -> str:

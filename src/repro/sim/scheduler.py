@@ -1,18 +1,48 @@
-"""Binary-heap discrete-event scheduler.
+"""Discrete-event scheduler: timer wheel + binary heaps.
 
 This is the main loop of every simulation in the repository.  Callbacks
 are scheduled at absolute or relative simulated times; ties are broken
 by insertion order so runs are fully deterministic.
+
+Timers live in one of three stores, merged at dispatch time by true
+``(time, sequence)`` key comparison:
+
+``_due``
+    A binary heap of near-term entries (and anything displaced out of
+    the wheel).  This is where entries wait immediately before firing.
+``_wheel``
+    A coarse timer wheel -- ``WHEEL_SLOTS`` buckets of
+    ``WHEEL_GRANULARITY`` simulated seconds each -- giving O(1) insert
+    for the dominant short-horizon timers (message deliveries, retry
+    backoffs).  Each slot caches its minimum entry so the dispatch loop
+    can compare against the heaps without scanning; a slot is drained
+    into ``_due`` only once its minimum becomes the global minimum.
+    Bucketing is therefore purely a performance hint: even a
+    float-rounding misplacement cannot reorder events.
+``_heap``
+    An overflow heap for far-future entries beyond the wheel's window
+    (periodic bot cycles, day-scale experiment milestones).  Far
+    entries are never migrated; the three-way merge handles them.
+
+Dispatch is batched: ``run_until``/``run`` claim all entries sharing
+the earliest timestamp in one pass, advancing the clock and checking
+the window boundary once per batch instead of once per event, with no
+separate peek step.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
+from heapq import heapify, heappop, heappush
 from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.clock import Clock
+
+#: A scheduled entry as stored: (time, sequence, timer).  Sequence
+#: numbers are unique, so entry comparison is total and never falls
+#: through to comparing Timer objects.
+_Entry = Tuple[float, int, "Timer"]
 
 
 @dataclass(frozen=True)
@@ -20,7 +50,8 @@ class SchedulerStats:
     """A scheduler's lifetime counters (observability; see ``stats()``).
 
     ``cancelled`` is cumulative over the scheduler's life, unlike the
-    internal dead-entry count that compaction resets.
+    internal dead-entry count that compaction resets.  ``peak_heap``
+    and ``heap_size`` count physical entries across all three stores.
     """
 
     dispatched: int
@@ -34,14 +65,19 @@ class SchedulerStats:
 class Timer:
     """Handle for a scheduled callback; supports cancellation.
 
-    Cancellation is lazy: the heap entry stays in place and is skipped
-    at dispatch time, which keeps ``cancel()`` O(1).  The owning
-    scheduler counts cancellations and compacts its heap once dead
-    entries pile up, so heavy cancel churn cannot grow the heap
-    without bound.
+    Cancellation is lazy: the stored entry stays in place and is
+    skipped at dispatch time, which keeps ``cancel()`` O(1) -- but the
+    callback and its arguments are released immediately so closures and
+    bound methods do not linger until compaction.  The owning scheduler
+    counts cancellations and compacts its stores once dead entries pile
+    up, so heavy cancel churn cannot grow them without bound.
+
+    A ``repeat`` timer (see :meth:`Scheduler.call_every`) is re-armed
+    after each dispatch from its callback's return value; one handle
+    covers every occurrence.
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled", "_scheduler")
+    __slots__ = ("time", "callback", "args", "cancelled", "repeat", "_scheduler")
 
     def __init__(
         self,
@@ -49,17 +85,23 @@ class Timer:
         callback: Callable[..., Any],
         args: Tuple[Any, ...],
         scheduler: Optional["Scheduler"] = None,
+        repeat: bool = False,
     ):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.repeat = repeat
         self._scheduler = scheduler
 
     def cancel(self) -> None:
         if self.cancelled:
             return
         self.cancelled = True
+        # Release the closure right away; the dead entry itself is
+        # reaped lazily.
+        self.callback = None
+        self.args = ()
         if self._scheduler is not None:
             self._scheduler._note_cancelled()
             self._scheduler = None
@@ -72,19 +114,35 @@ class Scheduler:
 
         sched = Scheduler()
         sched.call_later(30.0, bot.wake)
+        sched.call_every(60.0, bot.cycle)   # cycle() returns next delay
         sched.run_until(DAY)
     """
 
-    #: Never compact below this many dead entries: tiny heaps are not
+    #: Never compact below this many dead entries: tiny stores are not
     #: worth the heapify, and the threshold keeps compaction amortized
     #: O(1) per cancellation.
     COMPACTION_MIN = 64
+
+    #: Timer-wheel geometry: WHEEL_SLOTS buckets of WHEEL_GRANULARITY
+    #: simulated seconds give a 128 s window, sized to the short-horizon
+    #: timers (deliveries, retries, reorder penalties) that dominate
+    #: insert traffic.  Anything beyond the window overflows to a heap.
+    WHEEL_SLOTS = 256
+    WHEEL_GRANULARITY = 0.5
 
     def __init__(
         self, clock: Optional[Clock] = None, compaction_min: Optional[int] = None
     ) -> None:
         self.clock = clock if clock is not None else Clock()
-        self._heap: List[Tuple[float, int, Timer]] = []
+        self._due: List[_Entry] = []
+        self._heap: List[_Entry] = []
+        self._wheel: List[List[_Entry]] = [[] for _ in range(self.WHEEL_SLOTS)]
+        self._wheel_min: List[Optional[_Entry]] = [None] * self.WHEEL_SLOTS
+        self._wheel_count = 0
+        self._wheel_base = 0.0
+        self._wheel_next = 0  # first undrained slot; lower slots are empty
+        self._wheel_inv = 1.0 / self.WHEEL_GRANULARITY
+        self._wheel_span = self.WHEEL_SLOTS * self.WHEEL_GRANULARITY
         self._sequence = 0
         self._dispatched = 0
         self._cancelled = 0
@@ -95,7 +153,7 @@ class Scheduler:
             self.COMPACTION_MIN if compaction_min is None else compaction_min
         )
         # Optional observability hook: anything with record(callback,
-        # seconds).  None (the default) keeps step() branch-cheap.
+        # seconds).  None (the default) keeps dispatch branch-cheap.
         self._profile: Optional[Any] = None
 
     @property
@@ -106,37 +164,52 @@ class Scheduler:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) scheduled events."""
-        return len(self._heap) - self._cancelled
+        return len(self._due) + len(self._heap) + self._wheel_count - self._cancelled
 
     @property
     def heap_size(self) -> int:
-        """Physical heap length, dead entries included (for tests)."""
-        return len(self._heap)
+        """Physical entries across all stores, dead included (for tests)."""
+        return len(self._due) + len(self._heap) + self._wheel_count
 
     @property
     def compactions(self) -> int:
-        """Times the heap has been compacted since construction."""
+        """Times the stores have been compacted since construction."""
         return self._compactions
 
     def _note_cancelled(self) -> None:
-        """A live heap entry was cancelled; compact once the dead
-        outnumber the living (and exceed the minimum threshold)."""
+        """A live entry was cancelled; compact once the dead outnumber
+        the living (and exceed the minimum threshold)."""
         self._cancelled += 1
         self._cancelled_total += 1
         if (
             self._cancelled >= self._compaction_min
-            and self._cancelled * 2 >= len(self._heap)
+            and self._cancelled * 2 >= self.heap_size
         ):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and restore the heap invariant.
+        """Drop cancelled entries and restore the store invariants.
 
         Entries keep their (time, sequence) keys, so dispatch order --
         including insertion-order tie-breaking -- is unchanged.
         """
+        self._due = [entry for entry in self._due if not entry[2].cancelled]
+        heapify(self._due)
         self._heap = [entry for entry in self._heap if not entry[2].cancelled]
-        heapq.heapify(self._heap)
+        heapify(self._heap)
+        if self._wheel_count:
+            wheel = self._wheel
+            count = 0
+            for slot_index in range(self._wheel_next, self.WHEEL_SLOTS):
+                slot = wheel[slot_index]
+                if not slot:
+                    continue
+                live = [entry for entry in slot if not entry[2].cancelled]
+                if len(live) != len(slot):
+                    wheel[slot_index] = live
+                    self._wheel_min[slot_index] = min(live) if live else None
+                count += len(live)
+            self._wheel_count = count
         self._cancelled = 0
         self._compactions += 1
 
@@ -153,7 +226,7 @@ class Scheduler:
             compactions=self._compactions,
             peak_heap=self._peak_heap,
             pending=self.pending,
-            heap_size=len(self._heap),
+            heap_size=self.heap_size,
         )
 
     def set_profile(self, profile: Optional[Any]) -> None:
@@ -170,10 +243,7 @@ class Scheduler:
                 f"cannot schedule in the past ({time:.6f} < {self.clock.now:.6f})"
             )
         timer = Timer(time, callback, args, scheduler=self)
-        heapq.heappush(self._heap, (time, self._sequence, timer))
-        self._sequence += 1
-        if len(self._heap) > self._peak_heap:
-            self._peak_heap = len(self._heap)
+        self._push(time, timer)
         return timer
 
     def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
@@ -182,30 +252,143 @@ class Scheduler:
             raise ValueError(f"negative delay: {delay}")
         return self.call_at(self.clock.now + delay, callback, *args)
 
-    def _pop_next(self) -> Optional[Timer]:
-        while self._heap:
-            _, _, timer = heapq.heappop(self._heap)
-            if not timer.cancelled:
-                # Dispatching detaches the handle: a late cancel() is a
-                # no-op and must not skew the dead-entry count.
-                timer._scheduler = None
-                return timer
-            self._cancelled -= 1
-        return None
+    def call_every(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule a repeating callback without per-cycle Timer churn.
+
+        ``callback(*args)`` first runs ``delay`` seconds from now; its
+        return value is the delay until the next occurrence, or None to
+        stop.  The single returned handle covers every occurrence and
+        ``cancel()`` stops the cycle.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        timer = Timer(self.clock.now + delay, callback, args, scheduler=self, repeat=True)
+        self._push(timer.time, timer)
+        return timer
+
+    def _push(self, time: float, timer: Timer) -> None:
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        self._place((time, sequence, timer))
+        total = len(self._due) + len(self._heap) + self._wheel_count
+        if total > self._peak_heap:
+            self._peak_heap = total
+
+    def _place(self, entry: _Entry) -> None:
+        """File an entry in the store matching its horizon."""
+        time = entry[0]
+        base = self._wheel_base
+        if self._wheel_count == 0 and (
+            time < base or time - base >= self._wheel_span
+        ):
+            # The wheel is idle and its window has drifted away from
+            # the clock: re-anchor it at the present.
+            base = self._wheel_base = self.clock.now
+            self._wheel_next = 0
+        offset = time - base
+        if offset < 0:
+            heappush(self._due, entry)
+            return
+        slot_index = int(offset * self._wheel_inv)
+        if slot_index < self._wheel_next:
+            heappush(self._due, entry)
+        elif slot_index < self.WHEEL_SLOTS:
+            self._wheel[slot_index].append(entry)
+            self._wheel_count += 1
+            slot_min = self._wheel_min[slot_index]
+            if slot_min is None or entry < slot_min:
+                self._wheel_min[slot_index] = entry
+        else:
+            heappush(self._heap, entry)
+
+    def _pop_entry(self, limit: Optional[float]) -> Optional[_Entry]:
+        """Pop the globally next live entry, or None if idle / beyond
+        ``limit``.  Entries at or past ``limit`` stay in place."""
+        due = self._due
+        heap = self._heap
+        while True:
+            while due and due[0][2].cancelled:
+                heappop(due)
+                self._cancelled -= 1
+            while heap and heap[0][2].cancelled:
+                heappop(heap)
+                self._cancelled -= 1
+            if due:
+                source = heap if (heap and heap[0] < due[0]) else due
+            elif heap:
+                source = heap
+            else:
+                source = None
+            if self._wheel_count:
+                wheel = self._wheel
+                slot_index = self._wheel_next
+                while not wheel[slot_index]:
+                    slot_index += 1
+                self._wheel_next = slot_index
+                slot_min = self._wheel_min[slot_index]
+                if source is None or slot_min < source[0]:
+                    # The wheel holds the global minimum: drain its
+                    # first occupied slot into the near-term heap.
+                    slot = wheel[slot_index]
+                    wheel[slot_index] = []
+                    self._wheel_min[slot_index] = None
+                    self._wheel_count -= len(slot)
+                    self._wheel_next = slot_index + 1
+                    if self._wheel_next == self.WHEEL_SLOTS and self._wheel_count == 0:
+                        self._wheel_base += self._wheel_span
+                        self._wheel_next = 0
+                    due.extend(slot)
+                    heapify(due)
+                    continue
+            if source is None:
+                return None
+            entry = source[0]
+            if limit is not None and entry[0] > limit:
+                return None
+            heappop(source)
+            return entry
+
+    def _dispatch(self, timer: Timer) -> None:
+        """Run one claimed timer, re-arming repeat timers."""
+        self._dispatched += 1
+        callback = timer.callback
+        if self._profile is None:
+            if timer.repeat:
+                next_delay = callback(*timer.args)
+                if next_delay is not None and not timer.cancelled:
+                    self._rearm(timer, next_delay)
+            else:
+                callback(*timer.args)
+        else:
+            started = perf_counter()
+            if timer.repeat:
+                next_delay = callback(*timer.args)
+                elapsed = perf_counter() - started
+                if next_delay is not None and not timer.cancelled:
+                    self._rearm(timer, next_delay)
+            else:
+                callback(*timer.args)
+                elapsed = perf_counter() - started
+            self._profile.record(callback, elapsed)
+
+    def _rearm(self, timer: Timer, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"negative repeat delay: {delay}")
+        timer.time = self.clock.now + delay
+        timer._scheduler = self
+        self._push(timer.time, timer)
 
     def step(self) -> bool:
         """Dispatch the single next event.  Returns False when idle."""
-        timer = self._pop_next()
-        if timer is None:
+        entry = self._pop_entry(None)
+        if entry is None:
             return False
-        self.clock.advance(timer.time)
-        self._dispatched += 1
-        if self._profile is None:
-            timer.callback(*timer.args)
-        else:
-            started = perf_counter()
-            timer.callback(*timer.args)
-            self._profile.record(timer.callback, perf_counter() - started)
+        timer = entry[2]
+        # Dispatching detaches the handle: a late cancel() is a no-op
+        # and must not skew the dead-entry count.
+        timer._scheduler = None
+        self.clock.advance(entry[0])
+        self._dispatch(timer)
         return True
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> int:
@@ -216,38 +399,49 @@ class Scheduler:
         timeline cleanly.  Returns the number of events dispatched.
         ``max_events`` is a safety valve against runaway self-scheduling
         loops; exceeding it raises :class:`RuntimeError`.
+
+        Same-timestamp entries are claimed as one batch: the clock
+        advances and the window boundary is checked once per distinct
+        timestamp.
         """
         dispatched = 0
-        while self._heap:
-            next_time = self._next_live_time()
-            if next_time is None or next_time > time:
+        pop_entry = self._pop_entry
+        dispatch = self._dispatch
+        advance = self.clock.advance
+        while True:
+            entry = pop_entry(time)
+            if entry is None:
                 break
-            self.step()
-            dispatched += 1
-            if max_events is not None and dispatched > max_events:
-                raise RuntimeError(
-                    f"run_until({time}) exceeded max_events={max_events}; "
-                    "likely a self-rescheduling loop with zero delay"
-                )
+            batch_time = entry[0]
+            advance(batch_time)
+            while True:
+                timer = entry[2]
+                timer._scheduler = None
+                dispatch(timer)
+                dispatched += 1
+                if max_events is not None and dispatched > max_events:
+                    raise RuntimeError(
+                        f"run_until({time}) exceeded max_events={max_events}; "
+                        "likely a self-rescheduling loop with zero delay"
+                    )
+                entry = pop_entry(batch_time)
+                if entry is None:
+                    break
         if time > self.clock.now:
-            self.clock.advance(time)
+            advance(time)
         return dispatched
 
     def run(self, max_events: int = 10_000_000) -> int:
-        """Run until the event heap is empty."""
+        """Run until no live timers remain."""
         dispatched = 0
-        while self.step():
+        while True:
+            entry = self._pop_entry(None)
+            if entry is None:
+                return dispatched
+            timer = entry[2]
+            timer._scheduler = None
+            self.clock.advance(entry[0])
+            self._dispatch(timer)
             dispatched += 1
             if dispatched > max_events:
                 raise RuntimeError(f"run() exceeded max_events={max_events}")
-        return dispatched
-
-    def _next_live_time(self) -> Optional[float]:
-        while self._heap:
-            time, _, timer = self._heap[0]
-            if timer.cancelled:
-                heapq.heappop(self._heap)
-                self._cancelled -= 1
-                continue
-            return time
-        return None

@@ -13,11 +13,17 @@ from repro.botnets.sality.network import SalityNetworkConfig
 from repro.botnets.zeus.network import ZeusNetworkConfig
 
 #: Named scales: population, routable fraction, bootstrap peers.
+#: ``xlarge`` and ``zeus`` are paper-scale presets: the GameOver Zeus
+#: network held ~200k bots with roughly a quarter directly routable
+#: (P2PWNED measurement the paper builds on), seeded from ~50-entry
+#: dropper peer lists.
 SCALES = {
     "tiny": (120, 0.5, 8),
     "small": (400, 0.35, 12),
     "medium": (1200, 0.3, 15),
     "large": (5000, 0.25, 20),
+    "xlarge": (50_000, 0.25, 30),
+    "zeus": (200_000, 0.25, 50),
 }
 
 

@@ -19,9 +19,11 @@ def make_world():
     return sched, transport
 
 
-def make_bot(sched, transport, index, config=None, routable=True):
+def make_bot(sched, transport, index, config=None, routable=True, cls=None):
     rng = random.Random(200 + index)
-    return SalityBot(
+    if cls is None:
+        cls = SalityBot
+    return cls(
         node_id=f"bot-{index}",
         bot_id=rng.getrandbits(32).to_bytes(4, "big"),
         endpoint=Endpoint(parse_ip(f"25.{index}.0.1"), 3000 + index),
@@ -33,13 +35,29 @@ def make_bot(sched, transport, index, config=None, routable=True):
     )
 
 
+class CaptureBot(SalityBot):
+    """SalityBot that records raw inbound messages.
+
+    SalityBot itself uses ``__slots__``, so tests spy via this subclass
+    instead of patching ``handle_message`` on instances.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.captured = []
+
+    def handle_message(self, message):
+        self.captured.append(message)
+        super().handle_message(message)
+
+
 def send_request(transport, sched, src_bot, dst_bot, command, payload=b"", capture=None):
     message = protocol.make_message(command, src_bot.int_id, src_bot.rng, payload=payload)
-    if capture is not None:
-        orig = src_bot.handle_message
-        src_bot.handle_message = lambda m: (capture.append(m), orig(m))
+    seen = len(src_bot.captured) if capture is not None else 0
     transport.send(src_bot.endpoint, dst_bot.endpoint, protocol.encode_packet(message))
     sched.run_until(sched.now + 5.0)
+    if capture is not None:
+        capture.extend(src_bot.captured[seen:])
 
 
 class TestConstruction:
@@ -75,7 +93,7 @@ class TestPeerExchange:
         sched, transport = make_world()
         hub = make_bot(sched, transport, 0)
         reputed = make_bot(sched, transport, 1)
-        requester = make_bot(sched, transport, 2)
+        requester = make_bot(sched, transport, 2, cls=CaptureBot)
         hub.seed_peers([(reputed.bot_id, reputed.endpoint)])  # seeded => reputed
         for bot in (hub, reputed, requester):
             bot.start()
@@ -92,7 +110,7 @@ class TestPeerExchange:
         sched, transport = make_world()
         hub = make_bot(sched, transport, 0)
         unproven = make_bot(sched, transport, 1)
-        requester = make_bot(sched, transport, 2)
+        requester = make_bot(sched, transport, 2, cls=CaptureBot)
         for bot in (hub, unproven, requester):
             bot.start()
         # unproven announces itself (goodcount 0) ...

@@ -21,9 +21,25 @@ def make_world(loss_rate=0.0):
     return sched, transport
 
 
-def make_bot(sched, transport, index, config=None, routable=True, **kwargs):
+class CaptureBot(ZeusBot):
+    """ZeusBot that records raw inbound messages.
+
+    ZeusBot itself uses ``__slots__``, so tests spy via this subclass
+    instead of patching ``handle_message`` on instances.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.captured = []
+
+    def handle_message(self, message):
+        self.captured.append(message)
+        super().handle_message(message)
+
+
+def make_bot(sched, transport, index, config=None, routable=True, cls=ZeusBot, **kwargs):
     rng = random.Random(100 + index)
-    return ZeusBot(
+    return cls(
         node_id=f"bot-{index}",
         bot_id=protocol.random_id(rng),
         # Distinct /20 per bot, or the Zeus subnet filter collapses them.
@@ -68,7 +84,10 @@ class TestPeerExchange:
 
     def test_peer_list_request_returns_closest_peers(self):
         sched, transport = make_world()
-        bots = [make_bot(sched, transport, i) for i in range(12)]
+        bots = [
+            make_bot(sched, transport, i, cls=CaptureBot if i == 1 else ZeusBot)
+            for i in range(12)
+        ]
         hub = bots[0]
         for other in bots[1:]:
             link(hub, other)
@@ -77,14 +96,7 @@ class TestPeerExchange:
 
         # Craft a peer-list request from bot 1 to the hub.
         requester = bots[1]
-        got = []
-        orig = requester.handle_message
-
-        def spy(message):
-            got.append(message)
-            orig(message)
-
-        requester.handle_message = spy
+        got = requester.captured
         message = protocol.make_message(
             MessageType.PEER_LIST_REQUEST,
             requester.bot_id,
@@ -157,9 +169,7 @@ class TestPeerExchange:
 
 class TestProtocolServices:
     def send_and_capture(self, sched, transport, src_bot, dst_bot, msg_type, payload):
-        got = []
-        orig = src_bot.handle_message
-        src_bot.handle_message = lambda m: (got.append(m), orig(m))
+        got = src_bot.captured
         message = protocol.make_message(msg_type, src_bot.bot_id, src_bot.rng, payload=payload)
         transport.send(
             src_bot.endpoint, dst_bot.endpoint, protocol.encrypt_message(message, dst_bot.bot_id)
@@ -170,7 +180,7 @@ class TestProtocolServices:
 
     def test_proxy_request_served(self):
         sched, transport = make_world()
-        a = make_bot(sched, transport, 0)
+        a = make_bot(sched, transport, 0, cls=CaptureBot)
         b = make_bot(sched, transport, 1)
         proxy = (protocol.random_id(random.Random(5)), Endpoint(parse_ip("26.0.0.1"), 7000))
         b.proxy_list = [proxy]
@@ -182,7 +192,7 @@ class TestProtocolServices:
 
     def test_data_request_served(self):
         sched, transport = make_world()
-        a = make_bot(sched, transport, 0)
+        a = make_bot(sched, transport, 0, cls=CaptureBot)
         b = make_bot(sched, transport, 1)
         a.start()
         b.start()
@@ -194,7 +204,7 @@ class TestProtocolServices:
 
     def test_version_request_served(self):
         sched, transport = make_world()
-        a = make_bot(sched, transport, 0)
+        a = make_bot(sched, transport, 0, cls=CaptureBot)
         b = make_bot(sched, transport, 1)
         a.start()
         b.start()

@@ -117,7 +117,7 @@ class TestProxyAndData:
         a.start()
         b.start()
         entry = a.peer_list.get(b.bot_id)
-        a._send_request(entry, MessageType.PROXY_REQUEST, b"")
+        a._send_request(entry.bot_id, entry.endpoint, MessageType.PROXY_REQUEST, b"")
         assert len(a._pending) == 1
         sched.run_until(10.0)
         assert len(a._pending) == 0
@@ -130,7 +130,7 @@ class TestProxyAndData:
         a.start()
         b.start()
         entry = a.peer_list.get(b.bot_id)
-        a._send_request(entry, MessageType.DATA_REQUEST, b"\x01")
+        a._send_request(entry.bot_id, entry.endpoint, MessageType.DATA_REQUEST, b"\x01")
         sched.run_until(10.0)
         assert len(a._pending) == 0
 
@@ -142,7 +142,7 @@ class TestProxyAndData:
         a.seed_peers([(ghost_id, Endpoint(parse_ip("27.0.0.1"), 4000))])
         a.start()
         entry = a.peer_list.get(ghost_id)
-        a._send_request(entry, MessageType.VERSION_REQUEST, b"")
+        a._send_request(entry.bot_id, entry.endpoint, MessageType.VERSION_REQUEST, b"")
         sched.run_until(HOUR)
         a._expire_pending(sched.now)
         assert a.peer_list.get(ghost_id) is None or a.peer_list.get(ghost_id).failures > 0

@@ -133,13 +133,14 @@ class TestZeusSensorDefects:
         prober_rng = net.rngs.stream("prober")
         prober = Endpoint(parse_ip("51.0.0.1"), 6001)
         replies = []
-        net.transport.bind(prober, replies.append)
+        # Snapshot payloads: builder transports recycle Message objects.
+        net.transport.bind(prober, lambda m: replies.append(m.payload))
         prober_id = zeus_protocol.random_id(prober_rng)
         message = zeus_protocol.make_message(msg_type, prober_id, prober_rng, payload=payload)
         net.transport.send(prober, sensor.endpoint, zeus_protocol.encrypt_message(message, sensor.bot_id))
         net.run_for(10.0)
         net.transport.unbind(prober)
-        return [zeus_protocol.decrypt_message(r.payload, prober_id) for r in replies]
+        return [zeus_protocol.decrypt_message(r, prober_id) for r in replies]
 
     def test_clean_sensor_answers_proxy_requests(self):
         net = zeus_net()

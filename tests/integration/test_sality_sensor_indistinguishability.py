@@ -36,7 +36,8 @@ def probe_battery(scenario, target_endpoint):
     net = scenario.net
     prober = Endpoint(parse_ip("98.0.0.1"), 9000)
     replies = []
-    net.transport.bind(prober, replies.append)
+    # Snapshot payloads: builder transports recycle Message objects.
+    net.transport.bind(prober, lambda m: replies.append(m.payload))
     rng = random.Random(5)
     bot_id = rng.getrandbits(32)
     batteries = [
@@ -53,7 +54,7 @@ def probe_battery(scenario, target_endpoint):
     answered = set()
     for reply in replies:
         try:
-            decoded = protocol.decode_packet(reply.payload)
+            decoded = protocol.decode_packet(reply)
         except SalityDecodeError:
             continue
         answered.add(decoded.command)

@@ -26,15 +26,24 @@ def stub_workload(monkeypatch):
         from repro.obs import runtime
 
         runtime.tracer().instant(1.0, "test", "tick")
-        return len(runtime.tracer())
+        return {"events": len(runtime.tracer())}
 
     monkeypatch.setitem(WORKLOADS, "stub", fake)
     return "stub"
 
 
+@pytest.fixture
+def stub_with_extras(monkeypatch):
+    def fake(quick):
+        return {"events": 10, "population_rss_kb": 512, "peer_slots_live": 7}
+
+    monkeypatch.setitem(WORKLOADS, "stub-extras", fake)
+    return "stub-extras"
+
+
 class TestRunWorkload:
     def test_canonical_workloads_registered(self):
-        assert set(WORKLOADS) >= {"crawl", "detect", "sweep"}
+        assert set(WORKLOADS) >= {"crawl", "detect", "population", "sweep"}
 
     def test_entry_shape(self, stub_workload):
         entry = run_workload(stub_workload, quick=True)
@@ -42,6 +51,12 @@ class TestRunWorkload:
         assert entry["events"] == 1
         assert entry["wall_s"] >= 0
         assert entry["peak_rss_kb"] > 0
+
+    def test_extras_merged_into_entry(self, stub_with_extras):
+        entry = run_workload(stub_with_extras, quick=True)
+        assert entry["events"] == 10
+        assert entry["population_rss_kb"] == 512
+        assert entry["peer_slots_live"] == 7
 
     def test_repeat_uses_fresh_tracer(self, stub_workload):
         # Each repetition activates a new tracer, so the event count
@@ -111,3 +126,15 @@ class TestCompareBench:
         assert regressions == []
         assert any("new workload" in line for line in lines)
         assert any("missing from current" in line for line in lines)
+
+
+class TestRenderBench:
+    def test_extras_rendered_as_line_items(self):
+        doc = _doc(population=1.0)
+        doc["workloads"]["population"]["population_rss_kb"] = 4096
+        out = bench.render_bench(doc)
+        assert "population_rss_kb=4096" in out
+
+    def test_core_keys_not_duplicated_as_extras(self):
+        out = bench.render_bench(_doc(crawl=1.0))
+        assert "wall_s=" not in out

@@ -281,7 +281,7 @@ class TestBenchCommand:
         from repro.bench import WORKLOADS
 
         def fake(quick):
-            return 10
+            return {"events": 10}
 
         monkeypatch.setitem(WORKLOADS, "stub", fake)
         out_path = str(tmp_path / "BENCH_recon.json")
@@ -290,7 +290,7 @@ class TestBenchCommand:
         ]) == 0
         capsys.readouterr()
         doc = json.load(open(out_path))
-        assert doc["schema"] == "repro-bench/1"
+        assert doc["schema"] == "repro-bench/2"
         assert "stub" in doc["workloads"]
         # Same doc as baseline: no regression possible, exit 0.
         assert main([
@@ -308,7 +308,7 @@ class TestBenchCommand:
 
         def slow_stub(quick):
             time.sleep(0.02)
-            return 10
+            return {"events": 10}
 
         monkeypatch.setitem(WORKLOADS, "stub", slow_stub)
         baseline = {
