@@ -143,6 +143,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.max_retries < 0:
         print("sweep: --max-retries must be >= 0", file=sys.stderr)
         return 2
+    if args.hosts is not None and args.hosts < 1:
+        print("sweep: --hosts must be >= 1", file=sys.stderr)
+        return 2
+    if args.hosts is None and (
+        args.host_faults or args.host_fault_seed is not None
+    ):
+        print("sweep: --host-faults/--host-fault-seed need --hosts", file=sys.stderr)
+        return 2
+    if args.chunk_size is not None and args.chunk_size < 1:
+        print("sweep: --chunk-size must be >= 1", file=sys.stderr)
+        return 2
     overrides = {}
     if args.scale is not None:
         overrides["scale"] = args.scale
@@ -155,20 +166,63 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     progress = None if args.no_progress else ConsoleProgress()
     trace_progress = None
-    if args.trace:
+    dispatcher = None
+    if args.trace and args.hosts is None:
         # A sweep has no simulated clock; the trace is the execution
         # timeline (one track per worker) synthesized from progress.
         from repro.obs import TraceProgress
 
         trace_progress = TraceProgress(inner=progress)
         progress = trace_progress
-    result = run_sweep(
-        spec,
-        workers=args.workers,
-        max_retries=args.max_retries,
-        progress=progress,
-        capture_metrics=bool(args.metrics) or args.health,
-    )
+    capture_metrics = bool(args.metrics) or args.health
+    if args.hosts is not None:
+        from repro.runner.dispatch import (
+            DispatchExecutor,
+            HostFaultPlan,
+            SubprocessHostPool,
+            parse_host_faults,
+            sample_fault_plan,
+        )
+
+        try:
+            if args.host_faults:
+                fault_plan = parse_host_faults(args.host_faults)
+            elif args.host_fault_seed is not None:
+                fault_plan = sample_fault_plan(args.host_fault_seed, hosts=args.hosts)
+            else:
+                fault_plan = HostFaultPlan()
+            pool = None
+            if args.host_transport == "subprocess":
+                pool = SubprocessHostPool(hosts=args.hosts)
+            dispatcher = DispatchExecutor(
+                hosts=args.hosts,
+                pool=pool,
+                chunk_size=args.chunk_size,
+                max_retries=args.max_retries,
+                capture_metrics=capture_metrics,
+                fault_plan=fault_plan,
+            )
+            if fault_plan.faults:
+                print(f"host faults: {fault_plan.label()}", file=sys.stderr)
+            result = dispatcher.run(spec, progress=progress)
+        except ValueError as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
+    else:
+        result = run_sweep(
+            spec,
+            workers=args.workers,
+            max_retries=args.max_retries,
+            progress=progress,
+            capture_metrics=capture_metrics,
+        )
+    if args.trace and dispatcher is not None:
+        # Dispatched sweeps trace the per-host lease timeline keyed to
+        # deterministic dispatcher steps (not wall time).
+        from repro.obs import write_jsonl
+
+        count = write_jsonl(dispatcher.timeline(), args.trace)
+        print(f"trace: {count} events -> {args.trace}", file=sys.stderr)
     if trace_progress is not None:
         from repro.obs import write_jsonl
 
@@ -452,7 +506,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--max-retries", type=int, default=2,
-        help="retry budget per point for failing/crashed workers",
+        help="retry budget per point for failing/crashed workers or lost hosts",
+    )
+    sweep.add_argument(
+        "--hosts", type=int, default=None, metavar="N",
+        help="dispatch the sweep across N hosts with lease-based "
+             "host-failure recovery (instead of one process pool); "
+             "results stay byte-identical to a serial run",
+    )
+    sweep.add_argument(
+        "--host-transport", choices=("local", "subprocess"), default="local",
+        help="host pool backing for --hosts: in-process simulated hosts "
+             "(deterministic, full fault support) or one subprocess per host",
+    )
+    sweep.add_argument(
+        "--host-faults", metavar="PLAN", default=None,
+        help="inject host faults at progress thresholds: comma list of "
+             "kind:host@progress[xduration], e.g. 'kill:1@0.5' or "
+             "'stall:0@0.25x6,partition:2@0.5x4'",
+    )
+    sweep.add_argument(
+        "--host-fault-seed", type=int, default=None, metavar="SEED",
+        help="draw a random host-fault plan from the dedicated "
+             "dispatch-host-faults RNG stream (reproducible per seed)",
+    )
+    sweep.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="points per host lease (default: ~4 leases per host)",
     )
     sweep.add_argument("--json", action="store_true", help="emit raw records as JSON")
     sweep.add_argument(

@@ -124,6 +124,16 @@ class TraceProgress:
             self._events.append(
                 TraceEvent(event.elapsed, "runner", "pool-restart", args={"error": event.detail})
             )
+        elif event.kind in ("host-fault", "host-lost"):
+            # Dispatcher lifecycle (see repro.runner.dispatch): plan
+            # faults firing and hosts declared lost land on a shared
+            # dispatch track; the dispatcher's own step-keyed timeline
+            # carries the per-host lease spans.
+            self._events.append(
+                TraceEvent(
+                    event.elapsed, "dispatch", event.kind, args={"detail": event.detail}
+                )
+            )
         elif event.kind == "sweep-done":
             self._events.append(
                 TraceEvent(event.elapsed, "runner", "sweep-done", args={"summary": event.detail})

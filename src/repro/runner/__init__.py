@@ -24,6 +24,16 @@ from repro.runner.aggregate import (
     render_fig3_sweep,
     render_result,
 )
+from repro.runner.dispatch import (
+    DispatchExecutor,
+    HostFault,
+    HostFaultPlan,
+    LocalHostPool,
+    SubprocessHostPool,
+    dispatch_sweep,
+    parse_host_faults,
+    sample_fault_plan,
+)
 from repro.runner.executors import (
     ProcessExecutor,
     SerialExecutor,
@@ -57,6 +67,14 @@ __all__ = [
     "ConsoleProgress",
     "coverage_relative",
     "coverage_series",
+    "dispatch_sweep",
+    "DispatchExecutor",
+    "HostFault",
+    "HostFaultPlan",
+    "LocalHostPool",
+    "parse_host_faults",
+    "sample_fault_plan",
+    "SubprocessHostPool",
     "fig2_grid",
     "fig2_series",
     "render_fig2_sweep",

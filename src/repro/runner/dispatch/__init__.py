@@ -1,0 +1,104 @@
+"""Multi-host sweep dispatch with host-failure recovery.
+
+The dispatcher shards a sweep's point list into leases across a host
+pool, heartbeats the hosts, and re-leases work lost to dead, stalled,
+or partitioned hosts -- merging the surviving records into a
+:class:`~repro.runner.sweep.SweepResult` byte-identical to a serial
+run.  Fault injection (:class:`HostFaultPlan`) is a first-class,
+deterministic API so every recovery path is a unit-testable scenario
+rather than a timing accident.
+
+Quick use::
+
+    from repro.runner.dispatch import dispatch_sweep, parse_host_faults
+    from repro.runner import build_sweep
+
+    result = dispatch_sweep(
+        build_sweep("fig2", root_seed=0),
+        hosts=3,
+        fault_plan=parse_host_faults("kill:1@0.5"),
+    )
+"""
+
+from repro.runner.dispatch.dispatcher import (
+    DispatchExecutor,
+    chunk_leases,
+    default_chunk_size,
+)
+from repro.runner.dispatch.faultplan import (
+    FAULT_KINDS,
+    KILL,
+    PARTITION,
+    STALL,
+    HostFault,
+    HostFaultInjector,
+    HostFaultPlan,
+    parse_host_faults,
+    sample_fault_plan,
+)
+from repro.runner.dispatch.subproc import SubprocessHostPool
+from repro.runner.dispatch.transport import (
+    REPLY_BUSY,
+    REPLY_ERROR,
+    REPLY_IDLE,
+    REPLY_RECORD,
+    HostPool,
+    HostReply,
+    LocalHostPool,
+)
+from repro.runner.dispatch.wire import WorkUnit
+
+from typing import Optional
+
+from repro.runner.progress import ProgressHook
+from repro.runner.sweep import SweepResult, SweepSpec
+
+
+def dispatch_sweep(
+    spec: SweepSpec,
+    hosts: int = 2,
+    pool: Optional[HostPool] = None,
+    chunk_size: Optional[int] = None,
+    max_retries: int = 2,
+    capture_metrics: bool = False,
+    fault_plan: Optional[HostFaultPlan] = None,
+    heartbeat_misses: int = 3,
+    progress: Optional[ProgressHook] = None,
+) -> SweepResult:
+    """One-call dispatcher run (the CLI entry point)."""
+    executor = DispatchExecutor(
+        hosts=hosts,
+        pool=pool,
+        chunk_size=chunk_size,
+        max_retries=max_retries,
+        capture_metrics=capture_metrics,
+        fault_plan=fault_plan,
+        heartbeat_misses=heartbeat_misses,
+    )
+    return executor.run(spec, progress=progress)
+
+
+__all__ = [
+    "chunk_leases",
+    "default_chunk_size",
+    "dispatch_sweep",
+    "DispatchExecutor",
+    "FAULT_KINDS",
+    "HostFault",
+    "HostFaultInjector",
+    "HostFaultPlan",
+    "HostPool",
+    "HostReply",
+    "KILL",
+    "LocalHostPool",
+    "parse_host_faults",
+    "PARTITION",
+    "REPLY_BUSY",
+    "REPLY_ERROR",
+    "REPLY_IDLE",
+    "REPLY_RECORD",
+    "sample_fault_plan",
+    "STALL",
+    "SubprocessHostPool",
+    "WorkUnit",
+]

@@ -1,0 +1,217 @@
+"""Host-level fault plans for the sweep dispatcher.
+
+A :class:`HostFaultPlan` is pure data, mirroring
+:mod:`repro.faults.plan`: a schedule of faults against *hosts* (not
+bots) that the dispatcher injects through its transport seam while a
+sweep is in flight.  Triggers are expressed as a fraction of the
+sweep's acknowledged points, never as wall time, so every recovery
+path the plan exercises is deterministic and assertable: "kill host 1
+once half the sweep is acked" replays identically on any machine.
+
+Kinds:
+
+* ``kill`` -- the host dies permanently mid-lease; its unacknowledged
+  points must be re-leased elsewhere.
+* ``stall`` -- the host stops responding (no heartbeats, no results)
+  for ``duration`` dispatcher steps, then resumes.  A stall longer
+  than the heartbeat-miss budget is indistinguishable from a kill to
+  the dispatcher -- by design.
+* ``partition`` -- the host keeps executing its lease but every reply
+  is lost for ``duration`` steps: the asymmetric-failure case where
+  work happens and acknowledgements do not.
+
+Random plans are drawn from a dedicated named RNG stream
+(``derive_seed(seed, "dispatch-host-faults")``), so a fault schedule
+never perturbs any simulation stream and one integer reproduces the
+whole adversarial run.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.sim.rng import derive_seed
+
+KILL = "kill"
+STALL = "stall"
+PARTITION = "partition"
+
+FAULT_KINDS = (KILL, STALL, PARTITION)
+
+
+@dataclass(frozen=True)
+class HostFault:
+    """One scheduled host fault.
+
+    ``at_progress`` is the acked-points fraction at which the fault
+    fires (0.0 = before any ack, 0.5 = once half the sweep is acked).
+    ``duration`` is measured in dispatcher steps and only meaningful
+    for ``stall``/``partition``; a ``kill`` is permanent.
+    """
+
+    kind: str
+    host: int
+    at_progress: float
+    duration: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown host fault kind {self.kind!r}")
+        if self.host < 0:
+            raise ValueError("host index must be >= 0")
+        if not 0.0 <= self.at_progress <= 1.0:
+            raise ValueError("at_progress must be in [0, 1]")
+        if self.kind != KILL and self.duration < 1:
+            raise ValueError(f"{self.kind} fault needs duration >= 1")
+
+    def label(self) -> str:
+        tail = "" if self.kind == KILL else f"x{self.duration}"
+        return f"{self.kind}:{self.host}@{self.at_progress:g}{tail}"
+
+
+@dataclass(frozen=True)
+class HostFaultPlan:
+    """An immutable schedule of host faults (possibly empty)."""
+
+    faults: Tuple[HostFault, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def validate(self, hosts: int) -> None:
+        """Reject plans that reference nonexistent hosts or that kill
+        the entire pool (an unrecoverable sweep is a configuration
+        error, not a fault-tolerance scenario)."""
+        for fault in self.faults:
+            if fault.host >= hosts:
+                raise ValueError(
+                    f"fault {fault.label()} targets host {fault.host} "
+                    f"but the pool has {hosts} hosts"
+                )
+        killed = {f.host for f in self.faults if f.kind == KILL}
+        if hosts and len(killed) >= hosts:
+            raise ValueError("fault plan kills every host; nothing could finish")
+
+    def label(self) -> str:
+        if not self.faults:
+            return "(no host faults)"
+        return ",".join(fault.label() for fault in self.faults)
+
+
+def parse_host_faults(spec: str) -> HostFaultPlan:
+    """Parse the CLI fault syntax: a comma list of
+    ``kind:host@progress[xduration]`` entries, e.g.
+    ``kill:1@0.5,stall:0@0.25x6``."""
+    faults: List[HostFault] = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            kind, rest = chunk.split(":", 1)
+            host_text, at_text = rest.split("@", 1)
+            duration = 0
+            if "x" in at_text:
+                at_text, dur_text = at_text.split("x", 1)
+                duration = int(dur_text)
+            host = int(host_text)
+            at_progress = float(at_text)
+        except ValueError as exc:
+            raise ValueError(
+                f"bad host fault {chunk!r} (want kind:host@progress[xduration], "
+                f"e.g. kill:1@0.5 or stall:0@0.25x6)"
+            ) from exc
+        # HostFault's own validation errors are already descriptive.
+        faults.append(
+            HostFault(
+                kind=kind.strip(),
+                host=host,
+                at_progress=at_progress,
+                duration=duration,
+            )
+        )
+    return HostFaultPlan(faults=tuple(faults))
+
+
+def sample_fault_plan(
+    seed: int,
+    hosts: int,
+    max_faults: int = 3,
+    kinds: Sequence[str] = FAULT_KINDS,
+    max_duration: int = 8,
+) -> HostFaultPlan:
+    """Draw a random-but-reproducible plan from the dedicated
+    ``dispatch-host-faults`` stream.
+
+    One randomly chosen *survivor* host receives no faults at all, so
+    a sampled plan can always be recovered from: a stall or partition
+    longer than the dispatcher's heartbeat budget is operationally a
+    kill, and sampling does not know the budget -- exempting one host
+    from everything is the conservative guarantee.  Stall/partition
+    durations are drawn in ``[1, max_duration]``.
+    """
+    if hosts < 1:
+        raise ValueError("hosts must be >= 1")
+    rng = random.Random(derive_seed(seed, "dispatch-host-faults"))
+    count = rng.randint(0, max(0, max_faults))
+    survivor = rng.randrange(hosts)
+    faultable = [host for host in range(hosts) if host != survivor]
+    killable = list(faultable)
+    rng.shuffle(killable)
+    faults: List[HostFault] = []
+    if not faultable:
+        return HostFaultPlan()
+    for _ in range(count):
+        kind = rng.choice(list(kinds))
+        if kind == KILL:
+            if not killable:
+                continue
+            host = killable.pop()
+            faults.append(
+                HostFault(kind=KILL, host=host, at_progress=round(rng.random(), 3))
+            )
+        else:
+            faults.append(
+                HostFault(
+                    kind=kind,
+                    host=rng.choice(faultable),
+                    at_progress=round(rng.random(), 3),
+                    duration=rng.randint(1, max_duration),
+                )
+            )
+    return HostFaultPlan(faults=tuple(faults))
+
+
+class HostFaultInjector:
+    """Stateful trigger evaluation over a pure plan.
+
+    The dispatcher calls :meth:`due` once per step with its current
+    acked count; each fault fires exactly once, when
+    ``acked >= ceil(at_progress * total)``.
+    """
+
+    def __init__(self, plan: HostFaultPlan, total_points: int) -> None:
+        self.plan = plan
+        self.total = total_points
+        self._pending = sorted(
+            plan.faults, key=lambda f: (f.at_progress, f.host, f.kind)
+        )
+
+    def due(self, acked: int) -> List[HostFault]:
+        fired: List[HostFault] = []
+        remaining: List[HostFault] = []
+        for fault in self._pending:
+            threshold = math.ceil(fault.at_progress * self.total)
+            if acked >= threshold:
+                fired.append(fault)
+            else:
+                remaining.append(fault)
+        self._pending = remaining
+        return fired
+
+    @property
+    def pending(self) -> Tuple[HostFault, ...]:
+        return tuple(self._pending)

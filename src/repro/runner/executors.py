@@ -14,7 +14,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import multiprocessing
 
@@ -44,7 +44,16 @@ _Task = Tuple[str, Dict[str, Any], int, int, int, bool]
 
 
 class SweepExecutionError(RuntimeError):
-    """A point kept failing after its retry budget was spent."""
+    """A point kept failing after its retry budget was spent.
+
+    ``indices`` names the sweep point indices that could not be
+    completed, so callers (and CI logs) can identify the failing cells
+    without parsing the message.
+    """
+
+    def __init__(self, message: str, indices: Sequence[int] = ()) -> None:
+        super().__init__(message)
+        self.indices: Tuple[int, ...] = tuple(indices)
 
 
 def _execute_point(task: _Task) -> PointRecord:
@@ -149,7 +158,8 @@ class SerialExecutor(_ExecutorBase):
                 except Exception as exc:
                     if attempt >= self._attempts_allowed():
                         raise SweepExecutionError(
-                            f"point {point.label()} failed after {attempt} attempts"
+                            f"point {point.label()} failed after {attempt} attempts",
+                            indices=(point.index,),
                         ) from exc
                     metrics.retries += 1
                     self._emit(
@@ -252,14 +262,16 @@ class ProcessExecutor(_ExecutorBase):
                         if attempts[point.index] >= self._attempts_allowed():
                             raise SweepExecutionError(
                                 f"point {point.label()} kept crashing its worker "
-                                f"({attempts[point.index]} attempts)"
+                                f"({attempts[point.index]} attempts)",
+                                indices=(point.index,),
                             ) from exc
                         retry_round.append(point)
                     except Exception as exc:
                         if attempts[point.index] >= self._attempts_allowed():
                             raise SweepExecutionError(
                                 f"point {point.label()} failed after "
-                                f"{attempts[point.index]} attempts"
+                                f"{attempts[point.index]} attempts",
+                                indices=(point.index,),
                             ) from exc
                         metrics.retries += 1
                         self._emit(

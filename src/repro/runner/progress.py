@@ -18,6 +18,10 @@ SWEEP_START = "sweep-start"
 POINT_DONE = "point-done"
 POINT_RETRY = "point-retry"
 POOL_RESTART = "pool-restart"
+#: Dispatcher-only kinds: a plan fault fired; a host was declared
+#: lost (heartbeat budget exhausted) and its lease re-issued.
+HOST_FAULT = "host-fault"
+HOST_LOST = "host-lost"
 SWEEP_DONE = "sweep-done"
 
 
@@ -56,6 +60,10 @@ class ConsoleProgress:
             line = f"retry {event.point.label()}: {event.detail}"
         elif event.kind == POOL_RESTART:
             line = f"worker pool restarted: {event.detail}"
+        elif event.kind == HOST_FAULT:
+            line = f"host fault injected: {event.detail}"
+        elif event.kind == HOST_LOST:
+            line = f"host lost: {event.detail}"
         elif event.kind == SWEEP_DONE:
             line = f"sweep done: {event.detail}"
         else:  # pragma: no cover - future event kinds degrade gracefully

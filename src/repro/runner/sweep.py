@@ -176,14 +176,26 @@ class SweepResult:
 
 def merge_records(records: Sequence[PointRecord], expected: int) -> List[PointRecord]:
     """Order records by point index and verify the sweep is complete:
-    no duplicates, no holes.  This is the aggregation-layer gate that
-    makes worker scheduling invisible downstream."""
+    no duplicates, no holes, no stray indices.  This is the
+    aggregation-layer gate that makes worker scheduling (and
+    dispatcher host recovery) invisible downstream: an executor that
+    hands over too few, too many, or out-of-range records fails loudly
+    here rather than producing a silently partial exhibit."""
+    if expected < 0:
+        raise ValueError("expected record count must be >= 0")
     by_index: Dict[int, PointRecord] = {}
     for record in records:
+        if not 0 <= record.index < expected:
+            raise ValueError(
+                f"record index {record.index} outside sweep of {expected} points"
+            )
         if record.index in by_index:
             raise ValueError(f"duplicate record for point {record.index}")
         by_index[record.index] = record
-    missing = [i for i in range(expected) if i not in by_index]
-    if missing:
-        raise ValueError(f"sweep incomplete: missing points {missing}")
+    if len(by_index) != expected:
+        missing = [i for i in range(expected) if i not in by_index]
+        raise ValueError(
+            f"sweep incomplete: got {len(by_index)}/{expected} records, "
+            f"missing points {missing}"
+        )
     return [by_index[i] for i in range(expected)]

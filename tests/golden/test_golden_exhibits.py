@@ -74,6 +74,37 @@ def test_fig2_small_values_golden(fig2_small_result):
     _check_golden("fig2_small_values.json", text)
 
 
+def test_fig2_small_dispatched_with_host_kill_matches_golden():
+    """The same fig2 sweep dispatched across 3 simulated hosts -- one of
+    which is killed at 50% progress -- must reproduce the committed
+    golden bytes exactly.  Host placement, chunking, and failure
+    recovery are not allowed to leak into the exhibit."""
+    from repro.runner import (
+        DispatchExecutor,
+        build_sweep,
+        parse_host_faults,
+        render_result,
+    )
+
+    spec = build_sweep(
+        "fig2",
+        root_seed=0,
+        scale="tiny",
+        sensors=16,
+        announce_hours=1.0,
+        measure_hours=4.0,
+        thresholds=(0.05, 0.10),
+        ratios=(1, 2, 4),
+        fleet_size=6,
+    )
+    executor = DispatchExecutor(
+        hosts=3, fault_plan=parse_host_faults("kill:1@0.5")
+    )
+    result = executor.run(spec)
+    assert result.metrics.pool_restarts == 1  # the kill really happened
+    _check_golden("fig2_small_sweep.txt", render_result(result))
+
+
 def test_fig3_zeus_small_rendered_golden():
     from repro.runner import build_sweep, render_result, run_sweep
 

@@ -1,0 +1,107 @@
+"""LocalHostPool semantics: the deterministic fault seam the
+dispatcher's recovery paths are proven against."""
+
+import pytest
+
+from repro.runner.dispatch.faultplan import KILL, PARTITION, STALL, HostFault
+from repro.runner.dispatch.transport import (
+    REPLY_ERROR,
+    REPLY_IDLE,
+    REPLY_RECORD,
+    LocalHostPool,
+)
+from repro.runner.dispatch.wire import WorkUnit
+from repro.runner.sweep import point_seed
+
+
+def _unit(index, x=None, point="t-square", attempt=1):
+    params = {"x": x if x is not None else index}
+    return WorkUnit(
+        point=point, params=params, seed=point_seed(0, index),
+        index=index, attempt=attempt,
+    )
+
+
+class TestLocalHostPool:
+    def test_host_count_validation(self):
+        with pytest.raises(ValueError):
+            LocalHostPool(0)
+
+    def test_idle_heartbeat_when_empty(self):
+        pool = LocalHostPool(1)
+        reply = pool.step(0)
+        assert reply is not None and reply.kind == REPLY_IDLE
+
+    def test_executes_queue_in_fifo_order(self):
+        pool = LocalHostPool(1)
+        pool.submit(0, _unit(0, x=2))
+        pool.submit(0, _unit(1, x=3))
+        first = pool.step(0)
+        second = pool.step(0)
+        assert first.kind == REPLY_RECORD and first.record.values["square"] == 4
+        assert second.kind == REPLY_RECORD and second.record.values["square"] == 9
+
+    def test_record_worker_is_host_labeled(self):
+        pool = LocalHostPool(2)
+        pool.submit(1, _unit(0))
+        reply = pool.step(1)
+        assert reply.record.worker == "host:1"
+
+    def test_point_exception_becomes_error_reply(self):
+        pool = LocalHostPool(1)
+        pool.submit(0, _unit(3, point="t-always-fail"))
+        reply = pool.step(0)
+        assert reply.kind == REPLY_ERROR
+        assert reply.index == 3
+        assert "never succeeds" in reply.error
+
+    def test_killed_host_goes_silent(self):
+        pool = LocalHostPool(1)
+        pool.submit(0, _unit(0))
+        pool.inject(HostFault(KILL, host=0, at_progress=0.0))
+        assert pool.step(0) is None
+        assert pool.step(0) is None
+
+    def test_submit_to_dead_host_is_lost_in_transit(self):
+        pool = LocalHostPool(1)
+        pool.inject(HostFault(KILL, host=0, at_progress=0.0))
+        pool.submit(0, _unit(0))  # no raise: the lease just vanishes
+        assert pool.step(0) is None
+
+    def test_stall_silences_then_resumes_with_queue_intact(self):
+        pool = LocalHostPool(1)
+        pool.submit(0, _unit(0, x=5))
+        pool.inject(HostFault(STALL, host=0, at_progress=0.0, duration=2))
+        assert pool.step(0) is None
+        assert pool.step(0) is None
+        reply = pool.step(0)  # stall over; the lease survived
+        assert reply.kind == REPLY_RECORD
+        assert reply.record.values["square"] == 25
+
+    def test_partition_executes_but_drops_replies(self):
+        pool = LocalHostPool(1)
+        pool.submit(0, _unit(0))
+        pool.submit(0, _unit(1))
+        pool.inject(HostFault(PARTITION, host=0, at_progress=0.0, duration=2))
+        assert pool.step(0) is None  # executed index 0, reply lost
+        assert pool.step(0) is None  # executed index 1, reply lost
+        reply = pool.step(0)  # partition healed, queue now empty
+        assert reply.kind == REPLY_IDLE
+
+    def test_discard_is_permanent(self):
+        pool = LocalHostPool(2)
+        pool.submit(0, _unit(0))
+        pool.discard(0)
+        assert pool.step(0) is None
+        # The other host is unaffected.
+        assert pool.step(1).kind == REPLY_IDLE
+
+    def test_close_silences_every_host(self):
+        pool = LocalHostPool(3)
+        pool.close()
+        assert all(pool.step(host) is None for host in pool.host_ids())
+
+    def test_context_manager_closes(self):
+        with LocalHostPool(1) as pool:
+            assert pool.step(0).kind == REPLY_IDLE
+        assert pool.step(0) is None

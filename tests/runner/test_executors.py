@@ -159,6 +159,55 @@ class TestProcessExecutor:
         with pytest.raises(SweepExecutionError):
             ProcessExecutor(workers=2, max_retries=1).run(spec)
 
+    def test_exhaustion_reports_failing_index(self):
+        from repro.runner.sweep import SweepPoint, point_seed
+
+        spec = SweepSpec(
+            name="mixed",
+            root_seed=0,
+            points=(
+                SweepPoint(0, "t-square", {"x": 2}, point_seed(0, 0)),
+                SweepPoint(1, "t-always-fail", {}, point_seed(0, 1)),
+                SweepPoint(2, "t-square", {"x": 3}, point_seed(0, 2)),
+            ),
+        )
+        with pytest.raises(SweepExecutionError) as excinfo:
+            ProcessExecutor(workers=2, max_retries=1).run(spec)
+        assert excinfo.value.indices == (1,)
+
+    def test_worker_death_does_not_hang_healthy_points(self, tmp_path):
+        # A worker dying mid-batch must not strand the other points:
+        # the pool is rebuilt, the sweep either completes or raises,
+        # and the error names the unrecoverable point.
+        from repro.runner.sweep import SweepPoint, point_seed
+
+        points = [SweepPoint(i, "t-square", {"x": i}, point_seed(0, i)) for i in range(5)]
+        points[2] = SweepPoint(
+            2,
+            "t-hard-crash",
+            {"x": 2, "marker": str(tmp_path / "no-dir" / "m")},
+            point_seed(0, 2),
+        )
+        spec = SweepSpec(name="crashy", root_seed=0, points=tuple(points))
+        with pytest.raises(SweepExecutionError) as excinfo:
+            ProcessExecutor(workers=2, max_retries=1).run(spec)
+        assert excinfo.value.indices == (2,)
+
+
+class TestSweepExecutionErrorIndices:
+    def test_serial_exhaustion_reports_index(self):
+        spec = SweepSpec(
+            name="fail",
+            root_seed=0,
+            points=make_points(0, "t-always-fail", [{}]),
+        )
+        with pytest.raises(SweepExecutionError) as excinfo:
+            SerialExecutor(max_retries=0).run(spec)
+        assert excinfo.value.indices == (0,)
+
+    def test_indices_default_empty(self):
+        assert SweepExecutionError("boom").indices == ()
+
 
 class TestRunSweep:
     def test_workers_one_uses_serial(self):

@@ -2,9 +2,12 @@
 contract: child seeds and aggregated results are independent of how
 points are sharded or ordered."""
 
+import json
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.runner.dispatch import dispatch_sweep, sample_fault_plan
 from repro.runner.executors import SerialExecutor
 from repro.runner.sweep import SweepSpec, make_points, merge_records, point_seed
 
@@ -105,4 +108,58 @@ class TestShardingInvariance:
         merged = merge_records(shard_records, count)
         assert [r.values for r in merged] == [
             r.values for r in canonical.records
+        ]
+
+
+class TestDispatchInvariance:
+    """The distributed dispatcher is just another sharding: whatever the
+    host count, chunk size, or fault plan, the merged result must be
+    byte-identical to the canonical serial run."""
+
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dispatch_matches_serial_for_any_topology(
+        self, root, count, hosts, chunk_size
+    ):
+        params = [{"x": i} for i in range(count)]
+        spec = SweepSpec(
+            name="p", root_seed=root, points=make_points(root, "t-square", params)
+        )
+        serial = SerialExecutor().run(spec)
+        dispatched = dispatch_sweep(spec, hosts=hosts, chunk_size=chunk_size)
+        assert json.dumps(dispatched.values(), sort_keys=True) == json.dumps(
+            serial.values(), sort_keys=True
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dispatch_matches_serial_under_sampled_faults(
+        self, root, count, hosts, fault_seed
+    ):
+        params = [{"x": i} for i in range(count)]
+        spec = SweepSpec(
+            name="p", root_seed=root, points=make_points(root, "t-square", params)
+        )
+        serial = SerialExecutor().run(spec)
+        plan = sample_fault_plan(fault_seed, hosts=hosts)
+        # A generous retry budget: faults burn attempts, but each point
+        # must still land on exactly the same (params, seed) payload.
+        dispatched = dispatch_sweep(
+            spec, hosts=hosts, fault_plan=plan, max_retries=hosts * 2 + 4
+        )
+        assert json.dumps(dispatched.values(), sort_keys=True) == json.dumps(
+            serial.values(), sort_keys=True
+        )
+        assert [r.seed for r in dispatched.records] == [
+            r.seed for r in serial.records
         ]

@@ -60,6 +60,24 @@ class TestMergeRecords:
         with pytest.raises(ValueError, match="missing"):
             merge_records([_record(0, {}), _record(2, {})], 3)
 
+    def test_missing_message_names_points_and_counts(self):
+        with pytest.raises(ValueError, match=r"got 2/4 records.*missing points \[1, 3\]"):
+            merge_records([_record(0, {}), _record(2, {})], 4)
+
+    def test_out_of_range_index_rejected(self):
+        # A record beyond the sweep bounds is a stray (wrong sweep, bad
+        # wire frame), not a candidate for silent inclusion.
+        with pytest.raises(ValueError, match="outside sweep of 2 points"):
+            merge_records([_record(0, {}), _record(5, {})], 2)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="outside sweep"):
+            merge_records([_record(-1, {})], 2)
+
+    def test_negative_expected_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            merge_records([], -1)
+
 
 class TestMetrics:
     def test_utilization_bounds(self):
