@@ -189,11 +189,63 @@ def _workload_population(quick: bool) -> Dict[str, Any]:
     return extras
 
 
+def _workload_topo(quick: bool) -> Dict[str, Any]:
+    """A crawl over the AS-aware internet layer -- same shape as
+    ``crawl`` but every delivery pays an AS-path latency lookup, so
+    this isolates the topology layer's overhead (path resolution,
+    prefix mapping, per-hop latency).  Extras report the path cache's
+    hit/miss split: misses are whole-source Dijkstra runs, so a miss
+    count that grows with the run would flag a cache regression.
+    """
+    import random
+
+    from repro.core.crawler import ZeusCrawler
+    from repro.core.defects import ZeusDefectProfile
+    from repro.core.stealth import StealthPolicy
+    from repro.net.address import parse_ip
+    from repro.net.transport import Endpoint
+    from repro.obs import runtime
+    from repro.sim.clock import HOUR
+    from repro.workloads.population import zeus_config
+    from repro.workloads.scenarios import build_zeus_scenario
+
+    rss_before = _current_rss_kb()
+    scenario = build_zeus_scenario(
+        zeus_config("tiny", master_seed=_BENCH_SEED, topology=f"synth:{_BENCH_SEED}"),
+        sensor_count=8,
+        announce_hours=1.0,
+    )
+    population_rss_kb = max(0, _current_rss_kb() - rss_before)
+    crawler = ZeusCrawler(
+        name="bench-topo-crawler",
+        endpoint=Endpoint(parse_ip("99.0.0.1"), 7000),
+        transport=scenario.net.transport,
+        scheduler=scenario.net.scheduler,
+        rng=random.Random(_BENCH_SEED),
+        policy=StealthPolicy(per_target_interval=15.0, requests_per_target=4),
+        profile=ZeusDefectProfile(name="bench-topo"),
+    )
+    crawler.start(scenario.net.bootstrap_sample(8, seed=_BENCH_SEED))
+    scenario.run_for((1.0 if quick else 4.0) * HOUR)
+    extras: Dict[str, Any] = {
+        "events": len(runtime.tracer()),
+        "population_rss_kb": population_rss_kb,
+    }
+    model = scenario.net.transport.latency_model
+    if model is not None:
+        hits, misses = model.resolver.cache_stats()
+        extras["path_cache_hits"] = hits
+        extras["path_cache_misses"] = misses
+        extras["topo_sends"] = model.sends
+    return extras
+
+
 WORKLOADS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "crawl": _workload_crawl,
     "detect": _workload_detect,
     "population": _workload_population,
     "sweep": _workload_sweep,
+    "topo": _workload_topo,
 }
 
 

@@ -22,12 +22,13 @@ from repro.botnets.graph import ConnectivityGraph
 from repro.botnets.state import PopulationState
 from repro.faults.injector import FaultyTransport
 from repro.faults.plan import FaultPlan
-from repro.net.address import AddressPool, Subnet, subnet_key
+from repro.net.address import AddressPool, Subnet, prefix_of
 from repro.net.churn import ChurnConfig, ChurnProcess, DiurnalModel
 from repro.net.nat import NatGateway
 from repro.net.transport import Endpoint, Transport, TransportConfig
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Scheduler
+from repro.topo import Topology, TopologyConfig, default_blocks, parse_topology
 
 
 @dataclass
@@ -69,8 +70,17 @@ class PopulationConfig:
     # Safe for builder-owned populations (no sim handler retains the
     # Message); handlers bound externally must snapshot what they keep.
     recycle_messages: bool = True
+    # Topology-aware internet layer (repro.topo).  None keeps the flat
+    # uniform-latency model and replays byte-identically to older runs;
+    # a spec string ("synth:7", "asrel:path.as-rel2") or TopologyConfig
+    # routes latency over an AS graph and enables AS-aware faults.
+    topology: Optional[TopologyConfig] = None
+    # Extra CIDR blocks the topology labels beyond bot space (scenario
+    # infrastructure: sensors, crawlers).  Ignored when topology is None.
+    topology_extra_blocks: Tuple[str, ...] = ("45.0.0.0/10", "99.0.0.0/12")
 
     def __post_init__(self) -> None:
+        self.topology = parse_topology(self.topology)
         if self.population < 1:
             raise ValueError("population must be >= 1")
         if not 0.0 < self.routable_fraction <= 1.0:
@@ -90,6 +100,24 @@ class PopulationBuilder:
         self.config = config
         self.rngs = RngRegistry(config.master_seed)
         self.scheduler = Scheduler()
+        self.topology: Optional[Topology] = None
+        latency_model = None
+        if config.topology is not None:
+            # The allocator only labels the existing blocks; address
+            # allocation below is untouched, so the population layout
+            # is identical to a flat build with the same seed.
+            self.topology = Topology.build(
+                config.topology,
+                default_blocks(
+                    config.routable_blocks,
+                    config.nat_blocks,
+                    config.topology_extra_blocks,
+                ),
+            )
+            # Jitter draws on a dedicated stream, never "transport".
+            latency_model = self.topology.latency_model(
+                self.rngs.stream("topo-jitter")
+            )
         if config.fault_plan is not None and not config.fault_plan.empty:
             # Fault draws come from their own stream so the base
             # transport's draws stay aligned with fault-free runs.
@@ -100,6 +128,8 @@ class PopulationBuilder:
                 fault_rng=self.rngs.stream("faults"),
                 config=config.transport,
                 recycle_messages=config.recycle_messages,
+                latency_model=latency_model,
+                topology=self.topology,
             )
         else:
             self.transport = Transport(
@@ -107,6 +137,7 @@ class PopulationBuilder:
                 self.rngs.stream("transport"),
                 config=config.transport,
                 recycle_messages=config.recycle_messages,
+                latency_model=latency_model,
             )
         self.state: Optional[PopulationState] = (
             PopulationState() if config.state_backend == "soa" else None
@@ -148,7 +179,7 @@ class PopulationBuilder:
         remainder = self.config.bots_per_dense_neighborhood - per_half
         for _ in range(self.config.dense_neighborhoods):
             block = rng.choice(blocks)
-            base = Subnet(subnet_key(block.random_ip(rng), 19), 19)
+            base = prefix_of(block.random_ip(rng), 19)
             self.dense_neighborhood_keys.append(base.network)
             low, high = base.subdivide(20)
             for _ in range(per_half):
@@ -169,7 +200,7 @@ class PopulationBuilder:
             except RuntimeError:
                 pass  # hotspot full; fall through to a fresh allocation
         ip = self.routable_pool.allocate()
-        self._hotspots.append(Subnet(ip & 0xFFFFFF00, 24))
+        self._hotspots.append(prefix_of(ip, 24))
         if len(self._hotspots) > 64:
             self._hotspots.pop(0)
         return ip

@@ -58,7 +58,11 @@ def _report_obs(session: ObsSession) -> None:
 
 def _build(args: argparse.Namespace, session: Optional[ObsSession] = None):
     scenario = build_zeus_scenario(
-        zeus_config(args.scale, master_seed=args.seed),
+        zeus_config(
+            args.scale,
+            master_seed=args.seed,
+            topology=getattr(args, "topology", None),
+        ),
         sensor_count=args.sensors,
         announce_hours=2.0,
     )
@@ -159,6 +163,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         overrides["scale"] = args.scale
     if args.ratios:
         overrides["ratios"] = tuple(args.ratios)
+    if args.topology is not None:
+        overrides["topology"] = args.topology
     try:
         spec = build_sweep(args.name, root_seed=args.seed, **overrides)
     except KeyError as exc:
@@ -269,6 +275,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if not 0.0 <= intensity < 1.0:
             print("chaos: intensities must be in [0, 1)", file=sys.stderr)
             return 2
+    if "as-cut" in args.kinds and not args.topology:
+        print(
+            "chaos: as-cut needs a topology (--topology synth:<seed>)",
+            file=sys.stderr,
+        )
+        return 2
     session = _obs_session(args)
     with session:
         results = run_chaos_matrix(
@@ -279,6 +291,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             seed=args.seed,
             sensor_count=args.sensors,
             measure_hours=args.hours,
+            topology=args.topology,
         )
         if args.json:
             print(json.dumps([r.to_dict() for r in results], indent=2, sort_keys=True))
@@ -382,6 +395,57 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_topo(args: argparse.Namespace) -> int:
+    from repro.botnets.population import PopulationConfig
+    from repro.topo import Topology, default_blocks, parse_topology
+
+    try:
+        config = parse_topology(args.topology)
+    except ValueError as exc:
+        print(f"topo: {exc}", file=sys.stderr)
+        return 2
+    if config is None:
+        print("topo: --topology is required (e.g. --topology synth:7)", file=sys.stderr)
+        return 2
+    base = PopulationConfig()
+    topo = Topology.build(
+        config,
+        default_blocks(
+            base.routable_blocks, base.nat_blocks, base.topology_extra_blocks
+        ),
+    )
+    if args.action == "info":
+        print(topo.describe())
+        print("per-AS prefix allocation:")
+        for line in topo.allocator.summary():
+            print(f"  {line}")
+        return 0
+    # paths
+    resolver = topo.resolver
+    ases = topo.graph.ases
+    if (args.src is None) != (args.dst is None):
+        print("topo paths: --src and --dst go together", file=sys.stderr)
+        return 2
+    if args.src is not None:
+        if args.src not in topo.graph or args.dst not in topo.graph:
+            print("topo paths: unknown AS (see 'repro topo info')", file=sys.stderr)
+            return 2
+        pairs = [(args.src, args.dst)]
+    else:
+        rng = random.Random(args.seed)
+        pairs = [(rng.choice(ases), rng.choice(ases)) for _ in range(args.count)]
+    for src, dst in pairs:
+        path = resolver.path(src, dst)
+        if path is None:
+            print(f"AS{src} -> AS{dst}: unreachable")
+        else:
+            rendered = " -> ".join(f"AS{asn}" for asn in path)
+            print(f"AS{src} -> AS{dst}: {rendered} ({len(path) - 1} hops)")
+    hits, misses = resolver.cache_stats()
+    print(f"path cache: {hits} hits, {misses} misses", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
         compare_bench,
@@ -449,6 +513,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--contact-ratio", type=int, default=1)
         p.add_argument("--hard-hitter", action="store_true")
+        add_topology_option(p)
+
+    def add_topology_option(p):
+        p.add_argument(
+            "--topology", metavar="SPEC", default=None,
+            help="route latency over an AS topology: 'synth:<seed>[:<n_ases>]' "
+                 "or 'asrel:<path>' (default: flat uniform latency)",
+        )
 
     def add_obs_options(p, flight: bool = True):
         p.add_argument(
@@ -551,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--health", action="store_true",
         help="capture per-point metrics and print merged health indicators",
     )
+    add_topology_option(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     chaos = sub.add_parser(
@@ -584,8 +657,30 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--list", action="store_true", help="list chaos kinds")
     chaos.add_argument("--json", action="store_true", help="emit raw cells as JSON")
+    add_topology_option(chaos)
     add_obs_options(chaos)
     chaos.set_defaults(func=_cmd_chaos)
+
+    topo = sub.add_parser(
+        "topo",
+        help="inspect an AS topology: graph summary, prefixes, paths",
+        description=(
+            "Build the AS topology a --topology spec names and inspect "
+            "it: 'info' prints the graph shape and per-AS prefix "
+            "allocation; 'paths' resolves valley-free routes between "
+            "AS pairs (explicit --src/--dst, or a seeded sample)."
+        ),
+    )
+    topo.add_argument("action", choices=("info", "paths"), help="what to show")
+    add_topology_option(topo)
+    topo.add_argument("--src", type=int, default=None, help="paths: source ASN")
+    topo.add_argument("--dst", type=int, default=None, help="paths: destination ASN")
+    topo.add_argument(
+        "--count", type=int, default=8,
+        help="paths: how many sampled pairs to resolve (default 8)",
+    )
+    topo.add_argument("--seed", type=int, default=0, help="paths: pair-sampling seed")
+    topo.set_defaults(func=_cmd_topo)
 
     trace = sub.add_parser(
         "trace",

@@ -16,9 +16,16 @@ import random
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.faults.plan import CRASH, MUTE, OUTAGE, FaultPlan, NodeFault
+from repro.faults.plan import (
+    CRASH,
+    MUTE,
+    OUTAGE,
+    ASPartition,
+    FaultPlan,
+    NodeFault,
+)
 from repro.net.nat import RoutabilityTable
-from repro.net.transport import Message, Transport, TransportConfig
+from repro.net.transport import Endpoint, Message, Transport, TransportConfig
 from repro.obs import runtime as obs
 from repro.sim.scheduler import Scheduler
 
@@ -29,6 +36,8 @@ class FaultStats:
 
     dropped_burst: int = 0
     dropped_partition: int = 0
+    dropped_as_partition: int = 0
+    sinkholed: int = 0
     spiked_sends: int = 0
     ge_transitions: int = 0
 
@@ -53,6 +62,8 @@ class FaultyTransport(Transport):
         config: Optional[TransportConfig] = None,
         routability: Optional[RoutabilityTable] = None,
         recycle_messages: bool = False,
+        latency_model: Optional[object] = None,
+        topology: Optional[object] = None,
     ) -> None:
         config = config if config is not None else TransportConfig()
         if plan.duplicate_rate or plan.reorder_rate:
@@ -67,20 +78,40 @@ class FaultyTransport(Transport):
             config=config,
             routability=routability,
             recycle_messages=recycle_messages,
+            latency_model=latency_model,
         )
         self.plan = plan
         self.fault_rng = fault_rng
         self.fault_stats = FaultStats()
         self._ge_bad = False
+        self.topology = topology
+        if plan.as_partitions and topology is None:
+            raise ValueError(
+                "plan has AS partitions but the transport was built "
+                "without a topology (pass topology= / use --topology)"
+            )
+        # AS-partition separation checks are precomputed once: detach
+        # cones become a set test, link cuts a resolver over the cut
+        # graph.  Plans stay pure data; graph work happens here.
+        self._as_cuts: List[Tuple[ASPartition, Callable[[int, int], bool]]] = [
+            (part, _as_cut_check(topology, part)) for part in plan.as_partitions
+        ]
+        self._sinkhole_targets: Dict[object, Endpoint] = {
+            hole: Endpoint(hole.target_ip, hole.target_port)
+            for hole in plan.sinkholes
+        }
         # Injected-fault counters; drops by reason (partition,
         # burst_loss) are already covered by the base transport.
         registry = obs.metrics()
         self._m_faults = registry.counter("faults.injected", "injected faults by kind")
+        self._m_topo_drop = registry.counter(
+            "topo.dropped", "AS-partition drops by dst AS"
+        )
 
     # -- fault hooks -----------------------------------------------------
 
-    def _latency(self) -> float:
-        latency = super()._latency()
+    def _latency(self, src: Endpoint, dst: Endpoint) -> float:
+        latency = super()._latency(src, dst)
         now = self.scheduler.now
         for spike in self.plan.latency_spikes:
             if spike.active(now):
@@ -118,12 +149,38 @@ class FaultyTransport(Transport):
         loss = ge.loss_bad if self._ge_bad else ge.loss_good
         return bool(loss) and self.fault_rng.random() < loss
 
+    def _deliver(self, src: Endpoint, dst: Endpoint, payload: bytes, sent_at: float) -> None:
+        if self._sinkhole_targets:
+            now = self.scheduler.now
+            for hole, target in self._sinkhole_targets.items():
+                if hole.active(now) and hole.matches(dst.ip) and dst != target:
+                    self.fault_stats.sinkholed += 1
+                    self._m_faults.labels("sinkhole").inc()
+                    if self._trace:
+                        self._trace.instant(
+                            now, "faults", "sinkhole",
+                            src=str(src), dst=str(dst), target=str(target),
+                        )
+                    dst = target
+                    break
+        super()._deliver(src, dst, payload, sent_at)
+
     def _drop_reason(self, message: Message) -> Optional[str]:
         now = message.delivered_at
         for partition in self.plan.partitions:
             if partition.active(now) and partition.separates(message.src.ip, message.dst.ip):
                 self.fault_stats.dropped_partition += 1
                 return "partition"
+        if self._as_cuts:
+            topo = self.topology
+            src_as = topo.as_of(message.src.ip)
+            dst_as = topo.as_of(message.dst.ip)
+            for as_part, cuts in self._as_cuts:
+                if as_part.active(now) and cuts(src_as, dst_as):
+                    self.fault_stats.dropped_as_partition += 1
+                    label = "unmapped" if dst_as is None else f"AS{dst_as}"
+                    self._m_topo_drop.labels(label).inc()
+                    return "as_partition"
         reason = super()._drop_reason(message)
         if reason is not None:
             return reason
@@ -131,6 +188,32 @@ class FaultyTransport(Transport):
             self.fault_stats.dropped_burst += 1
             return "burst_loss"
         return None
+
+
+def _as_cut_check(topology: object, part: ASPartition) -> Callable[[int, int], bool]:
+    """Build the drop predicate for one AS partition.
+
+    Returns ``check(src_as, dst_as) -> True`` when the message must be
+    dropped.  Endpoints outside every allocated prefix (``None`` AS)
+    are never cut -- junk space has no routing to sever.
+    """
+    if part.detach is not None:
+        cone = topology.graph.customer_cone(part.detach)
+
+        def check(src_as: Optional[int], dst_as: Optional[int]) -> bool:
+            return (src_as in cone) != (dst_as in cone)
+
+        return check
+    from repro.topo.routing import PathResolver
+
+    cut_resolver = PathResolver(topology.graph.without_links(part.cut_links))
+
+    def check(src_as: Optional[int], dst_as: Optional[int]) -> bool:
+        if src_as is None or dst_as is None or src_as == dst_as:
+            return False
+        return not cut_resolver.reachable(src_as, dst_as)
+
+    return check
 
 
 #: Anything start()/stop()-able: bots, sensors, crawler bases.

@@ -156,6 +156,74 @@ class Partition:
         return first is not None and second is not None and first != second
 
 
+@dataclass(frozen=True)
+class ASPartition:
+    """An AS-level cut: sever specific AS links, or detach an AS and
+    its whole customer cone (a depeering/takedown event).
+
+    While active, :class:`repro.faults.injector.FaultyTransport` drops
+    messages whose endpoints' origin ASes end up with no valley-free
+    route (``cut_links``) or sit on opposite sides of the detached cone
+    (``detach``).  Requires the transport to be built with a topology;
+    plans remain pure data -- the AS graph is only consulted at
+    injection time.
+    """
+
+    start: float
+    duration: float
+    cut_links: Tuple[Tuple[int, int], ...] = ()
+    detach: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("AS partition needs start >= 0 and duration > 0")
+        if not self.cut_links and self.detach is None:
+            raise ValueError("AS partition needs cut_links or detach")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+    def describe(self) -> str:
+        what = []
+        if self.detach is not None:
+            what.append(f"detach AS{self.detach} cone")
+        for a, b in self.cut_links:
+            what.append(f"cut AS{a}-AS{b}")
+        return ", ".join(what)
+
+
+@dataclass(frozen=True)
+class RoutedSinkhole:
+    """A prefix hijack: while active, deliveries addressed into
+    ``prefix`` are rerouted to the sinkhole endpoint instead.
+
+    This is the routed-sinkholing takedown primitive -- the defender
+    announces a more-specific route for part of the botnet's space and
+    collects the traffic.  ``target_ip``/``target_port`` are plain ints
+    (plans stay transport-agnostic data); the injector builds the
+    endpoint.  Traffic already addressed to the sinkhole itself is
+    passed through untouched.
+    """
+
+    start: float
+    duration: float
+    prefix: Subnet
+    target_ip: int
+    target_port: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError("sinkhole needs start >= 0 and duration > 0")
+        if not 0 < self.target_port <= 65535:
+            raise ValueError(f"bad sinkhole port: {self.target_port}")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.start + self.duration
+
+    def matches(self, ip: int) -> bool:
+        return ip in self.prefix
+
+
 #: Node fault kinds understood by the driver.
 CRASH = "crash"      # stop the node, restart after ``duration``
 OUTAGE = "outage"    # identical mechanics; labels sensor downtime
@@ -197,6 +265,8 @@ class FaultPlan:
     reorder_rate: float = 0.0
     latency_spikes: Tuple[LatencySpike, ...] = ()
     partitions: Tuple[Partition, ...] = ()
+    as_partitions: Tuple[ASPartition, ...] = ()
+    sinkholes: Tuple[RoutedSinkhole, ...] = ()
     node_faults: Tuple[NodeFault, ...] = ()
 
     def __post_init__(self) -> None:
@@ -213,6 +283,8 @@ class FaultPlan:
             and not self.reorder_rate
             and not self.latency_spikes
             and not self.partitions
+            and not self.as_partitions
+            and not self.sinkholes
             and not self.node_faults
         )
 
@@ -236,6 +308,16 @@ class FaultPlan:
             )
         for part in self.partitions:
             lines.append(f"  partition: t={part.start:.0f} for {part.duration:.0f}s")
+        for as_part in self.as_partitions:
+            lines.append(
+                f"  as-partition: {as_part.describe()} at t={as_part.start:.0f} "
+                f"for {as_part.duration:.0f}s"
+            )
+        for hole in self.sinkholes:
+            lines.append(
+                f"  routed sinkhole: {hole.prefix} at t={hole.start:.0f} "
+                f"for {hole.duration:.0f}s"
+            )
         for fault in self.node_faults:
             lines.append(
                 f"  {fault.kind}: {fault.node_id} at t={fault.at:.0f} "

@@ -25,6 +25,8 @@ from repro.net.address import (
     ip_in_any,
     is_reserved,
     parse_ip,
+    prefix_of,
+    same_prefix,
     subnet_key,
 )
 from repro.net.churn import ChurnConfig, ChurnProcess, DiurnalModel, IpChurnProcess
@@ -49,5 +51,7 @@ __all__ = [
     "ip_in_any",
     "is_reserved",
     "parse_ip",
+    "prefix_of",
+    "same_prefix",
     "subnet_key",
 ]

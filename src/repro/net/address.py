@@ -97,6 +97,19 @@ def subnet_key(ip: int, prefix: int) -> int:
     return ip & _MASKS[prefix]
 
 
+def same_prefix(ip_a: int, ip_b: int, prefix: int) -> bool:
+    """True when both addresses fall in the same ``/prefix`` block.
+
+    The Zeus peer-list filter's "one entry per /20" rule and the
+    detector's subnet aggregation are both this predicate at different
+    prefix lengths.
+    """
+    if not 0 <= prefix <= 32:
+        raise ValueError(f"prefix out of range: {prefix}")
+    mask = _MASKS[prefix]
+    return (ip_a & mask) == (ip_b & mask)
+
+
 @dataclass(frozen=True)
 class Subnet:
     """A CIDR block."""
@@ -140,13 +153,29 @@ class Subnet:
 
     def subdivide(self, prefix: int) -> List["Subnet"]:
         """Split into equal sub-blocks of the given (longer) prefix."""
+        return list(self.blocks(prefix))
+
+    def blocks(self, prefix: int) -> Iterator["Subnet"]:
+        """Iterate the ``/prefix`` sub-blocks of this block lazily.
+
+        Prefer this over :meth:`subdivide` when walking a large block
+        (a /10 holds 4096 /22s); the allocator-facing topo code streams
+        blocks instead of materializing them.
+        """
         if prefix < self.prefix:
             raise ValueError("cannot subdivide into a shorter prefix")
         step = 1 << (32 - prefix)
-        return [
-            Subnet(net, prefix)
-            for net in range(self.network, self.network + self.size, step)
-        ]
+        for net in range(self.network, self.network + self.size, step):
+            yield Subnet(net, prefix)
+
+
+def prefix_of(ip: int, prefix: int) -> Subnet:
+    """The ``/prefix`` CIDR block containing ``ip``.
+
+    Convenience over the ad-hoc ``Subnet(ip & mask, n)`` spellings that
+    used to live at call sites.
+    """
+    return Subnet(subnet_key(ip, prefix), prefix)
 
 
 _RESERVED: List[Subnet] = [

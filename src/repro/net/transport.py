@@ -164,11 +164,17 @@ class Transport:
         config: Optional[TransportConfig] = None,
         routability: Optional[RoutabilityTable] = None,
         recycle_messages: bool = False,
+        latency_model: Optional[object] = None,
     ) -> None:
         self.scheduler = scheduler
         self.rng = rng
         self.config = config if config is not None else TransportConfig()
         self.routability = routability if routability is not None else RoutabilityTable()
+        # Optional pluggable latency oracle (duck-typed: anything with
+        # ``latency(src_ip, dst_ip) -> float``).  None keeps the flat
+        # uniform draw on the transport's own stream -- the replay
+        # contract every golden exhibit depends on.
+        self.latency_model = latency_model
         self.stats = TransportStats()
         self._handlers: Dict[Tuple[int, int], Handler] = {}
         self._taps: List[Tap] = []
@@ -288,7 +294,7 @@ class Transport:
         self.routability.note_outbound(src.key, dst.ip, now)
         self.stats.sent += 1
         self._m_sent.inc()
-        latency = self._latency()
+        latency = self._latency(src, dst)
         reordered = False
         if self.config.reorder_rate and self.rng.random() < self.config.reorder_rate:
             # Enough extra latency to arrive behind messages sent later.
@@ -303,7 +309,7 @@ class Transport:
             self.stats.duplicated += 1
             self._m_duplicated.inc()
             duplicated = True
-            self.scheduler.call_later(self._latency(), self._deliver, src, dst, payload, sent_at)
+            self.scheduler.call_later(self._latency(src, dst), self._deliver, src, dst, payload, sent_at)
         if self._trace:
             args = {"src": str(src), "dst": str(dst), "bytes": len(payload)}
             if reordered:
@@ -313,8 +319,17 @@ class Transport:
             self._trace.instant_args(now, "net", "send", args)
         return True
 
-    def _latency(self) -> float:
-        """One-way latency for a single delivery attempt."""
+    def _latency(self, src: Endpoint, dst: Endpoint) -> float:
+        """One-way latency for a single delivery attempt.
+
+        With a latency model configured, the draw happens on the
+        *model's* stream (path-derived latency + jitter); otherwise the
+        flat uniform draw on the transport stream, whose draw order is
+        part of the golden-replay contract.
+        """
+        model = self.latency_model
+        if model is not None:
+            return model.latency(src.ip, dst.ip)
         return self.rng.uniform(self.config.latency_min, self.config.latency_max)
 
     def _drop_reason(self, message: Message) -> Optional[str]:

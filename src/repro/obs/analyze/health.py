@@ -128,6 +128,39 @@ def snapshot_indicators(snapshot: Mapping[str, Any]) -> Dict[str, float]:
     return out
 
 
+def topology_section(snapshot: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+    """The per-AS delivery breakdown from a run's metrics snapshot.
+
+    Reads the ``topo.*`` metrics the topology latency model and the
+    AS-partition fault surface emit (``topo.sent`` / ``topo.dropped``
+    counters labelled by destination AS, ``topo.path_cache.*`` gauges).
+    Returns None when the run had no topology layer, so flat runs'
+    health reports carry no topology key at all.
+    """
+    sent = snapshot.get("topo.sent", {}).get("values", {})
+    dropped = snapshot.get("topo.dropped", {}).get("values", {})
+    hits = snapshot.get("topo.path_cache.hits", {}).get("values", {}).get("", None)
+    misses = snapshot.get("topo.path_cache.misses", {}).get("values", {}).get("", None)
+    if not sent and not dropped and hits is None:
+        return None
+    per_as: Dict[str, Dict[str, float]] = {}
+    for label, count in sent.items():
+        per_as.setdefault(label, {"sent": 0, "dropped": 0})["sent"] = count
+    for label, count in dropped.items():
+        per_as.setdefault(label, {"sent": 0, "dropped": 0})["dropped"] = count
+    section: Dict[str, Any] = {
+        "per_as": {label: per_as[label] for label in sorted(per_as)},
+        "sent_total": sum(sent.values()),
+        "dropped_total": sum(dropped.values()),
+    }
+    if hits is not None:
+        section["path_cache"] = {
+            "hits": hits,
+            "misses": misses if misses is not None else 0,
+        }
+    return section
+
+
 def _decimate(curve: List[List[float]], limit: int = MAX_CURVE_POINTS) -> List[List[float]]:
     """Thin a curve to at most ``limit`` points, keeping first and
     last; deterministic (uniform stride, no sampling)."""
@@ -374,6 +407,9 @@ class HealthAnalyzer:
                 key: value
                 for key, value in sorted(snapshot_indicators(metrics_snapshot).items())
             }
+            topology = topology_section(metrics_snapshot)
+            if topology is not None:
+                data["topology"] = topology
         return HealthReport(data)
 
 
@@ -529,4 +565,25 @@ def render_health(report: HealthReport) -> str:
         lines.append(f"faults:        {faults['total']} injected")
         for kind, count in faults["by_kind"].items():
             lines.append(f"  {kind}: {count}")
+    topology = data.get("topology")
+    if topology:
+        lines.append("")
+        lines.append(
+            f"topology:      {topology['sent_total']:.0f} routed sends, "
+            f"{topology['dropped_total']:.0f} AS-cut drops"
+        )
+        cache = topology.get("path_cache")
+        if cache:
+            total = cache["hits"] + cache["misses"]
+            rate = cache["hits"] / total if total else 0.0
+            lines.append(
+                f"  path cache:  {cache['hits']:.0f} hits / "
+                f"{cache['misses']:.0f} misses ({rate:.1%} hit rate)"
+            )
+        for label, entry in topology["per_as"].items():
+            drop = entry["dropped"]
+            lines.append(
+                f"  {label}: sent={entry['sent']:.0f}"
+                + (f" dropped={drop:.0f}" if drop else "")
+            )
     return "\n".join(lines)

@@ -20,11 +20,14 @@ avoid.
 
 from __future__ import annotations
 
+import os
 import select
 import subprocess
 import sys
 from collections import deque
 from typing import Deque, Dict, List, Optional
+
+import repro
 
 from repro.runner.dispatch import wire
 from repro.runner.dispatch.faultplan import KILL, HostFault
@@ -39,6 +42,27 @@ from repro.runner.dispatch.transport import (
 from repro.runner.dispatch.wire import WorkUnit
 
 
+def worker_env() -> Dict[str, str]:
+    """The child's environment: the parent's, with the directory that
+    resolves ``import repro`` for *this* process prepended to
+    ``PYTHONPATH``.
+
+    The parent may have imported ``repro`` from a source checkout via
+    ``sys.path`` manipulation (pytest's rootdir conftest, an IDE
+    runner) without PYTHONPATH ever being set -- a bare inherited
+    environment would then leave ``python -m
+    repro.runner.dispatch.hostworker`` unable to import the package,
+    and every host would be born dead.
+    """
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH", "")
+    parts = [package_root] + [p for p in existing.split(os.pathsep) if p]
+    # Dedup while keeping order: the repro root must stay first.
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+    return env
+
+
 class _SubprocessHost:
     __slots__ = ("host_id", "proc", "queue", "in_flight")
 
@@ -50,6 +74,7 @@ class _SubprocessHost:
             stdout=subprocess.PIPE,
             stderr=subprocess.DEVNULL,
             text=True,
+            env=worker_env(),
         )
         self.queue: Deque[WorkUnit] = deque()
         self.in_flight: Optional[WorkUnit] = None

@@ -59,11 +59,17 @@ _CAPTURE_KEYS = (
 
 
 def _zeus_capture(params: Mapping[str, Any]) -> Tuple[SensorLogDataset, Set[int]]:
-    key = ("zeus",) + tuple(params[k] for k in _CAPTURE_KEYS)
+    key = ("zeus",) + tuple(params[k] for k in _CAPTURE_KEYS) + (
+        params.get("topology"),
+    )
     cached = _CAPTURE_CACHE.get(key)
     if cached is not None:
         return cached
-    config = zeus_config(params["scale"], master_seed=params["capture_seed"])
+    config = zeus_config(
+        params["scale"],
+        master_seed=params["capture_seed"],
+        topology=params.get("topology"),
+    )
     scenario = build_zeus_scenario(
         config,
         sensor_count=params["sensors"],
@@ -134,7 +140,11 @@ def zeus_ratio_crawl(params: Mapping[str, Any], seed: int) -> Mapping[str, Any]:
     """One Figure 3a point: a 1/ratio-limited Zeus crawl against the
     sweep's shared-seed botnet."""
     scenario = build_zeus_scenario(
-        zeus_config(params["scale"], master_seed=params["capture_seed"]),
+        zeus_config(
+            params["scale"],
+            master_seed=params["capture_seed"],
+            topology=params.get("topology"),
+        ),
         sensor_count=params["sensors"],
         announce_hours=params["announce_hours"],
     )
@@ -172,7 +182,11 @@ def sality_ratio_crawl(params: Mapping[str, Any], seed: int) -> Mapping[str, Any
     """One Figure 3b point: a 1/ratio-limited Sality crawl against the
     sweep's shared-seed botnet."""
     scenario = build_sality_scenario(
-        sality_config(params["scale"], master_seed=params["capture_seed"]),
+        sality_config(
+            params["scale"],
+            master_seed=params["capture_seed"],
+            topology=params.get("topology"),
+        ),
         sensor_count=params["sensors"],
         announce_hours=params["announce_hours"],
     )

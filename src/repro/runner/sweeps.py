@@ -10,7 +10,7 @@ integer reproduces an entire sweep bit-for-bit at any worker count.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.runner.sweep import SweepSpec, make_points
 from repro.sim.rng import derive_seed
@@ -35,6 +35,7 @@ def fig2_sweep(
     fleet_size: int = 8,
     group_bits: int = 3,
     truth_min_coverage: float = 0.2,
+    topology: Optional[str] = None,
 ) -> SweepSpec:
     """Figure 2, sharded: one point per (threshold, contact ratio)
     cell over one shared capture."""
@@ -49,6 +50,10 @@ def fig2_sweep(
         "group_bits": group_bits,
         "detection_seed": derive_seed(root_seed, "fig2-detection"),
     }
+    if topology is not None:
+        # Only set when requested: absent-vs-None must not perturb the
+        # params dicts (and thus goldens) of flat sweeps.
+        capture["topology"] = topology
     params_list: List[Mapping[str, Any]] = [
         {**capture, "threshold": threshold, "ratio": ratio}
         for threshold in thresholds
@@ -71,6 +76,7 @@ def _fig3_sweep(
     announce_hours: float,
     hours: float,
     ratios: Sequence[int],
+    topology: Optional[str] = None,
 ) -> SweepSpec:
     capture = {
         "scale": scale,
@@ -79,6 +85,8 @@ def _fig3_sweep(
         "announce_hours": announce_hours,
         "hours": hours,
     }
+    if topology is not None:
+        capture["topology"] = topology
     params_list: List[Mapping[str, Any]] = [
         {**capture, "ratio": ratio} for ratio in ratios
     ]
@@ -97,11 +105,20 @@ def fig3_zeus_sweep(
     announce_hours: float = 2.0,
     hours: float = 8.0,
     ratios: Sequence[int] = FIG3_RATIOS,
+    topology: Optional[str] = None,
 ) -> SweepSpec:
     """Figure 3a, sharded: one point per contact ratio, each a full
     Zeus simulation from the same capture seed (identical churn)."""
     return _fig3_sweep(
-        "zeus", "zeus-ratio-crawl", root_seed, scale, sensors, announce_hours, hours, ratios
+        "zeus",
+        "zeus-ratio-crawl",
+        root_seed,
+        scale,
+        sensors,
+        announce_hours,
+        hours,
+        ratios,
+        topology=topology,
     )
 
 
@@ -112,6 +129,7 @@ def fig3_sality_sweep(
     announce_hours: float = 2.0,
     hours: float = 8.0,
     ratios: Sequence[int] = FIG3_RATIOS,
+    topology: Optional[str] = None,
 ) -> SweepSpec:
     """Figure 3b, sharded: as :func:`fig3_zeus_sweep` for Sality."""
     return _fig3_sweep(
@@ -123,6 +141,7 @@ def fig3_sality_sweep(
         announce_hours,
         hours,
         ratios,
+        topology=topology,
     )
 
 

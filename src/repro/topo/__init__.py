@@ -1,0 +1,46 @@
+"""Topology-aware internet layer.
+
+Models the AS-level structure underneath the flat address space: an
+AS-relationship graph (CAIDA ``.as-rel2`` snapshots or seeded synthetic
+topologies), realistic prefix-to-AS allocation, Gao-Rexford valley-free
+path resolution with a memoized path cache, and a path-derived latency
+model that plugs into :class:`repro.net.transport.Transport` behind the
+``latency_model`` seam.
+
+The default everywhere stays *flat*: with no topology configured, no
+module here is even imported by the hot path, and every golden exhibit
+replays byte-identically.  With a topology configured, runs are
+deterministic per seed (jitter comes from the dedicated ``topo-jitter``
+stream).  AS-aware fault surfaces (:class:`repro.faults.plan.
+ASPartition`, :class:`repro.faults.plan.RoutedSinkhole`) consume the
+same graph for link cuts, subtree detachment, and prefix hijacks.
+"""
+
+from repro.topo.asgraph import P2C, P2P, ASGraph, load_as_rel2, synth_topology
+from repro.topo.build import (
+    DEFAULT_N_ASES,
+    Topology,
+    TopologyConfig,
+    default_blocks,
+    parse_topology,
+)
+from repro.topo.latency import TopologyLatencyModel
+from repro.topo.prefixes import PrefixAllocator
+from repro.topo.routing import PathResolver, is_valley_free
+
+__all__ = [
+    "ASGraph",
+    "DEFAULT_N_ASES",
+    "P2C",
+    "P2P",
+    "PathResolver",
+    "PrefixAllocator",
+    "Topology",
+    "TopologyConfig",
+    "TopologyLatencyModel",
+    "default_blocks",
+    "is_valley_free",
+    "load_as_rel2",
+    "parse_topology",
+    "synth_topology",
+]

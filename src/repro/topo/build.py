@@ -1,0 +1,161 @@
+"""Topology specs, parsing, and the assembled ``Topology`` bundle.
+
+A topology is named by a compact spec string so it can travel through
+CLI flags, sweep params, and dispatch wire payloads unchanged:
+
+* ``flat`` (or empty/None)      -- no topology; the default flat model.
+* ``synth:<seed>``              -- synthetic AS graph, default size.
+* ``synth:<seed>:<n_ases>``     -- synthetic AS graph, explicit size.
+* ``asrel:<path>``              -- CAIDA ``.as-rel2`` file.
+* ``asrel:<path>:<seed>``       -- same, with a prefix-allocation seed.
+
+Building is pure and deterministic: the same config plus the same
+address blocks always yields the same graph, allocation, and resolver,
+so independently built topologies (e.g. the chaos planner's and the
+population builder's) agree on every label.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.net.address import Subnet
+from repro.topo.asgraph import ASGraph, load_as_rel2, synth_topology
+from repro.topo.latency import TopologyLatencyModel
+from repro.topo.prefixes import PrefixAllocator
+from repro.topo.routing import PathResolver
+
+#: Default synthetic topology size: big enough for distinct core /
+#: transit / stub bands, small enough that CI resolves paths instantly.
+DEFAULT_N_ASES = 32
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Everything needed to rebuild one topology deterministically."""
+
+    source: str = "synth"          # "synth" or "asrel"
+    seed: int = 0                  # graph seed (synth) / allocation seed
+    n_ases: int = DEFAULT_N_ASES   # synth only
+    path: Optional[str] = None     # asrel only
+    chunk_prefix: int = 16         # prefix-allocation granularity
+    base_latency: float = 0.010
+    per_hop_latency: float = 0.012
+    jitter: float = 0.020
+
+    def __post_init__(self) -> None:
+        if self.source not in ("synth", "asrel"):
+            raise ValueError(f"unknown topology source: {self.source!r}")
+        if self.source == "asrel" and not self.path:
+            raise ValueError("asrel topology needs a file path")
+        if self.n_ases < 1:
+            raise ValueError("n_ases must be >= 1")
+
+    @property
+    def spec(self) -> str:
+        """The canonical spec string (round-trips via parse_topology)."""
+        if self.source == "asrel":
+            return f"asrel:{self.path}:{self.seed}"
+        return f"synth:{self.seed}:{self.n_ases}"
+
+
+def parse_topology(
+    spec: Union[str, TopologyConfig, None]
+) -> Optional[TopologyConfig]:
+    """Parse a topology spec string; None/"flat"/"" mean no topology."""
+    if spec is None or isinstance(spec, TopologyConfig):
+        return spec
+    text = spec.strip()
+    if not text or text == "flat":
+        return None
+    kind, _, rest = text.partition(":")
+    if kind == "synth":
+        parts = rest.split(":") if rest else []
+        if not parts or not parts[0]:
+            raise ValueError(f"synth topology needs a seed: {spec!r}")
+        try:
+            seed = int(parts[0])
+            n_ases = int(parts[1]) if len(parts) > 1 else DEFAULT_N_ASES
+        except ValueError:
+            raise ValueError(f"bad synth topology spec: {spec!r}") from None
+        return TopologyConfig(source="synth", seed=seed, n_ases=n_ases)
+    if kind == "asrel":
+        if not rest:
+            raise ValueError(f"asrel topology needs a path: {spec!r}")
+        path, _, seed_text = rest.rpartition(":")
+        if path and seed_text.lstrip("-").isdigit():
+            return TopologyConfig(source="asrel", path=path, seed=int(seed_text))
+        return TopologyConfig(source="asrel", path=rest, seed=0)
+    raise ValueError(f"unknown topology spec: {spec!r} (want flat|synth:...|asrel:...)")
+
+
+class Topology:
+    """The assembled bundle: graph + prefix allocation + path resolver."""
+
+    def __init__(
+        self,
+        config: TopologyConfig,
+        graph: ASGraph,
+        allocator: PrefixAllocator,
+        resolver: PathResolver,
+    ) -> None:
+        self.config = config
+        self.graph = graph
+        self.allocator = allocator
+        self.resolver = resolver
+
+    @classmethod
+    def build(
+        cls, config: TopologyConfig, blocks: Sequence[Subnet]
+    ) -> "Topology":
+        """Assemble a topology over the scenario's address blocks."""
+        if config.source == "synth":
+            graph = synth_topology(config.n_ases, config.seed)
+        else:
+            graph = load_as_rel2(config.path)
+        allocator = PrefixAllocator(
+            graph, blocks, seed=config.seed, chunk_prefix=config.chunk_prefix
+        )
+        return cls(config, graph, allocator, PathResolver(graph))
+
+    def latency_model(self, rng: random.Random) -> TopologyLatencyModel:
+        """A latency model drawing jitter from ``rng`` (callers pass the
+        dedicated ``topo-jitter`` stream, never the transport stream)."""
+        return TopologyLatencyModel(
+            self.resolver,
+            self.allocator,
+            rng,
+            base=self.config.base_latency,
+            per_hop=self.config.per_hop_latency,
+            jitter=self.config.jitter,
+        )
+
+    def as_of(self, ip: int) -> Optional[int]:
+        return self.allocator.as_of(ip)
+
+    def describe(self) -> str:
+        lines = [
+            f"topology {self.config.spec}",
+            f"  graph: {self.graph.describe()}",
+            f"  prefixes: {self.allocator.chunk_total} x /{self.allocator.chunk_prefix} "
+            f"chunks over {len(self.allocator.blocks)} blocks",
+            f"  latency: base {self.config.base_latency * 1000:.0f}ms "
+            f"+ {self.config.per_hop_latency * 1000:.0f}ms/hop "
+            f"+ U(0, {self.config.jitter * 1000:.0f}ms) jitter",
+        ]
+        return "\n".join(lines)
+
+
+def default_blocks(
+    routable_blocks: Sequence[str],
+    nat_blocks: Sequence[str],
+    extra_blocks: Sequence[str] = (),
+) -> List[Subnet]:
+    """The block list a population topology covers: bot space plus any
+    recon-infrastructure space the scenario layer contributes."""
+    out: List[Subnet] = []
+    for text in (*routable_blocks, *nat_blocks, *extra_blocks):
+        out.append(Subnet.parse(text))
+    return out

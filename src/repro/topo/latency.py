@@ -1,0 +1,94 @@
+"""Path-derived latency: base + per-hop cost + seeded jitter.
+
+Replaces the flat uniform latency draw when a topology is configured.
+Latency for a send is::
+
+    base + per_hop * as_hops(src, dst) + jitter_draw
+
+with the jitter drawn from a *dedicated* RNG stream (``topo-jitter``),
+never the transport's own stream -- the transport stream's draw order
+is part of the flat-run replay contract and must not depend on the
+model.  Addresses outside every allocated prefix (disinformation junk,
+shadow space) and unreachable AS pairs fall back to the flat uniform
+range, again on the model's stream.
+
+The model is also the natural place for per-AS delivery accounting: it
+sees every send with both endpoints resolved to ASes, so it feeds the
+``topo.sent`` counter (labeled by destination AS) and the path-cache
+hit/miss gauges without adding work to the flat path.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.obs import runtime as obs
+from repro.topo.prefixes import PrefixAllocator
+from repro.topo.routing import PathResolver
+
+
+class TopologyLatencyModel:
+    """Latency oracle plugged into ``Transport`` via ``latency_model``."""
+
+    def __init__(
+        self,
+        resolver: PathResolver,
+        allocator: PrefixAllocator,
+        rng: random.Random,
+        base: float = 0.010,
+        per_hop: float = 0.012,
+        jitter: float = 0.020,
+        fallback: Tuple[float, float] = (0.020, 0.200),
+    ) -> None:
+        if base < 0 or per_hop < 0 or jitter < 0:
+            raise ValueError("latency components must be >= 0")
+        self.resolver = resolver
+        self.allocator = allocator
+        self.rng = rng
+        self.base = base
+        self.per_hop = per_hop
+        self.jitter = jitter
+        self.fallback = fallback
+        self.sends = 0
+        self.fallback_sends = 0
+        registry = obs.metrics()
+        self._m_sent = registry.counter(
+            "topo.sent", "sends resolved through the topology, by dst AS"
+        )
+        self._m_cache_hits = registry.gauge(
+            "topo.path_cache.hits", "path-cache hits since model creation"
+        )
+        self._m_cache_misses = registry.gauge(
+            "topo.path_cache.misses", "path-cache misses since model creation"
+        )
+
+    def as_hops(self, src_ip: int, dst_ip: int) -> Optional[int]:
+        """AS hop count between two addresses, None when either side is
+        unmapped or no valley-free route exists."""
+        src_as = self.allocator.as_of(src_ip)
+        dst_as = self.allocator.as_of(dst_ip)
+        if src_as is None or dst_as is None:
+            return None
+        return self.resolver.hops(src_as, dst_as)
+
+    def latency(self, src_ip: int, dst_ip: int) -> float:
+        """One-way latency for a single delivery attempt."""
+        self.sends += 1
+        src_as = self.allocator.as_of(src_ip)
+        dst_as = self.allocator.as_of(dst_ip)
+        hops = None
+        if src_as is not None and dst_as is not None:
+            hops = self.resolver.hops(src_as, dst_as)
+            hits, misses = self.resolver.cache_stats()
+            self._m_cache_hits.set(hits)
+            self._m_cache_misses.set(misses)
+        if hops is None:
+            self.fallback_sends += 1
+            self._m_sent.labels("unmapped").inc()
+            return self.rng.uniform(*self.fallback)
+        self._m_sent.labels(f"AS{dst_as}").inc()
+        value = self.base + self.per_hop * hops
+        if self.jitter:
+            value += self.rng.uniform(0.0, self.jitter)
+        return value

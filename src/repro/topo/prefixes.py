@@ -1,0 +1,98 @@
+"""Prefix allocation: mapping the scenario's address space onto ASes.
+
+The :class:`PrefixAllocator` carves the scenario's CIDR blocks (bot
+routable/NAT space, sensor and crawler infrastructure) into fixed-size
+chunks and deals them to ASes weighted by topological size, so a large
+transit AS originates more address space than a stub -- the "plausible
+allocations" the Zeus /20 filter and subnet-aggregation exhibits assume.
+
+Crucially the allocator only *labels* existing blocks; it never changes
+how :class:`repro.net.address.AddressPool` hands out addresses.  A
+population built with a topology therefore has byte-identical endpoints
+to one built flat -- only the latency model (and AS-aware faults) see
+the labels.  ``as_of`` is a single dict lookup at chunk granularity, so
+the transport hot path pays O(1) per send.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.address import Subnet, subnet_key
+from repro.sim.rng import derive_seed
+from repro.topo.asgraph import ASGraph
+
+
+class PrefixAllocator:
+    """Deterministic weighted assignment of CIDR chunks to ASes."""
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        blocks: Sequence[Subnet],
+        seed: int,
+        chunk_prefix: int = 16,
+    ) -> None:
+        if not blocks:
+            raise ValueError("allocator needs at least one block")
+        if not len(graph):
+            raise ValueError("allocator needs a non-empty AS graph")
+        self.graph = graph
+        self.chunk_prefix = max(chunk_prefix, max(b.prefix for b in blocks))
+        self.blocks = tuple(blocks)
+        self._table: Dict[int, int] = {}
+        self._chunks_by_as: Dict[int, List[Subnet]] = {asn: [] for asn in graph.ases}
+        rng = random.Random(derive_seed(seed, "topo-prefixes"))
+        ases = graph.ases
+        # Weight by topological size: transit ASes with big customer
+        # cones originate far more space than stubs.
+        weights = [1.0 + 2.0 * len(graph.customers[a]) + len(graph.peers[a]) for a in ases]
+        for block in self.blocks:
+            for chunk in block.blocks(self.chunk_prefix):
+                asn = rng.choices(ases, weights=weights)[0]
+                self._table[chunk.network] = asn
+                self._chunks_by_as[asn].append(chunk)
+
+    def as_of(self, ip: int) -> Optional[int]:
+        """The AS originating ``ip``'s prefix, or None for addresses
+        outside every allocated block (junk/disinformation space)."""
+        return self._table.get(subnet_key(ip, self.chunk_prefix))
+
+    def chunks_of(self, asn: int) -> List[Subnet]:
+        """The chunks allocated to ``asn`` (possibly empty)."""
+        return list(self._chunks_by_as.get(asn, ()))
+
+    def chunk_count(self, asn: int) -> int:
+        return len(self._chunks_by_as.get(asn, ()))
+
+    @property
+    def chunk_total(self) -> int:
+        return len(self._table)
+
+    def largest_as(self, exclude: Sequence[int] = ()) -> int:
+        """The AS holding the most chunks, ties broken by lowest ASN.
+
+        Chaos planning uses this to pick a deterministic, impactful
+        detach target without any run-time randomness.
+        """
+        excluded = set(exclude)
+        candidates = [a for a in self.graph.ases if a not in excluded]
+        if not candidates:
+            raise ValueError("no candidate AS left after exclusions")
+        return max(candidates, key=lambda a: (len(self._chunks_by_as[a]), -a))
+
+    def summary(self) -> List[str]:
+        """Per-AS allocation lines for ``repro topo info``."""
+        lines = []
+        for asn in self.graph.ases:
+            chunks = self._chunks_by_as[asn]
+            if not chunks:
+                lines.append(f"AS{asn}: (no prefixes)")
+                continue
+            shown = ", ".join(str(c) for c in chunks[:4])
+            more = f", +{len(chunks) - 4} more" if len(chunks) > 4 else ""
+            lines.append(
+                f"AS{asn}: {len(chunks)} x /{self.chunk_prefix} ({shown}{more})"
+            )
+        return lines

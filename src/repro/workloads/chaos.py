@@ -26,9 +26,11 @@ from repro.core.stealth import StealthPolicy
 from repro.faults.injector import FaultyTransport, NodeFaultDriver, resolver_for
 from repro.faults.retry import CHAOS_RETRY
 from repro.sim.clock import HOUR
+from repro.topo import Topology, default_blocks, parse_topology
 from repro.workloads.population import sality_config, zeus_config
 from repro.workloads.scenarios import (
     CHAOS_KINDS,
+    SINKHOLE_ENDPOINT,
     build_chaos_plan,
     build_sality_scenario,
     build_zeus_scenario,
@@ -113,27 +115,56 @@ def run_chaos_scenario(
     measure_hours: float = 4.0,
     group_bits: int = 2,
     threshold: float = 0.30,
+    topology: Optional[str] = None,
 ) -> ChaosRunResult:
-    """Run one chaos cell end-to-end and score the surviving recon."""
+    """Run one chaos cell end-to-end and score the surviving recon.
+
+    ``topology`` enables the AS-aware internet layer for the run (and
+    is required by the ``as-cut`` kind, which cuts along AS links).
+    """
     if family not in FAMILIES:
         raise ValueError(f"unknown family: {family!r}")
     start = announce_hours * HOUR
     duration = measure_hours * HOUR
     sensor_ids = tuple(f"sensor-{index:03d}" for index in range(sensor_count))
-    plan = build_chaos_plan(kind, intensity, start, duration, sensor_ids)
+    make_config = zeus_config if family == "zeus" else sality_config
+    topo_config = parse_topology(topology)
+    plan_topology = None
+    if topo_config is not None:
+        # Build the planner's own copy of the topology; Topology.build
+        # is deterministic, so it agrees with the population's instance
+        # on every AS label and link.
+        base = make_config(scale, master_seed=seed)
+        plan_topology = Topology.build(
+            topo_config,
+            default_blocks(
+                base.routable_blocks, base.nat_blocks, base.topology_extra_blocks
+            ),
+        )
+    plan = build_chaos_plan(
+        kind, intensity, start, duration, sensor_ids, topology=plan_topology
+    )
+    config = make_config(
+        scale, master_seed=seed, fault_plan=plan, topology=topo_config
+    )
     if family == "zeus":
         scenario = build_zeus_scenario(
-            zeus_config(scale, master_seed=seed, fault_plan=plan),
-            sensor_count=sensor_count,
-            announce_hours=announce_hours,
+            config, sensor_count=sensor_count, announce_hours=announce_hours
         )
     else:
         scenario = build_sality_scenario(
-            sality_config(scale, master_seed=seed, fault_plan=plan),
-            sensor_count=sensor_count,
-            announce_hours=announce_hours,
+            config, sensor_count=sensor_count, announce_hours=announce_hours
         )
     net = scenario.net
+    sinkhole_collected = 0
+    if plan.sinkholes:
+        # The defender's collector: counts hijacked deliveries without
+        # retaining them (safe with message recycling).
+        def _collect(message) -> None:
+            nonlocal sinkhole_collected
+            sinkhole_collected += 1
+
+        net.transport.bind(SINKHOLE_ENDPOINT, _collect, routable=True)
     driver = NodeFaultDriver(
         net.scheduler,
         resolver_for(net.bots, {sensor.node_id: sensor for sensor in scenario.sensors}),
@@ -178,13 +209,13 @@ def run_chaos_scenario(
         dataset = SensorLogDataset.from_sality_sensors(
             scenario.sensors, since=scenario.measurement_start
         )
-    config = DetectionConfig(group_bits=group_bits, threshold=threshold)
+    detect_config = DetectionConfig(group_bits=group_bits, threshold=threshold)
     crash_rng = net.rngs.fork("chaos-eval").stream("leader-crash")
-    failed = _failed_groups(kind, intensity, config.group_count, crash_rng)
+    failed = _failed_groups(kind, intensity, detect_config.group_count, crash_rng)
     evaluation = evaluate_detection(
         dataset,
         crawler_ips={crawler.endpoint.ip},
-        config=config,
+        config=detect_config,
         rng=random.Random(seed),
         failed_groups=failed,
     )
@@ -200,6 +231,13 @@ def run_chaos_scenario(
         injected["dropped_burst"] = net.transport.fault_stats.dropped_burst
         injected["dropped_partition"] = net.transport.fault_stats.dropped_partition
         injected["spiked_sends"] = net.transport.fault_stats.spiked_sends
+        if plan.as_partitions:
+            injected["dropped_as_partition"] = (
+                net.transport.fault_stats.dropped_as_partition
+            )
+        if plan.sinkholes:
+            injected["sinkholed"] = net.transport.fault_stats.sinkholed
+            injected["sinkhole_collected"] = sinkhole_collected
 
     return ChaosRunResult(
         family=family,

@@ -23,21 +23,32 @@ from repro.core.sensor import SalitySensor, SensorDefectProfile, ZeusSensor
 from repro.core.stealth import StealthPolicy
 from repro.faults.plan import (
     OUTAGE,
+    ASPartition,
     FaultPlan,
     GilbertElliottConfig,
     LatencySpike,
     NodeFault,
     Partition,
+    RoutedSinkhole,
 )
 from repro.net.address import Subnet, parse_ip
 from repro.net.transport import Endpoint
 from repro.sim.clock import DAY, HOUR, MINUTE
+from repro.topo import Topology, parse_topology
 
 # Address space reserved for recon infrastructure, outside the bot
 # population's blocks: each sensor/crawler gets its own /20 (the Zeus
 # peer-list filter admits one entry per /20).
 SENSOR_BLOCK = Subnet.parse("45.0.0.0/10")
 CRAWLER_BLOCK = Subnet.parse("99.0.0.0/12")
+
+# The defender's sinkhole lives in its own block, outside every
+# population/infrastructure prefix, so hijacked traffic is collected
+# off to the side (routed-sinkhole chaos kind).
+SINKHOLE_ENDPOINT = Endpoint(parse_ip("46.0.0.1"), 5353)
+#: The hijacked prefix: the first /14 of routable bot space (one
+#: quarter of the first /12), a more-specific announcement in BGP terms.
+SINKHOLE_PREFIX = Subnet.parse("25.0.0.0/14")
 
 
 def sensor_endpoint(index: int, port: int = 6000) -> Endpoint:
@@ -79,15 +90,21 @@ def build_zeus_scenario(
     sensor_profiles: Optional[Sequence[SensorDefectProfile]] = None,
     announce_hours: float = 4.0,
     active_peer_list_requests: bool = False,
+    topology: Optional[str] = None,
 ) -> ZeusScenario:
     """Build the botnet, inject sensors, and run the announcement
     phase.  Afterwards ``measurement_start`` marks the paper's logging
     window; feed ``sensor.peer_list_request_log(since=...)`` from it.
 
     ``sensor_profiles`` assigns defect profiles round-robin (default:
-    clean, full-protocol sensors).
+    clean, full-protocol sensors).  ``topology`` (a spec string like
+    ``"synth:7"``) routes latency over an AS graph; None keeps the
+    byte-identical flat model.
     """
-    net = ZeusNetwork(config if config is not None else ZeusNetworkConfig())
+    config = config if config is not None else ZeusNetworkConfig()
+    if topology is not None:
+        config.topology = parse_topology(topology)
+    net = ZeusNetwork(config)
     net.build()
     sensors = []
     for index in range(sensor_count):
@@ -180,6 +197,7 @@ def build_sality_scenario(
     config: Optional[SalityNetworkConfig] = None,
     sensor_count: int = 64,
     announce_hours: float = 6.0,
+    topology: Optional[str] = None,
 ) -> SalityScenario:
     """Build a Sality botnet and inject sensors.
 
@@ -187,7 +205,10 @@ def build_sality_scenario(
     Sality's peer management scheme and our IP range"): Sality keeps
     one peer-list entry per IP, so each sensor needs its own address.
     """
-    net = SalityNetwork(config if config is not None else SalityNetworkConfig())
+    config = config if config is not None else SalityNetworkConfig()
+    if topology is not None:
+        config.topology = parse_topology(topology)
+    net = SalityNetwork(config)
     net.build()
     sensors = []
     for index in range(sensor_count):
@@ -269,7 +290,22 @@ CHAOS_KINDS: Dict[str, str] = {
     "sensor-outage": "a fraction of the sensor fleet goes down mid-window",
     "leader-crash": "group leaders crash before voting (evaluation-time)",
     "blackout": "burst loss plus one leader crash every round",
+    "as-cut": "detach the largest edge AS and its customer cone (needs --topology)",
+    "routed-sinkhole": "hijack the first routable /14 to a sinkhole endpoint",
 }
+
+
+def chaos_cut_target(topology: Topology) -> int:
+    """The AS an ``as-cut`` plan detaches: the non-tier-1 AS holding
+    the most allocated prefix space.
+
+    Depends only on the topology (itself a pure function of its spec),
+    so plan building stays deterministic and randomness-free.  Tier-1
+    cores are excluded: detaching one would sever most of the graph,
+    which is a different experiment than losing the largest edge
+    provider.
+    """
+    return topology.allocator.largest_as(exclude=topology.graph.tier_ones())
 
 
 def build_chaos_plan(
@@ -278,6 +314,7 @@ def build_chaos_plan(
     start: float,
     duration: float,
     sensor_ids: Sequence[str] = (),
+    topology: Optional[Topology] = None,
 ) -> FaultPlan:
     """The named chaos plan for one run.
 
@@ -288,6 +325,10 @@ def build_chaos_plan(
     leader half of ``blackout`` return plans with no transport faults:
     leader crashes are replayed at detection-evaluation time (see
     :func:`repro.workloads.chaos.run_chaos_scenario`).
+
+    ``as-cut`` needs ``topology`` to pick its detach target; the same
+    topology must be configured on the population so the transport can
+    evaluate the cut.
     """
     if kind not in CHAOS_KINDS:
         raise KeyError(f"unknown chaos kind: {kind!r} (see CHAOS_KINDS)")
@@ -298,6 +339,36 @@ def build_chaos_plan(
     if kind == "baseline" or intensity == 0.0:
         return FaultPlan(name=f"{kind}@0")
     name = f"{kind}@{intensity:g}"
+    if kind == "as-cut":
+        if topology is None:
+            raise ValueError("as-cut needs a topology (--topology synth:<seed>)")
+        # The cut lands at measurement start, not a quarter in: a
+        # crawl saturates small populations quickly, and the exhibit
+        # is coverage *lost to the partition*, which needs the detach
+        # in force before the crawler reaches the cone.
+        return FaultPlan(
+            name=name,
+            as_partitions=(
+                ASPartition(
+                    start=start,
+                    duration=intensity * duration,
+                    detach=chaos_cut_target(topology),
+                ),
+            ),
+        )
+    if kind == "routed-sinkhole":
+        return FaultPlan(
+            name=name,
+            sinkholes=(
+                RoutedSinkhole(
+                    start=start + duration / 4.0,
+                    duration=intensity * duration,
+                    prefix=SINKHOLE_PREFIX,
+                    target_ip=SINKHOLE_ENDPOINT.ip,
+                    target_port=SINKHOLE_ENDPOINT.port,
+                ),
+            ),
+        )
     if kind == "burst-loss" or kind == "blackout":
         return FaultPlan(
             name=name, gilbert_elliott=GilbertElliottConfig.for_mean_loss(intensity)

@@ -12,6 +12,8 @@ from repro.net.address import (
     is_reserved,
     parse_ip,
     prefix_mask,
+    prefix_of,
+    same_prefix,
     subnet_key,
 )
 
@@ -97,6 +99,39 @@ class TestSubnet:
     def test_subdivide_shorter_prefix_rejected(self):
         with pytest.raises(ValueError):
             Subnet.parse("198.51.100.0/24").subdivide(20)
+
+    def test_blocks_is_lazy_subdivide(self):
+        net = Subnet.parse("198.51.96.0/20")
+        gen = net.blocks(24)
+        assert next(gen) == Subnet.parse("198.51.96.0/24")
+        assert list(net.blocks(24)) == net.subdivide(24)
+
+
+class TestPrefixHelpers:
+    def test_prefix_of(self):
+        assert prefix_of(parse_ip("198.51.100.77"), 24) == Subnet.parse(
+            "198.51.100.0/24"
+        )
+
+    def test_prefix_of_contains_ip(self):
+        ip = parse_ip("10.20.30.40")
+        for prefix in (8, 12, 19, 24, 32):
+            assert ip in prefix_of(ip, prefix)
+
+    def test_same_prefix(self):
+        a, b = parse_ip("198.51.100.1"), parse_ip("198.51.100.200")
+        assert same_prefix(a, b, 24)
+        assert not same_prefix(a, parse_ip("198.51.101.1"), 24)
+
+    def test_same_prefix_zero_matches_everything(self):
+        assert same_prefix(0, parse_ip("255.255.255.255"), 0)
+
+    def test_same_prefix_agrees_with_subnet_key(self):
+        a, b = parse_ip("10.1.2.3"), parse_ip("10.1.9.9")
+        for prefix in range(0, 33):
+            assert same_prefix(a, b, prefix) == (
+                subnet_key(a, prefix) == subnet_key(b, prefix)
+            )
 
 
 class TestReserved:

@@ -6,13 +6,15 @@ with the importable ``echo`` point, including a mid-run SIGKILL."""
 
 import io
 import json
+import os
 
 import pytest
 
+import repro
 from repro.runner.dispatch import wire
 from repro.runner.dispatch.faultplan import KILL, STALL, HostFault
 from repro.runner.dispatch.hostworker import serve
-from repro.runner.dispatch.subproc import SubprocessHostPool
+from repro.runner.dispatch.subproc import SubprocessHostPool, worker_env
 from repro.runner.dispatch.wire import WorkUnit
 from repro.runner.executors import SerialExecutor
 from repro.runner.sweep import SweepSpec, make_points, point_seed
@@ -145,3 +147,40 @@ class TestSubprocessPool:
         with SubprocessHostPool(hosts=1) as pool:
             pool.inject(HostFault(KILL, host=0, at_progress=0.0))
             assert pool.step(0) is None
+
+
+class TestWorkerEnv:
+    def test_package_root_leads_pythonpath(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = worker_env()
+        assert env["PYTHONPATH"].split(os.pathsep)[0] == root
+
+    def test_existing_pythonpath_preserved(self, monkeypatch):
+        monkeypatch.setenv("PYTHONPATH", "/some/other/dir")
+        parts = worker_env()["PYTHONPATH"].split(os.pathsep)
+        assert "/some/other/dir" in parts
+        root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        assert parts[0] == root
+
+    def test_no_duplicate_entries(self, monkeypatch):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        monkeypatch.setenv("PYTHONPATH", root)
+        parts = worker_env()["PYTHONPATH"].split(os.pathsep)
+        assert parts.count(root) == 1
+
+    def test_other_env_inherited(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_MARKER", "yes")
+        assert worker_env()["REPRO_TEST_MARKER"] == "yes"
+
+    def test_worker_resolves_package_without_ambient_pythonpath(self, monkeypatch):
+        """The regression: a parent that imported repro via sys.path
+        (no PYTHONPATH in its environment) must still spawn workers
+        that can ``python -m`` the hostworker module."""
+        monkeypatch.delenv("PYTHONPATH", raising=False)
+        spec = _echo_spec(n=2)
+        serial = SerialExecutor().run(spec)
+        from repro.runner.dispatch import DispatchExecutor
+
+        with SubprocessHostPool(hosts=1) as pool:
+            result = DispatchExecutor(pool=pool).run(spec)
+        assert json.dumps(result.values()) == json.dumps(serial.values())

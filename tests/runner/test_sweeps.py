@@ -59,6 +59,18 @@ class TestSweepSpecs:
     def test_registry_covers_fig2_and_fig3(self):
         assert {"fig2", "fig3-zeus", "fig3-sality"} <= set(SWEEPS)
 
+    def test_topology_absent_by_default(self):
+        # Flat sweeps' params must not change shape when the topology
+        # feature is off (params feed goldens and cache keys).
+        for spec in (fig2_sweep(root_seed=5), fig3_zeus_sweep(root_seed=5)):
+            assert all("topology" not in p.params for p in spec.points)
+
+    def test_topology_threads_into_every_point(self):
+        spec = fig2_sweep(root_seed=5, topology="synth:9")
+        assert {p.params["topology"] for p in spec.points} == {"synth:9"}
+        spec3 = fig3_zeus_sweep(root_seed=5, topology="synth:9")
+        assert {p.params["topology"] for p in spec3.points} == {"synth:9"}
+
 
 class TestFig2Determinism:
     @pytest.fixture(scope="class")

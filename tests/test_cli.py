@@ -76,6 +76,56 @@ class TestChaosCommand:
         assert 0.0 <= cells[0]["coverage"] <= 1.0
 
 
+class TestTopoCommand:
+    def test_info(self, capsys):
+        assert main(["topo", "info", "--topology", "synth:7"]) == 0
+        out = capsys.readouterr().out
+        assert "synth:7" in out
+        assert "AS1:" in out
+
+    def test_paths(self, capsys):
+        assert main([
+            "topo", "paths", "--topology", "synth:7", "--count", "3", "--seed", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("->") >= 3
+
+    def test_explicit_pair(self, capsys):
+        assert main([
+            "topo", "paths", "--topology", "synth:7", "--src", "6", "--dst", "7",
+        ]) == 0
+        assert "AS6 -> AS7" in capsys.readouterr().out
+
+    def test_flat_rejected(self, capsys):
+        assert main(["topo", "info"]) == 2
+        assert "topology" in capsys.readouterr().err
+
+    def test_bad_spec_rejected(self, capsys):
+        assert main(["topo", "info", "--topology", "mesh:1"]) == 2
+
+    def test_chaos_as_cut_without_topology_rejected(self, capsys):
+        assert main([
+            "chaos", "--kinds", "as-cut", "--intensities", "0.5",
+            "--hours", "1", "--sensors", "4",
+        ]) == 2
+        assert "topology" in capsys.readouterr().err
+
+    def test_crawl_accepts_topology(self, capsys):
+        assert main([
+            "crawl", "--hours", "1", "--sensors", "4", "--seed", "3",
+            "--topology", "synth:7",
+        ]) == 0
+
+    def test_crawl_output_identical_with_and_without_flat_spec(self, capsys):
+        assert main(["crawl", "--hours", "1", "--sensors", "4", "--seed", "3"]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "crawl", "--hours", "1", "--sensors", "4", "--seed", "3",
+            "--topology", "flat",
+        ]) == 0
+        assert capsys.readouterr().out == plain
+
+
 class TestCrawlCommand:
     def test_crawl_runs(self, capsys):
         assert main(["crawl", "--hours", "2", "--sensors", "4", "--seed", "3"]) == 0

@@ -1,0 +1,253 @@
+"""AS-aware fault surfaces: ASPartition and RoutedSinkhole."""
+
+import random
+
+import pytest
+
+from repro.faults.injector import FaultyTransport
+from repro.faults.plan import ASPartition, FaultPlan, RoutedSinkhole
+from repro.net.address import Subnet, parse_ip
+from repro.net.transport import Endpoint, TransportConfig
+from repro.sim.scheduler import Scheduler
+from repro.topo import Topology, TopologyConfig
+
+BLOCKS = [Subnet.parse("10.0.0.0/12"), Subnet.parse("25.0.0.0/14")]
+QUIET = TransportConfig(latency_min=0.01, latency_max=0.05, loss_rate=0.0)
+
+
+def _topo(seed=2):
+    return Topology.build(TopologyConfig(seed=seed, n_ases=16), BLOCKS)
+
+
+def _endpoints_in(topology, asn, count=2, port=5000):
+    """Endpoints whose addresses the allocator maps to ``asn``."""
+    chunks = topology.allocator.chunks_of(asn)
+    assert chunks, f"AS{asn} holds no prefixes"
+    return [Endpoint(chunks[0].network + i + 1, port + i) for i in range(count)]
+
+
+def _faulty(plan, topology, seed=0):
+    sched = Scheduler()
+    transport = FaultyTransport(
+        sched,
+        random.Random(seed),
+        plan=plan,
+        fault_rng=random.Random(seed + 1000),
+        config=QUIET,
+        topology=topology,
+    )
+    return sched, transport
+
+
+def _exchange(sched, transport, src, dst, count=20):
+    inbox = []
+    transport.bind(dst, inbox.append)
+    transport.bind(src, lambda m: None)
+    for _ in range(count):
+        transport.send(src, dst, b"x")
+    sched.run()
+    return inbox
+
+
+class TestASPartition:
+    def test_detach_separates_cone_from_outside(self):
+        topology = _topo()
+        target = topology.allocator.largest_as(
+            exclude=topology.graph.tier_ones()
+        )
+        cone = topology.graph.customer_cone(target)
+        outside = next(a for a in topology.graph.ases if a not in cone)
+        inside_ep = _endpoints_in(topology, target)[0]
+        outside_ep = _endpoints_in(topology, outside, port=6000)[0]
+        plan = FaultPlan(
+            name="cut",
+            as_partitions=(ASPartition(start=0.0, duration=1e9, detach=target),),
+        )
+        sched, transport = _faulty(plan, topology)
+        assert _exchange(sched, transport, outside_ep, inside_ep) == []
+        assert transport.fault_stats.dropped_as_partition == 20
+
+    def test_detach_keeps_intra_cone_traffic(self):
+        topology = _topo()
+        target = topology.allocator.largest_as(
+            exclude=topology.graph.tier_ones()
+        )
+        a, b = _endpoints_in(topology, target, count=2)
+        plan = FaultPlan(
+            name="cut",
+            as_partitions=(ASPartition(start=0.0, duration=1e9, detach=target),),
+        )
+        sched, transport = _faulty(plan, topology)
+        assert len(_exchange(sched, transport, a, b)) == 20
+
+    def test_inactive_window_passes(self):
+        topology = _topo()
+        target = topology.allocator.largest_as(
+            exclude=topology.graph.tier_ones()
+        )
+        cone = topology.graph.customer_cone(target)
+        outside = next(a for a in topology.graph.ases if a not in cone)
+        plan = FaultPlan(
+            name="later",
+            as_partitions=(
+                ASPartition(start=1e6, duration=10.0, detach=target),
+            ),
+        )
+        sched, transport = _faulty(plan, topology)
+        inbox = _exchange(
+            sched,
+            transport,
+            _endpoints_in(topology, outside, port=6000)[0],
+            _endpoints_in(topology, target)[0],
+        )
+        assert len(inbox) == 20
+
+    def test_cut_links_variant(self):
+        topology = _topo()
+        # Cut every link of a stub AS: unreachable from anywhere else.
+        stub = next(
+            a
+            for a in topology.graph.ases
+            if not topology.graph.customers[a]
+            and topology.allocator.chunk_count(a)
+        )
+        links = tuple((p, stub) for p in topology.graph.providers[stub]) + tuple(
+            (p, stub) for p in topology.graph.peers[stub]
+        )
+        other = next(
+            a
+            for a in topology.graph.ases
+            if a != stub and topology.allocator.chunk_count(a)
+        )
+        plan = FaultPlan(
+            name="depeer",
+            as_partitions=(
+                ASPartition(start=0.0, duration=1e9, cut_links=links),
+            ),
+        )
+        sched, transport = _faulty(plan, topology)
+        inbox = _exchange(
+            sched,
+            transport,
+            _endpoints_in(topology, other, port=6000)[0],
+            _endpoints_in(topology, stub)[0],
+        )
+        assert inbox == []
+        assert transport.fault_stats.dropped_as_partition == 20
+
+    def test_plan_without_topology_rejected(self):
+        plan = FaultPlan(
+            name="cut",
+            as_partitions=(ASPartition(start=0.0, duration=1.0, detach=3),),
+        )
+        sched = Scheduler()
+        with pytest.raises(ValueError, match="topology"):
+            FaultyTransport(
+                sched,
+                random.Random(0),
+                plan=plan,
+                fault_rng=random.Random(1),
+                config=QUIET,
+            )
+
+    def test_partition_needs_a_cut(self):
+        with pytest.raises(ValueError):
+            ASPartition(start=0.0, duration=1.0)
+
+
+class TestRoutedSinkhole:
+    def _sinkhole_setup(self, start=0.0):
+        topology = _topo()
+        prefix = Subnet.parse("25.0.0.0/16")
+        collector = Endpoint(parse_ip("46.0.0.1"), 5353)
+        plan = FaultPlan(
+            name="hijack",
+            sinkholes=(
+                RoutedSinkhole(
+                    start=start,
+                    duration=1e9,
+                    prefix=prefix,
+                    target_ip=collector.ip,
+                    target_port=collector.port,
+                ),
+            ),
+        )
+        sched, transport = _faulty(plan, topology)
+        victim = Endpoint(prefix.network + 9, 7000)
+        src = Endpoint(BLOCKS[0].network + 1, 7001)
+        return sched, transport, src, victim, collector
+
+    def test_hijacked_prefix_redirects(self):
+        sched, transport, src, victim, collector = self._sinkhole_setup()
+        collected = []
+        victim_inbox = []
+        transport.bind(collector, collected.append)
+        transport.bind(victim, victim_inbox.append)
+        transport.bind(src, lambda m: None)
+        for _ in range(15):
+            transport.send(src, victim, b"x")
+        sched.run()
+        assert victim_inbox == []
+        assert len(collected) == 15
+        assert transport.fault_stats.sinkholed == 15
+
+    def test_traffic_outside_prefix_untouched(self):
+        sched, transport, src, _, collector = self._sinkhole_setup()
+        other = Endpoint(BLOCKS[0].network + 99, 7002)
+        inbox = []
+        transport.bind(other, inbox.append)
+        transport.bind(src, lambda m: None)
+        transport.bind(collector, lambda m: None)
+        for _ in range(10):
+            transport.send(src, other, b"x")
+        sched.run()
+        assert len(inbox) == 10
+        assert transport.fault_stats.sinkholed == 0
+
+    def test_inactive_sinkhole_passes(self):
+        sched, transport, src, victim, collector = self._sinkhole_setup(
+            start=1e6
+        )
+        inbox = []
+        transport.bind(victim, inbox.append)
+        transport.bind(src, lambda m: None)
+        transport.bind(collector, lambda m: None)
+        for _ in range(10):
+            transport.send(src, victim, b"x")
+        sched.run()
+        assert len(inbox) == 10
+
+    def test_matches(self):
+        hole = RoutedSinkhole(
+            start=0.0,
+            duration=1.0,
+            prefix=Subnet.parse("25.0.0.0/16"),
+            target_ip=parse_ip("46.0.0.1"),
+            target_port=5353,
+        )
+        assert hole.matches(parse_ip("25.0.200.7"))
+        assert not hole.matches(parse_ip("25.1.0.7"))
+
+
+class TestComposition:
+    def test_sinkhole_composes_with_as_cut(self):
+        topology = _topo()
+        target = topology.allocator.largest_as(
+            exclude=topology.graph.tier_ones()
+        )
+        plan = FaultPlan(
+            name="combo",
+            as_partitions=(ASPartition(start=0.0, duration=1e9, detach=target),),
+            sinkholes=(
+                RoutedSinkhole(
+                    start=0.0,
+                    duration=1e9,
+                    prefix=Subnet.parse("25.0.0.0/16"),
+                    target_ip=parse_ip("46.0.0.1"),
+                    target_port=5353,
+                ),
+            ),
+        )
+        assert "combo" in plan.describe()
+        sched, transport = _faulty(plan, topology)
+        assert transport.fault_stats.sinkholed == 0  # built, not fired

@@ -1,0 +1,109 @@
+"""Latency model and topology spec parsing/building."""
+
+import random
+
+import pytest
+
+from repro.net.address import Subnet, parse_ip
+from repro.topo import (
+    DEFAULT_N_ASES,
+    Topology,
+    TopologyConfig,
+    TopologyLatencyModel,
+    parse_topology,
+)
+
+BLOCKS = [Subnet.parse("10.0.0.0/12"), Subnet.parse("25.0.0.0/14")]
+
+
+def _topo(seed=2):
+    return Topology.build(TopologyConfig(seed=seed, n_ases=16), BLOCKS)
+
+
+class TestSpecParsing:
+    def test_flat_forms(self):
+        assert parse_topology(None) is None
+        assert parse_topology("") is None
+        assert parse_topology("flat") is None
+
+    def test_synth(self):
+        config = parse_topology("synth:7")
+        assert (config.source, config.seed, config.n_ases) == (
+            "synth", 7, DEFAULT_N_ASES,
+        )
+        assert parse_topology("synth:7:48").n_ases == 48
+
+    def test_asrel(self):
+        config = parse_topology("asrel:/data/x.as-rel2:5")
+        assert (config.source, config.path, config.seed) == (
+            "asrel", "/data/x.as-rel2", 5,
+        )
+        assert parse_topology("asrel:/data/x.as-rel2").seed == 0
+
+    def test_spec_round_trip(self):
+        for spec in ("synth:7:48", "asrel:/data/x.as-rel2:5"):
+            assert parse_topology(spec).spec == spec
+
+    def test_config_passthrough(self):
+        config = TopologyConfig(seed=1)
+        assert parse_topology(config) is config
+
+    def test_bad_specs(self):
+        for bad in ("synth", "synth:x", "mesh:3", "asrel:"):
+            with pytest.raises(ValueError):
+                parse_topology(bad)
+
+
+class TestLatencyModel:
+    def test_mapped_pair_latency_shape(self):
+        topo = _topo()
+        model = topo.latency_model(random.Random(5))
+        src = BLOCKS[0].network + 1
+        dst = BLOCKS[1].network + 1
+        hops = model.as_hops(src, dst)
+        assert hops is not None
+        value = model.latency(src, dst)
+        floor = model.base + model.per_hop * hops
+        assert floor <= value <= floor + model.jitter
+        assert model.sends == 1 and model.fallback_sends == 0
+
+    def test_unmapped_falls_back_to_uniform(self):
+        topo = _topo()
+        model = topo.latency_model(random.Random(5))
+        junk = parse_ip("203.0.113.9")
+        value = model.latency(BLOCKS[0].network + 1, junk)
+        low, high = model.fallback
+        assert low <= value <= high
+        assert model.fallback_sends == 1
+
+    def test_same_rng_same_latencies(self):
+        topo = _topo()
+        pairs = [
+            (BLOCKS[0].network + i, BLOCKS[1].network + i * 17) for i in range(50)
+        ]
+        a = topo.latency_model(random.Random(9))
+        b = _topo().latency_model(random.Random(9))
+        assert [a.latency(*p) for p in pairs] == [b.latency(*p) for p in pairs]
+
+    def test_rejects_negative_components(self):
+        topo = _topo()
+        with pytest.raises(ValueError):
+            TopologyLatencyModel(
+                topo.resolver, topo.allocator, random.Random(0), base=-1.0
+            )
+
+
+class TestBuild:
+    def test_build_deterministic(self):
+        a, b = _topo(seed=4), _topo(seed=4)
+        assert a.graph.edges() == b.graph.edges()
+        for asn in a.graph.ases:
+            assert a.allocator.chunks_of(asn) == b.allocator.chunks_of(asn)
+
+    def test_describe_mentions_spec(self):
+        assert "synth:2:16" in _topo().describe()
+
+    def test_as_of_delegates(self):
+        topo = _topo()
+        ip = BLOCKS[0].network + 3
+        assert topo.as_of(ip) == topo.allocator.as_of(ip)

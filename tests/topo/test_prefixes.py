@@ -1,0 +1,72 @@
+"""Prefix allocation: coverage, determinism, and lookup consistency."""
+
+import pytest
+
+from repro.net.address import Subnet
+from repro.topo.asgraph import synth_topology
+from repro.topo.prefixes import PrefixAllocator
+
+BLOCKS = (Subnet.parse("10.0.0.0/12"), Subnet.parse("25.0.0.0/14"))
+
+
+def _allocator(seed=3, chunk_prefix=16):
+    return PrefixAllocator(
+        synth_topology(16, seed=1), BLOCKS, seed=seed, chunk_prefix=chunk_prefix
+    )
+
+
+class TestAllocation:
+    def test_every_chunk_assigned(self):
+        alloc = _allocator()
+        expected = sum(2 ** (alloc.chunk_prefix - b.prefix) for b in BLOCKS)
+        assert alloc.chunk_total == expected
+
+    def test_as_of_consistent_with_chunks_of(self):
+        alloc = _allocator()
+        for asn in alloc.graph.ases:
+            for chunk in alloc.chunks_of(asn):
+                assert alloc.as_of(chunk.network) == asn
+                assert alloc.as_of(chunk.network + 7) == asn
+
+    def test_unallocated_space_is_none(self):
+        alloc = _allocator()
+        from repro.net.address import parse_ip
+
+        assert alloc.as_of(parse_ip("200.1.2.3")) is None
+
+    def test_same_seed_same_allocation(self):
+        a, b = _allocator(seed=9), _allocator(seed=9)
+        for asn in a.graph.ases:
+            assert a.chunks_of(asn) == b.chunks_of(asn)
+
+    def test_different_seed_differs(self):
+        a, b = _allocator(seed=9), _allocator(seed=10)
+        assert any(
+            a.chunks_of(asn) != b.chunks_of(asn) for asn in a.graph.ases
+        )
+
+    def test_chunk_prefix_clamped_to_block(self):
+        # A /14 block cannot be chunked at /12; the allocator widens
+        # the chunk prefix to the narrowest block instead of failing.
+        alloc = _allocator(chunk_prefix=12)
+        assert alloc.chunk_prefix == 14
+
+    def test_largest_as_deterministic_with_exclusions(self):
+        alloc = _allocator()
+        top = alloc.largest_as()
+        runner_up = alloc.largest_as(exclude=(top,))
+        assert runner_up != top
+        assert alloc.chunk_count(top) >= alloc.chunk_count(runner_up)
+
+    def test_largest_as_all_excluded(self):
+        alloc = _allocator()
+        with pytest.raises(ValueError, match="no candidate"):
+            alloc.largest_as(exclude=tuple(alloc.graph.ases))
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ValueError, match="block"):
+            PrefixAllocator(synth_topology(4, seed=1), (), seed=0)
+
+    def test_summary_covers_every_as(self):
+        alloc = _allocator()
+        assert len(alloc.summary()) == len(alloc.graph.ases)

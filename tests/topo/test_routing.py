@@ -1,0 +1,104 @@
+"""Valley-free path resolution: Gao-Rexford preference and caching."""
+
+from repro.topo.asgraph import P2C, P2P, ASGraph, synth_topology
+from repro.topo.routing import PathResolver, is_valley_free
+
+
+def _diamond():
+    """1 is tier-1; 2 and 3 buy transit from 1 and peer; 4 buys from both."""
+    graph = ASGraph()
+    graph.add_link(1, 2, P2C)
+    graph.add_link(1, 3, P2C)
+    graph.add_link(2, 4, P2C)
+    graph.add_link(3, 4, P2C)
+    graph.add_link(2, 3, P2P)
+    return graph
+
+
+class TestResolution:
+    def test_self_path(self):
+        assert PathResolver(_diamond()).path(2, 2) == (2,)
+
+    def test_customer_route_preferred_over_peer(self):
+        # From 2 to 4: the direct customer link beats any detour.
+        assert PathResolver(_diamond()).path(2, 4) == (2, 4)
+
+    def test_peer_route_preferred_over_provider(self):
+        # From 2 to 3: the peer link beats going up through 1.
+        assert PathResolver(_diamond()).path(2, 3) == (2, 3)
+
+    def test_up_then_down(self):
+        graph = ASGraph()
+        graph.add_link(1, 2, P2C)
+        graph.add_link(1, 3, P2C)
+        resolver = PathResolver(graph)
+        assert resolver.path(2, 3) == (2, 1, 3)
+
+    def test_no_valley_through_customer(self):
+        # Two providers sharing a customer do NOT get transit through
+        # it: 2 -> 4 -> 3 would be a valley.
+        graph = ASGraph()
+        graph.add_link(2, 4, P2C)
+        graph.add_link(3, 4, P2C)
+        resolver = PathResolver(graph)
+        assert resolver.path(2, 3) is None
+
+    def test_peer_link_used_at_most_once(self):
+        graph = ASGraph()
+        graph.add_link(1, 2, P2P)
+        graph.add_link(2, 3, P2P)
+        resolver = PathResolver(graph)
+        assert resolver.path(1, 3) is None
+
+    def test_unknown_as_unreachable(self):
+        resolver = PathResolver(_diamond())
+        assert resolver.path(2, 99) is None
+        assert not resolver.reachable(99, 2)
+
+    def test_hops(self):
+        resolver = PathResolver(_diamond())
+        assert resolver.hops(2, 4) == 1
+        assert resolver.hops(4, 4) == 0
+        assert resolver.hops(2, 99) is None
+
+
+class TestCache:
+    def test_memoization_counters(self):
+        resolver = PathResolver(_diamond())
+        resolver.path(2, 4)
+        hits, misses = resolver.cache_stats()
+        assert (hits, misses) == (0, 1)
+        resolver.path(2, 4)
+        assert resolver.cache_stats() == (1, 1)
+        # Same-source pair: filled by the first Dijkstra, so a hit.
+        resolver.path(2, 3)
+        assert resolver.cache_stats() == (2, 1)
+
+    def test_full_mesh_resolves_valley_free(self):
+        graph = synth_topology(24, seed=4)
+        resolver = PathResolver(graph)
+        for src in graph.ases:
+            for dst in graph.ases:
+                path = resolver.path(src, dst)
+                assert path is not None, (src, dst)
+                assert path[0] == src and path[-1] == dst
+                assert is_valley_free(graph, path)
+
+    def test_cut_topology_loses_reachability(self):
+        graph = ASGraph()
+        graph.add_link(1, 2, P2C)
+        graph.add_link(1, 3, P2C)
+        cut = graph.without_links([(1, 3)])
+        assert PathResolver(graph).reachable(2, 3)
+        assert not PathResolver(cut).reachable(2, 3)
+
+
+class TestDeterminism:
+    def test_resolution_independent_of_query_order(self):
+        graph = synth_topology(20, seed=8)
+        forward = PathResolver(graph)
+        backward = PathResolver(graph)
+        pairs = [(s, d) for s in graph.ases for d in graph.ases]
+        a = {p: forward.path(*p) for p in pairs}
+        b = {p: backward.path(*p) for p in reversed(pairs)}
+        assert a == b
