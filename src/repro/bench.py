@@ -26,11 +26,15 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 #: Bump when the BENCH_recon.json layout changes shape.
 #: v2: workloads return extras (population memory line items) and the
 #: ``population`` workload (build + churn, no recon) joined the set.
-BENCH_SCHEMA = "repro-bench/2"
+#: v3: ``--profile`` attaches a per-workload subsystem wall-time
+#: breakdown (see repro.obs.profile), letting baseline compare name
+#: which subsystem regressed.
+BENCH_SCHEMA = "repro-bench/3"
 #: Baselines this module can still *read* for comparison.  v1 lacks the
-#: per-workload memory line items but its core keys line up, so an old
-#: baseline stays usable as a regression reference until refreshed.
-_READABLE_SCHEMAS = frozenset({"repro-bench/1", BENCH_SCHEMA})
+#: per-workload memory line items and v1/v2 lack the profile breakdown,
+#: but the core keys line up, so an old baseline stays usable as a
+#: regression reference until refreshed.
+_READABLE_SCHEMAS = frozenset({"repro-bench/1", "repro-bench/2", BENCH_SCHEMA})
 
 #: Default regression gate: fail past +25% wall time vs baseline.
 DEFAULT_THRESHOLD = 0.25
@@ -57,6 +61,18 @@ def _current_rss_kb() -> int:
         return _peak_rss_kb()
 
 
+# Public names for the RSS helpers: the telemetry emitter
+# (repro.obs.telemetry) samples process memory through these.
+def peak_rss_kb() -> int:
+    """Process peak RSS in KiB (monotonic high-water mark)."""
+    return _peak_rss_kb()
+
+
+def current_rss_kb() -> int:
+    """Instantaneous process RSS in KiB."""
+    return _current_rss_kb()
+
+
 # -- workloads -------------------------------------------------------------
 #
 # Each workload builds its scenario from fixed seeds, runs it under an
@@ -80,11 +96,12 @@ def _workload_crawl(quick: bool) -> Dict[str, Any]:
     from repro.workloads.scenarios import build_zeus_scenario
 
     rss_before = _current_rss_kb()
-    scenario = build_zeus_scenario(
-        zeus_config("tiny", master_seed=_BENCH_SEED),
-        sensor_count=8,
-        announce_hours=1.0,
-    )
+    with runtime.profiler().section("build", "crawl.scenario"):
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=_BENCH_SEED),
+            sensor_count=8,
+            announce_hours=1.0,
+        )
     population_rss_kb = max(0, _current_rss_kb() - rss_before)
     crawler = ZeusCrawler(
         name="bench-crawler",
@@ -112,11 +129,12 @@ def _workload_detect(quick: bool) -> Dict[str, Any]:
     from repro.workloads.scenarios import build_zeus_scenario, launch_zeus_fleet
 
     rss_before = _current_rss_kb()
-    scenario = build_zeus_scenario(
-        zeus_config("tiny", master_seed=_BENCH_SEED),
-        sensor_count=12,
-        announce_hours=1.0,
-    )
+    with runtime.profiler().section("build", "detect.scenario"):
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=_BENCH_SEED),
+            sensor_count=12,
+            announce_hours=1.0,
+        )
     population_rss_kb = max(0, _current_rss_kb() - rss_before)
     launch_zeus_fleet(scenario, ZEUS_CRAWLERS[:4])
     scenario.run_for((2.0 if quick else 4.0) * HOUR)
@@ -124,12 +142,13 @@ def _workload_detect(quick: bool) -> Dict[str, Any]:
         scenario.sensors, since=scenario.measurement_start
     )
     truth = {crawler.endpoint.ip for crawler in scenario.crawlers}
-    evaluate_detection(
-        dataset,
-        truth,
-        DetectionConfig(group_bits=2, threshold=0.10),
-        random.Random(_BENCH_SEED),
-    )
+    with runtime.profiler().section("detect", "detect.offline_evaluate"):
+        evaluate_detection(
+            dataset,
+            truth,
+            DetectionConfig(group_bits=2, threshold=0.10),
+            random.Random(_BENCH_SEED),
+        )
     return {"events": len(runtime.tracer()), "population_rss_kb": population_rss_kb}
 
 
@@ -165,6 +184,7 @@ def _workload_population(quick: bool) -> Dict[str, Any]:
     """
     from repro.botnets.zeus.network import ZeusNetwork
     from repro.net.churn import ChurnConfig
+    from repro.obs import runtime
     from repro.sim.clock import HOUR
     from repro.workloads.population import zeus_config
 
@@ -172,8 +192,9 @@ def _workload_population(quick: bool) -> Dict[str, Any]:
         "large", master_seed=_BENCH_SEED, churn=ChurnConfig(), recycle_messages=True
     )
     rss_before = _current_rss_kb()
-    net = ZeusNetwork(config)
-    net.build()
+    with runtime.profiler().section("build", "population.build"):
+        net = ZeusNetwork(config)
+        net.build()
     population_rss_kb = max(0, _current_rss_kb() - rss_before)
     net.start_all()
     net.run_for((0.5 if quick else 2.0) * HOUR)
@@ -210,11 +231,12 @@ def _workload_topo(quick: bool) -> Dict[str, Any]:
     from repro.workloads.scenarios import build_zeus_scenario
 
     rss_before = _current_rss_kb()
-    scenario = build_zeus_scenario(
-        zeus_config("tiny", master_seed=_BENCH_SEED, topology=f"synth:{_BENCH_SEED}"),
-        sensor_count=8,
-        announce_hours=1.0,
-    )
+    with runtime.profiler().section("build", "topo.scenario"):
+        scenario = build_zeus_scenario(
+            zeus_config("tiny", master_seed=_BENCH_SEED, topology=f"synth:{_BENCH_SEED}"),
+            sensor_count=8,
+            announce_hours=1.0,
+        )
     population_rss_kb = max(0, _current_rss_kb() - rss_before)
     crawler = ZeusCrawler(
         name="bench-topo-crawler",
@@ -252,20 +274,47 @@ WORKLOADS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
 # -- running ---------------------------------------------------------------
 
 
-def run_workload(name: str, quick: bool = False, repeat: int = 1) -> Dict[str, Any]:
+def run_workload(
+    name: str,
+    quick: bool = False,
+    repeat: int = 1,
+    profile: bool = False,
+    collect: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Time one workload; best-of-``repeat`` wall time, event count,
-    per-workload extras, and the process RSS high-water mark."""
+    per-workload extras, and the process RSS high-water mark.
+
+    With ``profile=True`` each attempt runs under a fresh subsystem
+    profiler (see :mod:`repro.obs.profile`); the best attempt's
+    breakdown lands in the entry's ``profile`` key, and the live
+    profiler object itself in ``collect["profiler"]`` when a ``collect``
+    dict is passed (``repro profile`` exports flamegraphs from it).
+    """
     from repro.obs import runtime
+    from repro.obs.profile import SubsystemProfiler, profile_breakdown
     from repro.obs.tracer import Tracer
 
     fn = WORKLOADS[name]
     best_wall: Optional[float] = None
+    best_profiler: Optional[Any] = None
     result: Dict[str, Any] = {"events": 0}
     for attempt in range(max(1, repeat)):
         tracer = Tracer()
+        profiler = SubsystemProfiler() if profile else None
         start = time.perf_counter()
-        with runtime.activated(tracer=tracer):
-            attempt_result = fn(quick)
+        if profiler is not None:
+            profiler.start()
+        with runtime.activated(tracer=tracer, profiler=profiler):
+            if profiler is not None:
+                # The workload-level section claims every second the
+                # scheduler callbacks don't (builds, offline analysis),
+                # so the breakdown covers the whole measured window.
+                with profiler.section("bench", f"workload.{name}"):
+                    attempt_result = fn(quick)
+            else:
+                attempt_result = fn(quick)
+        if profiler is not None:
+            profiler.stop()
         wall = time.perf_counter() - start
         if attempt == 0:
             result = attempt_result
@@ -280,6 +329,7 @@ def run_workload(name: str, quick: bool = False, repeat: int = 1) -> Dict[str, A
                         result[key] = value
         if best_wall is None or wall < best_wall:
             best_wall = wall
+            best_profiler = profiler
     wall_s = best_wall or 0.0
     events = result.pop("events")
     entry = {
@@ -289,6 +339,12 @@ def run_workload(name: str, quick: bool = False, repeat: int = 1) -> Dict[str, A
         "peak_rss_kb": _peak_rss_kb(),
     }
     entry.update(result)  # memory/occupancy line items
+    if best_profiler is not None:
+        tree = best_profiler.tree()
+        entry["profile"] = profile_breakdown(tree)
+        if collect is not None:
+            collect["profiler"] = best_profiler
+            collect["tree"] = tree
     return entry
 
 
@@ -296,6 +352,7 @@ def run_bench(
     names: Optional[Sequence[str]] = None,
     quick: bool = False,
     repeat: int = 1,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Run the named workloads (all by default); returns the
     schema-versioned document ``repro bench`` writes."""
@@ -307,10 +364,12 @@ def run_bench(
         "schema": BENCH_SCHEMA,
         "quick": quick,
         "repeat": max(1, repeat),
+        "profile": profile,
         "python": sys.version.split()[0],
         "platform": sys.platform,
         "workloads": {
-            name: run_workload(name, quick=quick, repeat=repeat) for name in selected
+            name: run_workload(name, quick=quick, repeat=repeat, profile=profile)
+            for name in selected
         },
     }
 
@@ -336,6 +395,33 @@ def load_bench(path: str) -> Dict[str, Any]:
 # -- baseline compare ------------------------------------------------------
 
 
+class BenchCompareError(ValueError):
+    """The two bench documents cannot be meaningfully compared."""
+
+
+def _blame_subsystem(
+    current_profile: Dict[str, Any], baseline_profile: Dict[str, Any]
+) -> Optional[str]:
+    """Name the subsystem whose wall time grew the most between two
+    per-workload profile breakdowns."""
+    cur = current_profile.get("subsystems", {})
+    base = baseline_profile.get("subsystems", {})
+    worst_name: Optional[str] = None
+    worst_delta = 0.0
+    for name in set(cur) | set(base):
+        was = base.get(name, {}).get("wall_s", 0.0)
+        now = cur.get(name, {}).get("wall_s", 0.0)
+        delta = now - was
+        if delta > worst_delta:
+            worst_delta = delta
+            worst_name = name
+    if worst_name is None:
+        return None
+    was = base.get(worst_name, {}).get("wall_s", 0.0)
+    grew = f"+{worst_delta / was:.0%}" if was > 0 else "new"
+    return f"{worst_name} +{worst_delta:.3f}s ({grew})"
+
+
 def compare_bench(
     current: Dict[str, Any],
     baseline: Dict[str, Any],
@@ -347,7 +433,33 @@ def compare_bench(
     means at least one shared workload slowed past ``threshold``
     (relative).  Workloads present on only one side are reported but
     never fail the gate (the axis just changed).
+
+    Raises :class:`BenchCompareError` when the documents are not
+    comparable at all: a ``--quick`` run against a full baseline (or
+    vice versa), or mismatched schema families.  Silent deltas across
+    those axes would be misleading, not noisy.
+
+    When both sides carry profile breakdowns (``--profile`` runs,
+    schema v3), a regression line also names the subsystem whose wall
+    time grew the most.
     """
+    cur_quick = bool(current.get("quick"))
+    base_quick = bool(baseline.get("quick"))
+    if cur_quick != base_quick:
+        raise BenchCompareError(
+            f"cannot compare a {'--quick' if cur_quick else 'full'} run against a "
+            f"{'--quick' if base_quick else 'full'} baseline; timings differ by "
+            "design, not by regression -- regenerate the baseline with matching "
+            "flags"
+        )
+    cur_family = str(current.get("schema", "")).split("/")[0]
+    base_family = str(baseline.get("schema", "")).split("/")[0]
+    if cur_family != base_family:
+        raise BenchCompareError(
+            f"schema family mismatch: current {current.get('schema')!r} vs "
+            f"baseline {baseline.get('schema')!r}; these documents do not "
+            "measure the same thing"
+        )
     lines: List[str] = []
     regressions: List[str] = []
     cur = current.get("workloads", {})
@@ -365,6 +477,10 @@ def compare_bench(
         if change > threshold:
             verdict = f"REGRESSION (> +{threshold * 100:.0f}%)"
             regressions.append(name)
+            if "profile" in cur[name] and "profile" in base[name]:
+                blame = _blame_subsystem(cur[name]["profile"], base[name]["profile"])
+                if blame:
+                    verdict += f", hottest subsystem delta: {blame}"
         lines.append(
             f"{name:<8} {was:.3f}s -> {now:.3f}s ({change:+.1%}, "
             f"{cur[name]['events_per_s']:.0f} ev/s, "
@@ -375,7 +491,7 @@ def compare_bench(
 
 #: Keys every workload entry carries; anything else is a per-workload
 #: extra line item (memory footprints, slab occupancy, churn counts).
-_CORE_KEYS = ("wall_s", "events", "events_per_s", "peak_rss_kb")
+_CORE_KEYS = ("wall_s", "events", "events_per_s", "peak_rss_kb", "profile")
 
 
 def render_bench(doc: Dict[str, Any]) -> str:
@@ -394,5 +510,18 @@ def render_bench(doc: Dict[str, Any]) -> str:
             lines.append(
                 "           "
                 + ", ".join(f"{key}={value}" for key, value in sorted(extras.items()))
+            )
+        breakdown = entry.get("profile")
+        if breakdown:
+            ranked = sorted(
+                breakdown.get("subsystems", {}).items(),
+                key=lambda kv: -kv[1]["wall_s"],
+            )
+            shares = ", ".join(
+                f"{sub} {info['share'] * 100:.0f}%" for sub, info in ranked[:5]
+            )
+            lines.append(
+                f"           profile: {shares} "
+                f"(attributed {breakdown['attributed_share'] * 100:.0f}%)"
             )
     return "\n".join(lines)

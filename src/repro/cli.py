@@ -48,6 +48,10 @@ def _obs_session(args: argparse.Namespace) -> ObsSession:
         trace_path=getattr(args, "trace", None),
         metrics_path=getattr(args, "metrics", None),
         flight_capacity=getattr(args, "flight_recorder", None),
+        profile_path=getattr(args, "profile", None),
+        telemetry_path=getattr(args, "telemetry", None),
+        live=getattr(args, "live", False),
+        telemetry_interval=getattr(args, "telemetry_interval", 1.0),
     )
 
 
@@ -131,6 +135,36 @@ def _cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+class _LiveFleetProgress:
+    """Sweep progress wrapper for ``repro sweep --live``: re-renders
+    the per-host fleet view (rate-limited on wall clock) whenever a
+    host reports telemetry, passing every event through to the inner
+    hook.  Purely observational -- it only reads dispatcher state."""
+
+    def __init__(self, dispatcher, inner=None, interval_s: float = 1.0) -> None:
+        import time
+
+        self._dispatcher = dispatcher
+        self._inner = inner
+        self._interval = max(0.05, interval_s)
+        self._clock = time.perf_counter
+        self._last = 0.0
+
+    def __call__(self, event) -> None:
+        from repro.obs.telemetry import render_fleet
+        from repro.runner.progress import HOST_TELEMETRY
+
+        if self._inner is not None:
+            self._inner(event)
+        if event.kind != HOST_TELEMETRY:
+            return
+        now = self._clock()
+        if now - self._last < self._interval:
+            return
+        self._last = now
+        print(render_fleet(self._dispatcher.fleet_summary()), file=sys.stderr)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.runner import ConsoleProgress, SWEEPS, build_sweep, render_result, run_sweep
 
@@ -157,6 +191,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     if args.chunk_size is not None and args.chunk_size < 1:
         print("sweep: --chunk-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.live and args.hosts is None:
+        print("sweep: --live renders host telemetry and needs --hosts", file=sys.stderr)
         return 2
     overrides = {}
     if args.scale is not None:
@@ -208,6 +245,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 capture_metrics=capture_metrics,
                 fault_plan=fault_plan,
             )
+            if args.live:
+                progress = _LiveFleetProgress(dispatcher, inner=progress)
             if fault_plan.faults:
                 print(f"host faults: {fault_plan.label()}", file=sys.stderr)
             result = dispatcher.run(spec, progress=progress)
@@ -249,8 +288,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.health:
         from repro.runner import render_sweep_health
 
+        fleet = dispatcher.fleet_summary() if dispatcher is not None else None
         print()
-        print(render_sweep_health(result))
+        print(render_sweep_health(result, fleet=fleet))
+    elif args.live and dispatcher is not None:
+        from repro.obs.telemetry import render_fleet
+
+        print(render_fleet(dispatcher.fleet_summary()), file=sys.stderr)
     return 0
 
 
@@ -448,6 +492,7 @@ def _cmd_topo(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import (
+        BenchCompareError,
         compare_bench,
         load_bench,
         render_bench,
@@ -465,7 +510,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("bench: --threshold must be >= 0", file=sys.stderr)
         return 2
     try:
-        doc = run_bench(names=args.workloads, quick=args.quick, repeat=args.repeat)
+        doc = run_bench(
+            names=args.workloads,
+            quick=args.quick,
+            repeat=args.repeat,
+            profile=args.profile,
+        )
     except KeyError as exc:
         print(f"bench: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -481,7 +531,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"bench: cannot load baseline: {exc}", file=sys.stderr)
             return 2
-        lines, regressions = compare_bench(doc, baseline, threshold=args.threshold)
+        try:
+            lines, regressions = compare_bench(doc, baseline, threshold=args.threshold)
+        except BenchCompareError as exc:
+            print(f"bench: refusing baseline compare: {exc}", file=sys.stderr)
+            return 2
         print(f"baseline compare vs {args.baseline} (threshold +{args.threshold * 100:.0f}%):")
         for line in lines:
             print(f"  {line}")
@@ -493,6 +547,91 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             return 1
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.bench import WORKLOADS, run_workload
+    from repro.obs import render_profile, write_collapsed, write_speedscope
+
+    if args.list:
+        for name in sorted(WORKLOADS):
+            print(name)
+        return 0
+    if args.workload is None:
+        print("profile: a workload name is required (or --list)", file=sys.stderr)
+        return 2
+    try:
+        collect = {}
+        entry = run_workload(
+            args.workload, quick=args.quick, repeat=args.repeat,
+            profile=True, collect=collect,
+        )
+    except KeyError as exc:
+        print(f"profile: {exc.args[0]}", file=sys.stderr)
+        return 2
+    tree = collect["tree"]
+    output = args.output or f"{args.workload}.speedscope.json"
+    if output.endswith((".collapsed", ".folded")):
+        write_collapsed(tree, output)
+    else:
+        write_speedscope(tree, output, name=f"repro bench {args.workload}")
+    print(render_profile(tree, title=f"workload {args.workload}"))
+    print(
+        f"  wall {entry['wall_s']:.3f}s, "
+        f"{entry['events_per_s']:.0f} simulated events/s"
+    )
+    print(f"profile -> {output}", file=sys.stderr)
+    if not output.endswith((".collapsed", ".folded")):
+        print("open in https://www.speedscope.app", file=sys.stderr)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import iter_telemetry, render_snapshot
+
+    if args.follow and args.file.endswith(".gz"):
+        print("top: --follow needs a plain (non-.gz) telemetry file", file=sys.stderr)
+        return 2
+    if not args.follow:
+        count = 0
+        try:
+            for snapshot in iter_telemetry(args.file):
+                print(render_snapshot(snapshot))
+                count += 1
+        except OSError as exc:
+            print(f"top: cannot read {args.file}: {exc}", file=sys.stderr)
+            return 2
+        if not count:
+            print(f"top: no snapshots in {args.file}", file=sys.stderr)
+            return 1
+        return 0
+    # Follow mode: tail the JSONL stream as the run appends to it.
+    import time
+
+    try:
+        stream = open(args.file, "r", encoding="utf-8")
+    except OSError as exc:
+        print(f"top: cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        while True:
+            line = stream.readline()
+            if not line:
+                time.sleep(args.interval)
+                continue
+            if not line.endswith("\n"):
+                # Partial line mid-write: rewind and retry once complete.
+                stream.seek(stream.tell() - len(line))
+                time.sleep(args.interval)
+                continue
+            try:
+                print(render_snapshot(json.loads(line)))
+            except ValueError:
+                continue
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        stream.close()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -536,6 +675,24 @@ def build_parser() -> argparse.ArgumentParser:
                 "--flight-recorder", metavar="N", type=int, default=None,
                 help="bound the recording to the last N events (ring buffer)",
             )
+        p.add_argument(
+            "--profile", metavar="FILE", default=None,
+            help="write a subsystem wall-time profile to FILE (speedscope "
+                 "JSON; use a .collapsed/.folded suffix for collapsed stacks)",
+        )
+        p.add_argument(
+            "--telemetry", metavar="FILE", default=None,
+            help="stream wall-clock telemetry snapshots to FILE (JSONL; "
+                 "watch with 'repro top')",
+        )
+        p.add_argument(
+            "--live", action="store_true",
+            help="render a live telemetry status line on stderr while running",
+        )
+        p.add_argument(
+            "--telemetry-interval", type=float, default=1.0, metavar="SEC",
+            help="seconds between telemetry snapshots (default 1.0)",
+        )
 
     crawl = sub.add_parser("crawl", help="crawl a simulated Zeus botnet")
     add_scenario_options(crawl)
@@ -622,6 +779,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--health", action="store_true",
         help="capture per-point metrics and print merged health indicators",
+    )
+    sweep.add_argument(
+        "--live", action="store_true",
+        help="dispatched sweeps: render a live per-host fleet view from "
+             "host telemetry (needs --hosts)",
     )
     add_topology_option(sweep)
     sweep.set_defaults(func=_cmd_sweep)
@@ -788,7 +950,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--list", action="store_true", help="list workloads")
     bench.add_argument("--json", action="store_true", help="print the document as JSON")
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="attach a per-workload subsystem wall-time breakdown to the "
+             "results (repro-bench/3), so --baseline compare can name the "
+             "subsystem that regressed",
+    )
     bench.set_defaults(func=_cmd_bench)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile a bench workload and export a flamegraph",
+        description=(
+            "Run one canonical workload under the subsystem wall-time "
+            "profiler and export the site tree as a speedscope JSON "
+            "flamegraph (or collapsed stacks for a .collapsed/.folded "
+            "output), plus a terminal breakdown of where the wall time "
+            "went.  Profiling reads only wall-clock state, so the "
+            "simulated run is byte-identical to an unprofiled one."
+        ),
+    )
+    profile.add_argument("workload", nargs="?", help="workload name (see --list)")
+    profile.add_argument("--list", action="store_true", help="list workloads")
+    profile.add_argument(
+        "--quick", action="store_true",
+        help="trim simulated hours for a fast smoke run",
+    )
+    profile.add_argument(
+        "--repeat", type=int, default=1,
+        help="run N times, keep the best wall time's profile",
+    )
+    profile.add_argument(
+        "-o", "--output", default=None,
+        help="output path (default: <workload>.speedscope.json; "
+             ".collapsed/.folded suffix switches to collapsed stacks)",
+    )
+    profile.set_defaults(func=_cmd_profile)
+
+    top = sub.add_parser(
+        "top",
+        help="render a telemetry stream as live status lines",
+        description=(
+            "Read the JSONL telemetry stream a run writes with "
+            "--telemetry and print one status line per snapshot "
+            "(events/sec, pending timers, RSS, path-cache hit rate).  "
+            "With --follow, tail the file while the run is still "
+            "writing it -- a 'top' for a running simulation."
+        ),
+    )
+    top.add_argument("file", help="telemetry stream (JSONL; .gz ok without --follow)")
+    top.add_argument(
+        "--follow", action="store_true",
+        help="keep reading as the file grows (Ctrl-C to stop)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=0.5, metavar="SEC",
+        help="follow: poll interval in seconds (default 0.5)",
+    )
+    top.set_defaults(func=_cmd_top)
     return parser
 
 

@@ -185,6 +185,14 @@ class Transport:
         # Disabled (the default) leaves falsy/no-op stubs here, so the
         # send/deliver paths pay one branch and no-op calls per event.
         self._trace = obs.tracer()
+        # The subsystem profiler (when active) wants to know which
+        # delivery tier a message took; the telemetry emitter (when
+        # active) reads path-cache stats off registered transports.
+        profiler = obs.profiler()
+        self._profiler = profiler if profiler else None
+        telemetry = obs.telemetry()
+        if telemetry is not None:
+            telemetry.register_transport(self)
         registry = obs.metrics()
         self._m_sent = registry.counter("net.sent", "messages accepted for delivery")
         self._m_delivered = registry.counter("net.delivered", "messages handed to a handler")
@@ -353,6 +361,10 @@ class Transport:
 
     def _deliver(self, src: Endpoint, dst: Endpoint, payload: bytes, sent_at: float) -> None:
         now = self.scheduler.now
+        # Tier tagging for the subsystem profiler: _deliver runs as a
+        # scheduler callback and the scheduler records it *after* it
+        # returns, so a note left here labels this dispatch's kind.
+        profile = self._profiler
         if not self._slow:
             # Fast path: no taps, no tracer, no fault subclass.  The
             # drop checks mirror _drop_reason exactly (same order, same
@@ -363,18 +375,26 @@ class Transport:
             if handler is None:
                 stats.dropped_unbound_dst += 1
                 self._m_dropped.labels("unbound_dst").inc()
+                if profile is not None:
+                    profile.note("drop")
                 return
             if not self.routability.inbound_allowed(dst_key, src.ip, now):
                 stats.dropped_unroutable += 1
                 self._m_dropped.labels("unroutable").inc()
+                if profile is not None:
+                    profile.note("drop")
                 return
             loss_rate = self.config.loss_rate
             if loss_rate and self.rng.random() < loss_rate:
                 stats.dropped_loss += 1
                 self._m_dropped.labels("loss").inc()
+                if profile is not None:
+                    profile.note("drop")
                 return
             stats.delivered += 1
             self._m_delivered.inc()
+            if profile is not None:
+                profile.note("deliver.fast")
             pool = self._pool
             if pool:
                 message = pool.pop()
@@ -400,6 +420,8 @@ class Transport:
             if handler is None:
                 stats.dropped_unbound_dst += 1
                 self._m_dropped.labels("unbound_dst").inc()
+                if profile is not None:
+                    profile.note("drop")
                 trace.instant_args(
                     now, "net", "drop",
                     {"reason": "unbound_dst", "src": str(src), "dst": str(dst)},
@@ -408,6 +430,8 @@ class Transport:
             if not self.routability.inbound_allowed(dst_key, src.ip, now):
                 stats.dropped_unroutable += 1
                 self._m_dropped.labels("unroutable").inc()
+                if profile is not None:
+                    profile.note("drop")
                 trace.instant_args(
                     now, "net", "drop",
                     {"reason": "unroutable", "src": str(src), "dst": str(dst)},
@@ -417,6 +441,8 @@ class Transport:
             if loss_rate and self.rng.random() < loss_rate:
                 stats.dropped_loss += 1
                 self._m_dropped.labels("loss").inc()
+                if profile is not None:
+                    profile.note("drop")
                 trace.instant_args(
                     now, "net", "drop",
                     {"reason": "loss", "src": str(src), "dst": str(dst)},
@@ -424,6 +450,8 @@ class Transport:
                 return
             stats.delivered += 1
             self._m_delivered.inc()
+            if profile is not None:
+                profile.note("deliver.lean")
             trace.instant_args(
                 now, "net", "deliver",
                 {"src": str(src), "dst": str(dst), "latency": round(now - sent_at, 6)},
@@ -455,6 +483,8 @@ class Transport:
             message = Message(src, dst, payload, sent_at, now)
         reason = self._drop_reason(message)
         delivered = reason is None
+        if profile is not None:
+            profile.note("deliver.slow" if delivered else "drop")
         for tap in self._taps:
             tap(message, delivered)
         if delivered:

@@ -22,18 +22,40 @@ crawl|detect|chaos|sweep``, then inspect/convert recordings with
 ``repro trace``.
 """
 
-from repro.obs import analyze, runtime
+from repro.obs import analyze, profile, runtime
 from repro.obs.events import COMPLETE, COUNTER, INSTANT, FlightRecorder, TraceEvent
 from repro.obs.export import (
     chrome_trace,
+    iter_dict_jsonl,
     iter_jsonl,
     metrics_json,
     read_jsonl,
     render_events,
     render_summary,
     write_chrome_trace,
+    write_dict_jsonl,
     write_jsonl,
     write_metrics,
+)
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    SubsystemProfiler,
+    collapsed_stacks,
+    profile_breakdown,
+    render_profile,
+    speedscope_document,
+    write_collapsed,
+    write_speedscope,
+)
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    LiveRunView,
+    TelemetryEmitter,
+    iter_telemetry,
+    read_telemetry,
+    render_fleet,
+    render_snapshot,
 )
 from repro.obs.instrument import (
     CallbackProfile,
@@ -58,6 +80,7 @@ __all__ = [
     "analyze",
     "CallbackProfile",
     "chrome_trace",
+    "collapsed_stacks",
     "COMPLETE",
     "Counter",
     "COUNTER",
@@ -66,25 +89,43 @@ __all__ = [
     "Histogram",
     "INSTANT",
     "instrument_scheduler",
+    "iter_dict_jsonl",
     "iter_jsonl",
+    "iter_telemetry",
+    "LiveRunView",
     "merge_snapshots",
     "metrics_json",
     "MetricsRegistry",
     "NULL_METRIC",
     "NULL_METRICS",
+    "NULL_PROFILER",
     "NULL_TRACER",
     "NullMetric",
+    "NullProfiler",
     "NullRegistry",
     "NullTracer",
     "ObsSession",
+    "profile",
+    "profile_breakdown",
     "read_jsonl",
+    "read_telemetry",
     "render_events",
+    "render_fleet",
+    "render_profile",
+    "render_snapshot",
     "render_summary",
     "runtime",
+    "speedscope_document",
+    "SubsystemProfiler",
+    "TELEMETRY_SCHEMA",
+    "TelemetryEmitter",
     "TraceEvent",
     "TraceProgress",
     "Tracer",
     "write_chrome_trace",
+    "write_collapsed",
+    "write_dict_jsonl",
     "write_jsonl",
     "write_metrics",
+    "write_speedscope",
 ]

@@ -34,6 +34,7 @@ from repro.obs.analyze.health import (
     percentile,
     render_health,
     snapshot_indicators,
+    telemetry_summary,
 )
 from repro.obs.analyze.htmlreport import (
     extract_embedded_json,
@@ -58,5 +59,6 @@ __all__ = [
     "render_health",
     "render_html",
     "snapshot_indicators",
+    "telemetry_summary",
     "write_html_report",
 ]

@@ -128,6 +128,33 @@ def snapshot_indicators(snapshot: Mapping[str, Any]) -> Dict[str, float]:
     return out
 
 
+def telemetry_summary(snapshots: Iterable[Mapping[str, Any]]) -> Optional[Dict[str, Any]]:
+    """Summarize a telemetry stream (see :mod:`repro.obs.telemetry`)
+    into run-level scalars: wall span, total events, mean and peak
+    throughput, peak RSS.  Returns None for an empty stream."""
+    count = 0
+    wall_s = 0.0
+    dispatched = 0
+    peak_rate = 0.0
+    peak_rss = 0
+    for snapshot in snapshots:
+        count += 1
+        wall_s = max(wall_s, float(snapshot.get("wall_s", 0.0)))
+        dispatched = max(dispatched, int(snapshot.get("dispatched", 0)))
+        peak_rate = max(peak_rate, float(snapshot.get("events_per_s", 0.0)))
+        peak_rss = max(peak_rss, int(snapshot.get("peak_rss_kb") or 0))
+    if not count:
+        return None
+    return {
+        "snapshots": count,
+        "wall_s": round(wall_s, 3),
+        "dispatched": dispatched,
+        "events_per_s_mean": round(dispatched / wall_s, 1) if wall_s > 0 else None,
+        "events_per_s_peak": round(peak_rate, 1),
+        "peak_rss_kb": peak_rss,
+    }
+
+
 def topology_section(snapshot: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
     """The per-AS delivery breakdown from a run's metrics snapshot.
 

@@ -64,6 +64,27 @@ def read_jsonl(path: str) -> List[TraceEvent]:
     return list(iter_jsonl(path))
 
 
+def write_dict_jsonl(records: Iterable[Mapping[str, Any]], path: str) -> int:
+    """Write plain-dict records (telemetry snapshots, fleet state) as
+    JSONL; same ``.gz`` handling as trace recordings."""
+    count = 0
+    with _open_recording(path, "w") as stream:
+        for record in records:
+            stream.write(json.dumps(record, sort_keys=True))
+            stream.write("\n")
+            count += 1
+    return count
+
+
+def iter_dict_jsonl(path: str) -> Iterator[Dict[str, Any]]:
+    """Stream a dict-JSONL file back (blank lines skipped)."""
+    with _open_recording(path, "r") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
 # -- Chrome trace / Perfetto ----------------------------------------------
 
 

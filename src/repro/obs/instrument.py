@@ -23,8 +23,10 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.obs import runtime
 from repro.obs.events import COMPLETE, FlightRecorder, TraceEvent
-from repro.obs.export import write_chrome_trace, write_jsonl, write_metrics
+from repro.obs.export import _open_recording, write_chrome_trace, write_jsonl, write_metrics
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SubsystemProfiler, write_collapsed, write_speedscope
+from repro.obs.telemetry import LiveRunView, TelemetryEmitter
 from repro.obs.tracer import Tracer
 
 
@@ -73,7 +75,9 @@ def instrument_scheduler(
         reg.gauge(f"{prefix}.pending", "live timers at snapshot").set(stats.pending)
 
     registry.register_collector(collect)
-    if profile:
+    # Do not displace a profiler the scheduler already captured
+    # ambiently (the subsystem profiler wins over the flat histogram).
+    if profile and getattr(scheduler, "_profile", None) is None:
         scheduler.set_profile(CallbackProfile(registry))
 
 
@@ -150,6 +154,13 @@ class ObsSession:
     disabled (the null implementations stay ambient, so the run pays
     nothing for it).  ``flight_capacity`` bounds the recording to the
     last N events instead of keeping everything.
+
+    ``profile_path`` enables the subsystem profiler and writes its
+    flamegraph on exit (speedscope JSON, or collapsed stacks for a
+    ``.collapsed``/``.folded`` suffix).  ``telemetry_path``/``live``
+    enable the wall-clock telemetry emitter, streaming snapshots as
+    JSONL and/or rendering a live status line.  All of it obeys the
+    package invariant: observation never perturbs the run.
     """
 
     def __init__(
@@ -157,21 +168,49 @@ class ObsSession:
         trace_path: Optional[str] = None,
         metrics_path: Optional[str] = None,
         flight_capacity: Optional[int] = None,
+        profile_path: Optional[str] = None,
+        telemetry_path: Optional[str] = None,
+        live: bool = False,
+        telemetry_interval: float = 1.0,
     ) -> None:
         self.trace_path = trace_path
         self.metrics_path = metrics_path
+        self.profile_path = profile_path
+        self.telemetry_path = telemetry_path
         self.tracer: Optional[Tracer] = None
         self.registry: Optional[MetricsRegistry] = None
+        self.profiler: Optional[SubsystemProfiler] = None
+        self.emitter: Optional[TelemetryEmitter] = None
+        self.profile_tree = None
+        self._telemetry_stream = None
+        self._live_view: Optional[LiveRunView] = None
         if trace_path is not None:
             buffer = FlightRecorder(flight_capacity) if flight_capacity else None
             self.tracer = Tracer(buffer=buffer)
         if metrics_path is not None:
             self.registry = MetricsRegistry()
+        if profile_path is not None:
+            self.profiler = SubsystemProfiler()
+        if telemetry_path is not None or live:
+            if telemetry_path is not None:
+                self._telemetry_stream = _open_recording(telemetry_path, "w")
+            if live:
+                self._live_view = LiveRunView()
+            self.emitter = TelemetryEmitter(
+                stream=self._telemetry_stream,
+                interval_s=telemetry_interval,
+                on_snapshot=self._live_view,
+            )
         self.written: List[str] = []
 
     @property
     def active(self) -> bool:
-        return self.tracer is not None or self.registry is not None
+        return (
+            self.tracer is not None
+            or self.registry is not None
+            or self.profiler is not None
+            or self.emitter is not None
+        )
 
     def attach_scheduler(self, scheduler) -> None:
         """Wire a scenario's scheduler into the session's registry."""
@@ -179,13 +218,31 @@ class ObsSession:
             instrument_scheduler(scheduler, self.registry)
 
     def __enter__(self) -> "ObsSession":
-        runtime.activate(tracer=self.tracer, metrics=self.registry)
+        runtime.activate(
+            tracer=self.tracer,
+            metrics=self.registry,
+            profiler=self.profiler,
+            telemetry=self.emitter,
+        )
+        if self.profiler is not None:
+            self.profiler.start()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         # Outputs are written even when the run failed: a partial
         # trace is exactly what a post-mortem needs.
         runtime.deactivate()
+        if self.profiler is not None:
+            self.profiler.stop()
+        if self.emitter is not None:
+            self.emitter.finalize()
+            if self._live_view is not None:
+                self._live_view.close()
+            if self._telemetry_stream is not None:
+                self._telemetry_stream.close()
+                self.written.append(
+                    f"telemetry: {self.emitter.count} snapshots -> {self.telemetry_path}"
+                )
         if self.tracer is not None and self.trace_path is not None:
             count = write_jsonl(self.tracer.events(), self.trace_path)
             self.written.append(f"trace: {count} events -> {self.trace_path}")
@@ -197,3 +254,11 @@ class ObsSession:
             else:
                 write_metrics(self.registry.snapshot(), self.metrics_path)
                 self.written.append(f"metrics -> {self.metrics_path}")
+        if self.profiler is not None:
+            self.profile_tree = self.profiler.tree()
+            if self.profile_path is not None:
+                if self.profile_path.endswith((".collapsed", ".folded")):
+                    write_collapsed(self.profile_tree, self.profile_path)
+                else:
+                    write_speedscope(self.profile_tree, self.profile_path)
+                self.written.append(f"profile -> {self.profile_path}")

@@ -276,6 +276,19 @@ class MetricsRegistry:
         """``collector(registry)`` runs before every snapshot."""
         self._collectors.append(collector)
 
+    def counter_totals(self) -> Dict[str, float]:
+        """Every counter's value summed over its labels.
+
+        Unlike :meth:`snapshot` this runs no collectors and builds no
+        nested structure -- it is the cheap read the telemetry emitter
+        takes once per emission interval.
+        """
+        return {
+            name: sum(metric.snapshot_values().values())
+            for name, metric in sorted(self._metrics.items())
+            if metric.kind == "counter"
+        }
+
     def snapshot(self) -> Dict[str, Any]:
         """All metrics as a plain JSON-able mapping."""
         for collector in self._collectors:
@@ -309,6 +322,9 @@ class NullRegistry:
 
     def register_collector(self, collector) -> None:
         pass
+
+    def counter_totals(self) -> Dict[str, float]:
+        return {}
 
     def snapshot(self) -> Dict[str, Any]:
         return {}

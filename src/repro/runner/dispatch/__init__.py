@@ -46,7 +46,13 @@ from repro.runner.dispatch.transport import (
     HostReply,
     LocalHostPool,
 )
-from repro.runner.dispatch.wire import WorkUnit
+from repro.runner.dispatch.wire import (
+    WIRE_VERSION,
+    WireVersionError,
+    WorkUnit,
+    check_hello,
+    hello_to_wire,
+)
 
 from typing import Optional
 
@@ -79,11 +85,13 @@ def dispatch_sweep(
 
 
 __all__ = [
+    "check_hello",
     "chunk_leases",
     "default_chunk_size",
     "dispatch_sweep",
     "DispatchExecutor",
     "FAULT_KINDS",
+    "hello_to_wire",
     "HostFault",
     "HostFaultInjector",
     "HostFaultPlan",
@@ -100,5 +108,7 @@ __all__ = [
     "sample_fault_plan",
     "STALL",
     "SubprocessHostPool",
+    "WIRE_VERSION",
+    "WireVersionError",
     "WorkUnit",
 ]

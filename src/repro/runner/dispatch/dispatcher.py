@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.obs import runtime as obs_runtime
 from repro.obs.events import COMPLETE, INSTANT, TraceEvent
@@ -62,6 +62,7 @@ from repro.runner.executors import SweepExecutionError
 from repro.runner.progress import (
     HOST_FAULT,
     HOST_LOST,
+    HOST_TELEMETRY,
     POINT_DONE,
     POINT_RETRY,
     SWEEP_DONE,
@@ -150,8 +151,23 @@ class DispatchExecutor:
         self.fault_plan = fault_plan if fault_plan is not None else HostFaultPlan()
         self.heartbeat_misses = heartbeat_misses
         self._timeline: List[TraceEvent] = []
+        self._fleet: Dict[int, Dict[str, Any]] = {}
 
     # -- observability -----------------------------------------------------
+
+    def fleet_summary(self) -> Dict[str, Any]:
+        """Per-host counters and last-known telemetry from the last
+        run, in the shape :func:`repro.obs.telemetry.render_fleet`
+        renders and the sweep health report embeds.  Advisory only:
+        derived from dispatcher bookkeeping plus whatever telemetry
+        hosts volunteered, never consulted for correctness."""
+        hosts = {str(host): dict(entry) for host, entry in sorted(self._fleet.items())}
+        return {
+            "hosts": hosts,
+            "leased": sum(e["leased"] for e in self._fleet.values()),
+            "acked": sum(e["acked"] for e in self._fleet.values()),
+            "lost": sum(1 for e in self._fleet.values() if e["lost"]),
+        }
 
     def timeline(self) -> List[TraceEvent]:
         """The per-host execution timeline of the last run: one
@@ -193,6 +209,10 @@ class DispatchExecutor:
             else default_chunk_size(total, self.workers)
         )
         hosts = list(self.pool.host_ids())
+        self._fleet = {
+            host: {"leased": 0, "acked": 0, "errors": 0, "lost": False, "telemetry": None}
+            for host in hosts
+        }
         alive: List[int] = list(hosts)
         alive_gauge.set(len(alive))
         missed: Dict[int, int] = {host: 0 for host in hosts}
@@ -224,6 +244,7 @@ class DispatchExecutor:
             )
             ledger[host].append(point.index)
             lease_step[point.index] = step
+            self._fleet[host]["leased"] += 1
             dispatched.inc()
 
         def release(indices: List[int], reason: str) -> None:
@@ -252,6 +273,7 @@ class DispatchExecutor:
 
         def declare_lost(host: int, reason: str) -> None:
             alive.remove(host)
+            self._fleet[host]["lost"] = True
             alive_gauge.set(len(alive))
             lost_metric.inc()
             metrics.pool_restarts += 1  # host losses are the dispatcher's pool events
@@ -415,6 +437,22 @@ class DispatchExecutor:
         release,
     ) -> None:
         obs = obs_runtime.metrics()
+        if reply.telemetry is not None:
+            # Advisory host snapshot riding along on the reply: stash
+            # the latest and surface it to live fleet views.
+            self._fleet[host]["telemetry"] = dict(reply.telemetry)
+            self._emit(
+                progress,
+                ProgressEvent(
+                    HOST_TELEMETRY,
+                    len(acked),
+                    total,
+                    detail=f"host {host}",
+                    elapsed=time.perf_counter() - started,
+                    host=host,
+                    telemetry=dict(reply.telemetry),
+                ),
+            )
         if reply.kind == REPLY_RECORD and reply.record is not None:
             record = reply.record
             if record.index in acked:
@@ -423,6 +461,7 @@ class DispatchExecutor:
                 obs.counter("dispatch.duplicate_acks").inc()
                 return
             acked[record.index] = record
+            self._fleet[host]["acked"] += 1
             if record.index in ledger[host]:
                 ledger[host].remove(record.index)
             metrics.points_completed += 1
@@ -452,6 +491,7 @@ class DispatchExecutor:
             return
         if reply.kind == REPLY_ERROR and reply.index is not None:
             point = points_by_index[reply.index]
+            self._fleet[host]["errors"] += 1
             if reply.index in ledger[host]:
                 ledger[host].remove(reply.index)
             if attempts[reply.index] >= self.max_retries + 1:

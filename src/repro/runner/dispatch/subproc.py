@@ -142,6 +142,28 @@ class SubprocessHostPool(HostPool):
         self._hosts: Dict[int, _SubprocessHost] = {
             host_id: _SubprocessHost(host_id) for host_id in range(hosts)
         }
+        try:
+            self._handshake()
+        except Exception:
+            self.close()
+            raise
+
+    def _handshake(self) -> None:
+        """Version-check every host before any work is leased.
+
+        A mismatched worker fails here with a named
+        :class:`~repro.runner.dispatch.wire.WireVersionError` instead
+        of a confusing decode failure mid-sweep.  A host that says
+        *nothing* is tolerated -- silence is the heartbeat path's
+        verdict to make, not the handshake's.
+        """
+        for host_id, target in sorted(self._hosts.items()):
+            if not target.send(wire.hello_to_wire()):
+                continue
+            message = target.read_reply(self.step_timeout)
+            if message is None:
+                continue
+            wire.check_hello(message, host_id)
 
     def host_ids(self) -> List[int]:
         return sorted(self._hosts)
@@ -178,7 +200,10 @@ class SubprocessHostPool(HostPool):
         if op == wire.OP_RECORD:
             target.in_flight = None
             return HostReply(
-                host=host, kind=REPLY_RECORD, record=wire.record_from_wire(message)
+                host=host,
+                kind=REPLY_RECORD,
+                record=wire.record_from_wire(message),
+                telemetry=message.get("telemetry"),
             )
         if op == wire.OP_ERROR:
             target.in_flight = None
@@ -191,8 +216,9 @@ class SubprocessHostPool(HostPool):
                 index=index,
                 error=str(message.get("error", "")),
             )
-        # pongs / unknown chatter count as liveness.
-        return HostReply(host=host, kind=REPLY_BUSY)
+        # pongs / unknown chatter count as liveness (and may carry a
+        # telemetry snapshot for the fleet view).
+        return HostReply(host=host, kind=REPLY_BUSY, telemetry=message.get("telemetry"))
 
     def inject(self, fault: HostFault) -> None:
         if fault.kind != KILL:

@@ -22,9 +22,10 @@ subprocess transport lives in :mod:`repro.runner.dispatch.subproc`.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Mapping, Optional
 
 from repro.runner.dispatch.faultplan import KILL, PARTITION, STALL, HostFault
 from repro.runner.dispatch.wire import WorkUnit
@@ -45,6 +46,10 @@ class HostReply:
     ``record`` and ``error`` carry work outcomes; ``idle`` (queue
     drained) and ``busy`` (still executing) are pure heartbeats.  Any
     reply at all resets the host's missed-heartbeat counter.
+
+    ``telemetry`` is an optional advisory snapshot of the host's state
+    (points done, RSS, wall-clock age) for the fleet view; the
+    dispatcher's correctness never depends on it.
     """
 
     host: int
@@ -52,6 +57,7 @@ class HostReply:
     record: Optional[PointRecord] = None
     index: Optional[int] = None
     error: str = ""
+    telemetry: Optional[Mapping[str, Any]] = None
 
 
 class HostPool:
@@ -92,7 +98,15 @@ class _LocalHost:
     """One simulated host: a lease queue plus fault state, advanced in
     deterministic steps."""
 
-    __slots__ = ("host_id", "queue", "killed", "stalled_for", "partitioned_for")
+    __slots__ = (
+        "host_id",
+        "queue",
+        "killed",
+        "stalled_for",
+        "partitioned_for",
+        "points_done",
+        "started",
+    )
 
     def __init__(self, host_id: int) -> None:
         self.host_id = host_id
@@ -100,6 +114,21 @@ class _LocalHost:
         self.killed = False
         self.stalled_for = 0
         self.partitioned_for = 0
+        self.points_done = 0
+        self.started = time.perf_counter()
+
+    def telemetry(self) -> Dict[str, Any]:
+        # Same shape the subprocess hostworker ships back over the
+        # wire; RSS is process-wide here because local hosts share one
+        # interpreter.
+        from repro.bench import current_rss_kb, peak_rss_kb
+
+        return {
+            "points_done": self.points_done,
+            "rss_kb": current_rss_kb(),
+            "peak_rss_kb": peak_rss_kb(),
+            "wall_s": round(time.perf_counter() - self.started, 3),
+        }
 
     def step(self) -> Optional[HostReply]:
         if self.killed:
@@ -133,7 +162,13 @@ class _LocalHost:
         # Relabel the worker for the per-host timeline; pure metadata,
         # never part of the deterministic payload.
         record = replace(record, worker=f"host:{self.host_id}")
-        return HostReply(host=self.host_id, kind=REPLY_RECORD, record=record)
+        self.points_done += 1
+        return HostReply(
+            host=self.host_id,
+            kind=REPLY_RECORD,
+            record=record,
+            telemetry=self.telemetry(),
+        )
 
 
 class LocalHostPool(HostPool):

@@ -2,15 +2,25 @@
 
 One JSON object per line, both directions.  The vocabulary is small on
 purpose so an ssh- or queue-backed transport can speak it later
-without touching the dispatcher: requests are ``run`` (a work unit),
-``ping`` (liveness probe), and ``exit``; replies are ``record``
-(a completed :class:`~repro.runner.sweep.PointRecord`), ``error``
-(the point function raised), and ``pong``.
+without touching the dispatcher: requests are ``hello`` (version
+handshake), ``run`` (a work unit), ``ping`` (liveness probe), and
+``exit``; replies are ``record`` (a completed
+:class:`~repro.runner.sweep.PointRecord`), ``error`` (the point
+function raised), ``pong``, and the ``hello`` echo.
 
 Work units carry the full ``(point, params, seed)`` triple plus the
 point index and attempt number, so a host needs no sweep context
 beyond an importable point registry -- the same placement-independence
 contract the executors rely on (see :mod:`repro.runner.sweep`).
+
+Versioning: the pool opens each host with a ``hello`` carrying
+:data:`WIRE_VERSION`; the worker echoes its own version back.  A
+mismatch (or a pre-versioned worker that answers "unknown op") raises
+:class:`WireVersionError` -- a named, explained failure instead of
+whatever decode error a silently incompatible stream would eventually
+produce.  Replies may additionally carry a ``telemetry`` dict (see
+:mod:`repro.obs.telemetry`); readers ignore unknown keys, so telemetry
+is forward-compatible chatter, never load-bearing.
 """
 
 from __future__ import annotations
@@ -21,15 +31,55 @@ from typing import Any, Dict, Mapping, Optional
 
 from repro.runner.sweep import PointRecord
 
+#: Bump on incompatible wire changes; the hello handshake compares it.
+WIRE_VERSION = 1
+
 #: Request ops.
+OP_HELLO = "hello"
 OP_RUN = "run"
 OP_PING = "ping"
 OP_EXIT = "exit"
 
-#: Reply ops.
+#: Reply ops (plus the OP_HELLO echo).
 OP_RECORD = "record"
 OP_ERROR = "error"
 OP_PONG = "pong"
+
+
+class WireVersionError(RuntimeError):
+    """A host speaks a different wire protocol version (or none)."""
+
+
+def hello_to_wire() -> Dict[str, Any]:
+    """The handshake message either side opens with."""
+    return {"op": OP_HELLO, "version": WIRE_VERSION}
+
+
+def check_hello(message: Mapping[str, Any], host: int) -> None:
+    """Validate a host's handshake reply.
+
+    Raises :class:`WireVersionError` with both versions named on a
+    mismatch -- including the pre-versioned-worker case, where an old
+    worker answers the hello itself with an "unknown op" error.
+    """
+    op = message.get("op")
+    if op == OP_ERROR and "unknown op" in str(message.get("error", "")):
+        raise WireVersionError(
+            f"host {host} runs a pre-versioned hostworker (it rejected the "
+            f"hello handshake: {message.get('error')!r}); this dispatcher "
+            f"speaks wire version {WIRE_VERSION} -- update the host"
+        )
+    if op != OP_HELLO:
+        raise WireVersionError(
+            f"host {host} answered the hello handshake with op {op!r} "
+            f"instead of echoing it; expected wire version {WIRE_VERSION}"
+        )
+    version = message.get("version")
+    if version != WIRE_VERSION:
+        raise WireVersionError(
+            f"host {host} speaks wire version {version!r}, dispatcher "
+            f"speaks {WIRE_VERSION}; align the repro versions on both ends"
+        )
 
 
 @dataclass(frozen=True)
@@ -78,7 +128,9 @@ class WorkUnit:
         )
 
 
-def record_to_wire(record: PointRecord) -> Dict[str, Any]:
+def record_to_wire(
+    record: PointRecord, telemetry: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
     out: Dict[str, Any] = {
         "op": OP_RECORD,
         "index": record.index,
@@ -92,6 +144,8 @@ def record_to_wire(record: PointRecord) -> Dict[str, Any]:
     }
     if record.metrics is not None:
         out["metrics"] = dict(record.metrics)
+    if telemetry is not None:
+        out["telemetry"] = dict(telemetry)
     return out
 
 

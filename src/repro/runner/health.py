@@ -45,7 +45,7 @@ def point_indicators(record: PointRecord) -> Optional[Dict[str, float]]:
     return snapshot_indicators(record.metrics)
 
 
-def sweep_health(result: SweepResult) -> Dict[str, Any]:
+def sweep_health(result: SweepResult, fleet: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
     """The sweep's merged health view.
 
     ``indicators`` is derived from the merged snapshot (counters
@@ -54,13 +54,18 @@ def sweep_health(result: SweepResult) -> Dict[str, Any]:
     independent of worker count and point order.  ``per_point`` keeps
     the per-index indicator mappings (None for uncaptured points) for
     drill-down.
+
+    ``fleet`` (a dispatcher's
+    :meth:`~repro.runner.dispatch.DispatchExecutor.fleet_summary`)
+    is embedded verbatim when given, so a dispatched sweep's health
+    report also names which hosts did what and their last telemetry.
     """
     captured = [record for record in result.records if record.metrics is not None]
     merged = merge_snapshots(record.metrics for record in captured)
     per_point: Dict[str, Optional[Dict[str, float]]] = {
         str(record.index): point_indicators(record) for record in result.records
     }
-    return {
+    doc = {
         "schema": "repro-sweep-health/1",
         "sweep": result.spec.name,
         "points": len(result.records),
@@ -74,28 +79,36 @@ def sweep_health(result: SweepResult) -> Dict[str, Any]:
             "utilization": round(result.metrics.utilization(), 4),
         },
     }
+    if fleet is not None:
+        doc["fleet"] = fleet
+    return doc
 
 
-def render_sweep_health(result: SweepResult) -> str:
+def render_sweep_health(result: SweepResult, fleet: Optional[Dict[str, Any]] = None) -> str:
     """Terminal-friendly sweep health: coverage of capture, the key
-    merged indicators, and the widest per-point spread."""
-    health = sweep_health(result)
+    merged indicators, the widest per-point spread, and (for
+    dispatched sweeps) the per-host fleet section."""
+    health = sweep_health(result, fleet=fleet)
     lines: List[str] = [
         f"sweep health ({health['sweep']}): "
         f"{health['points_with_metrics']}/{health['points']} points captured metrics"
     ]
-    if not health["points_with_metrics"]:
+    if health["points_with_metrics"]:
+        indicators = health["indicators"]
+        shown = [key for key in KEY_INDICATORS if key in indicators]
+        width = max((len(key) for key in shown), default=0)
+        for key in shown:
+            lines.append(f"  {key:<{width}}  {indicators[key]:g}")
+        spread = _widest_spread(health["per_point"])
+        if spread is not None:
+            key, low, high = spread
+            lines.append(f"  widest per-point spread: {key} ({low:g} .. {high:g})")
+    else:
         lines.append("  (run with --metrics/capture_metrics=True to populate indicators)")
-        return "\n".join(lines)
-    indicators = health["indicators"]
-    shown = [key for key in KEY_INDICATORS if key in indicators]
-    width = max((len(key) for key in shown), default=0)
-    for key in shown:
-        lines.append(f"  {key:<{width}}  {indicators[key]:g}")
-    spread = _widest_spread(health["per_point"])
-    if spread is not None:
-        key, low, high = spread
-        lines.append(f"  widest per-point spread: {key} ({low:g} .. {high:g})")
+    if fleet is not None:
+        from repro.obs.telemetry import render_fleet
+
+        lines.append(render_fleet(fleet))
     return "\n".join(lines)
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import sys
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, TextIO
+from typing import Any, Callable, Mapping, Optional, TextIO
 
 from repro.runner.sweep import PointRecord, SweepPoint
 
@@ -19,9 +19,11 @@ POINT_DONE = "point-done"
 POINT_RETRY = "point-retry"
 POOL_RESTART = "pool-restart"
 #: Dispatcher-only kinds: a plan fault fired; a host was declared
-#: lost (heartbeat budget exhausted) and its lease re-issued.
+#: lost (heartbeat budget exhausted) and its lease re-issued; a host
+#: reported a telemetry snapshot (advisory, for live fleet views).
 HOST_FAULT = "host-fault"
 HOST_LOST = "host-lost"
+HOST_TELEMETRY = "host-telemetry"
 SWEEP_DONE = "sweep-done"
 
 
@@ -35,6 +37,10 @@ class ProgressEvent:
     detail: str = ""
     #: Wall-clock seconds since the sweep started, at emission time.
     elapsed: float = 0.0
+    #: Dispatcher events only: the host the event concerns, and its
+    #: latest advisory telemetry snapshot (see HOST_TELEMETRY).
+    host: Optional[int] = None
+    telemetry: Optional[Mapping[str, Any]] = None
 
 
 ProgressHook = Callable[[ProgressEvent], Any]
@@ -48,13 +54,18 @@ class ConsoleProgress:
         self.stream = stream if stream is not None else sys.stderr
 
     def __call__(self, event: ProgressEvent) -> None:
+        if event.kind == HOST_TELEMETRY:
+            # Advisory fleet chatter; the live fleet view renders it,
+            # the line-per-point console stays quiet.
+            return
         if event.kind == SWEEP_START:
             line = f"sweep: {event.total} points"
         elif event.kind == POINT_DONE and event.record is not None:
             line = (
                 f"[{event.completed}/{event.total}] "
                 f"{event.point.label() if event.point else event.record.point} "
-                f"({event.record.wall_time:.2f}s, t+{event.elapsed:.2f}s)"
+                f"({event.record.wall_time:.2f}s, t+{event.elapsed:.2f}s"
+                f"{self._pace(event)})"
             )
         elif event.kind == POINT_RETRY and event.point is not None:
             line = f"retry {event.point.label()}: {event.detail}"
@@ -70,3 +81,14 @@ class ConsoleProgress:
             line = f"{event.kind}: {event.detail}"
         print(line, file=self.stream)
         self.stream.flush()
+
+    @staticmethod
+    def _pace(event: ProgressEvent) -> str:
+        """Running completion rate and ETA, derived purely from the
+        event's own ``completed``/``elapsed`` -- no hook state."""
+        if event.elapsed <= 0 or event.completed <= 0:
+            return ""
+        rate = event.completed / event.elapsed
+        remaining = max(0, event.total - event.completed)
+        eta = remaining / rate
+        return f", {rate:.1f} pts/s, eta {eta:.0f}s"

@@ -37,6 +37,7 @@ from heapq import heapify, heappop, heappush
 from time import perf_counter
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.obs import runtime as obs
 from repro.sim.clock import Clock
 
 #: A scheduled entry as stored: (time, sequence, timer).  Sequence
@@ -152,9 +153,14 @@ class Scheduler:
         self._compaction_min = (
             self.COMPACTION_MIN if compaction_min is None else compaction_min
         )
-        # Optional observability hook: anything with record(callback,
+        # Optional observability hooks: anything with record(callback,
         # seconds).  None (the default) keeps dispatch branch-cheap.
-        self._profile: Optional[Any] = None
+        # Both are captured ambiently (see repro.obs.runtime): an
+        # active subsystem profiler installs itself on the profile
+        # seam; an active telemetry emitter is ticked per batch.
+        profiler = obs.profiler()
+        self._profile: Optional[Any] = profiler if profiler else None
+        self._telemetry: Optional[Any] = obs.telemetry()
 
     @property
     def now(self) -> float:
@@ -235,6 +241,13 @@ class Scheduler:
         the host clock around each dispatch but never the simulated
         one, so it cannot perturb event order."""
         self._profile = profile
+
+    def set_telemetry(self, telemetry: Optional[Any]) -> None:
+        """Install (or clear) a telemetry emitter: anything with
+        ``tick(scheduler)``, called once per dispatch batch in
+        ``run_until``.  Like profiling, telemetry reads only wall-clock
+        state and cannot perturb event order."""
+        self._telemetry = telemetry
 
     def call_at(self, time: float, callback: Callable[..., Any], *args: Any) -> Timer:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
@@ -408,6 +421,7 @@ class Scheduler:
         pop_entry = self._pop_entry
         dispatch = self._dispatch
         advance = self.clock.advance
+        telemetry = self._telemetry
         while True:
             entry = pop_entry(time)
             if entry is None:
@@ -427,6 +441,10 @@ class Scheduler:
                 entry = pop_entry(batch_time)
                 if entry is None:
                     break
+            if telemetry is not None:
+                # Once per batch, not per event: the emitter itself
+                # rate-limits to a wall-clock cadence.
+                telemetry.tick(self)
         if time > self.clock.now:
             advance(time)
         return dispatched

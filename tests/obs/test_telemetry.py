@@ -1,0 +1,260 @@
+"""TelemetryEmitter mechanics and the telemetry hard invariant.
+
+The emitter reads wall-clock state only; a run with telemetry (and the
+profiler) fully enabled must stay byte-identical to the committed
+goldens, exactly as tracing must in test_determinism.py.
+"""
+
+import io
+import json
+import pathlib
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.profile import SubsystemProfiler
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA,
+    TelemetryEmitter,
+    iter_telemetry,
+    render_fleet,
+    render_snapshot,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "golden" / "goldens"
+
+
+def _golden_text(name: str) -> str:
+    path = GOLDEN_DIR / name
+    if not path.exists():
+        pytest.skip(f"golden {name} not generated yet")
+    return path.read_text()
+
+
+class _FakeStats:
+    def __init__(self, dispatched, pending=0, heap_size=0):
+        self.dispatched = dispatched
+        self.pending = pending
+        self.heap_size = heap_size
+
+
+class _FakeScheduler:
+    def __init__(self, dispatched, now=0.0, pending=0):
+        self._stats = _FakeStats(dispatched, pending=pending, heap_size=pending)
+        self.now = now
+
+    def stats(self):
+        return self._stats
+
+
+def _drain(emitter, scheduler):
+    """Tick through one full stride so the wall-clock check runs."""
+    for _ in range(TelemetryEmitter.STRIDE):
+        emitter.tick(scheduler)
+
+
+class TestEmitter:
+    def test_snapshot_shape_and_stream(self):
+        stream = io.StringIO()
+        emitter = TelemetryEmitter(stream=stream)
+        emitter.interval_s = 0.0  # emit on every stride boundary
+        sched = _FakeScheduler(dispatched=42, now=7.0, pending=3)
+        _drain(emitter, sched)
+        assert emitter.count == 1
+        snapshot = emitter.last_snapshot
+        assert snapshot["schema"] == TELEMETRY_SCHEMA
+        assert snapshot["dispatched"] == 42
+        assert snapshot["sim_t"] == 7.0
+        assert snapshot["pending"] == 3
+        assert snapshot["rss_kb"] > 0
+        # peak comes from ru_maxrss, current from statm; the two kernel
+        # sources can disagree by a page or two, so no >= assertion.
+        assert snapshot["peak_rss_kb"] > 0
+        # The stream got the same snapshot as one JSONL line.
+        line = stream.getvalue().strip()
+        assert json.loads(line) == snapshot
+
+    def test_no_emission_before_interval(self):
+        emitter = TelemetryEmitter(interval_s=3600.0)
+        _drain(emitter, _FakeScheduler(dispatched=10))
+        assert emitter.count == 0
+
+    def test_finalize_snapshots_a_short_run(self):
+        # A run that never crossed the interval still produces one
+        # snapshot at finalize, with its scheduler's counts in it.
+        emitter = TelemetryEmitter(interval_s=3600.0)
+        emitter.tick(_FakeScheduler(dispatched=9, now=1.5))
+        snapshot = emitter.finalize()
+        assert snapshot["dispatched"] == 9
+        assert snapshot["sim_t"] == 1.5
+
+    def test_retired_scheduler_counts_are_banked(self):
+        # Chaos-style runs build several schedulers under one emitter;
+        # dispatched totals must accumulate across the swaps.
+        emitter = TelemetryEmitter(interval_s=3600.0)
+        emitter.tick(_FakeScheduler(dispatched=100))
+        emitter.tick(_FakeScheduler(dispatched=5))
+        assert emitter.finalize()["dispatched"] == 105
+
+    def test_counter_deltas(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        counter = registry.counter("test.events")
+        emitter = TelemetryEmitter()
+        emitter.interval_s = 0.0
+        with runtime.activated(metrics=registry):
+            counter.inc(3)
+            _drain(emitter, _FakeScheduler(dispatched=1))
+            first = emitter.last_snapshot
+            counter.inc(2)
+            _drain(emitter, _FakeScheduler(dispatched=2))
+            second = emitter.last_snapshot
+        assert first["counters"]["test.events"] == 3
+        assert first["deltas"]["test.events"] == 3
+        assert second["counters"]["test.events"] == 5
+        assert second["deltas"]["test.events"] == 2
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "run.telemetry.jsonl"
+        with open(path, "w") as stream:
+            emitter = TelemetryEmitter(stream=stream)
+            emitter.interval_s = 0.0
+            _drain(emitter, _FakeScheduler(dispatched=11))
+            emitter.tick(_FakeScheduler(dispatched=4))
+            emitter.finalize()
+        snapshots = list(iter_telemetry(str(path)))
+        assert len(snapshots) == 2
+        assert snapshots[0]["dispatched"] == 11
+        assert snapshots[-1]["dispatched"] == 15  # banked across the swap
+        assert [s["seq"] for s in snapshots] == [0, 1]
+
+
+class TestRendering:
+    def test_render_snapshot_one_liner(self):
+        line = render_snapshot(
+            {
+                "sim_t": 3600.0,
+                "wall_s": 2.5,
+                "events_per_s": 50000.0,
+                "dispatched": 125000,
+                "pending": 42,
+                "rss_kb": 2048,
+                "path_cache": {"hit_rate": 0.9876},
+            }
+        )
+        assert "t+3600s sim" in line
+        assert "125,000 total" in line
+        assert "rss 2.0MiB" in line
+        assert "path-cache 99%" in line
+
+    def test_render_fleet(self):
+        text = render_fleet(
+            {
+                "hosts": {
+                    "0": {"acked": 5, "errors": 0, "lost": False,
+                          "telemetry": {"points_done": 5, "rss_kb": 1024, "wall_s": 1.25}},
+                    "1": {"acked": 2, "errors": 1, "lost": True, "telemetry": None},
+                },
+                "acked": 7,
+                "leased": 9,
+                "lost": 1,
+            }
+        )
+        assert "fleet: 2 hosts, 7 acked / 9 leased, 1 lost" in text
+        assert "host 0: 5 acked, 0 errors, 5 pts, rss 1.0MiB, 1.2s" in text
+        assert "host 1: 2 acked, 1 errors, LOST" in text
+
+
+class TestGoldenExhibitsUnderTelemetry:
+    """The ISSUE invariant: goldens stay byte-identical with profiling
+    and telemetry fully enabled -- crawl, chaos, and a dispatched sweep."""
+
+    def _instruments(self):
+        return dict(
+            profiler=SubsystemProfiler(),
+            telemetry=TelemetryEmitter(stream=io.StringIO(), interval_s=0.05),
+        )
+
+    def test_fig3_crawl_sweep_with_telemetry_matches_golden(self):
+        from repro.runner import build_sweep, render_result, run_sweep
+
+        spec = build_sweep(
+            "fig3-zeus",
+            root_seed=0,
+            scale="tiny",
+            sensors=4,
+            announce_hours=1.0,
+            hours=3.0,
+            ratios=(1, 2, 4),
+        )
+        instruments = self._instruments()
+        with runtime.activated(**instruments):
+            result = run_sweep(spec, workers=1)
+        assert render_result(result) + "\n" == _golden_text("fig3_zeus_small_sweep.txt")
+        # And the instruments actually observed the run.
+        assert instruments["profiler"].structure()
+        assert instruments["telemetry"].finalize()["dispatched"] > 0
+
+    def test_chaos_with_telemetry_is_byte_identical(self):
+        from repro.workloads.chaos import render_degradation_report, run_chaos_matrix
+
+        def run():
+            results = run_chaos_matrix(
+                ["burst-loss"], [0.2], scale="tiny",
+                sensor_count=8, measure_hours=1.0,
+            )
+            return render_degradation_report(results)
+
+        bare = run()
+        with runtime.activated(**self._instruments()):
+            instrumented = run()
+        assert instrumented == bare
+
+    @pytest.mark.parametrize("hosts", [2, 3])
+    def test_fig2_dispatched_with_telemetry_matches_golden(self, hosts):
+        from repro.runner import DispatchExecutor, build_sweep, render_result
+
+        spec = build_sweep(
+            "fig2",
+            root_seed=0,
+            scale="tiny",
+            sensors=16,
+            announce_hours=1.0,
+            measure_hours=4.0,
+            thresholds=(0.05, 0.10),
+            ratios=(1, 2, 4),
+            fleet_size=6,
+        )
+        executor = DispatchExecutor(hosts=hosts)
+        with runtime.activated(**self._instruments()):
+            result = executor.run(spec)
+        assert render_result(result) + "\n" == _golden_text("fig2_small_sweep.txt")
+        # Host telemetry flowed without perturbing the exhibit.
+        fleet = executor.fleet_summary()
+        assert fleet["acked"] > 0
+        assert any(h["telemetry"] for h in fleet["hosts"].values())
+
+
+class TestTelemetrySummary:
+    def test_summary_over_snapshots(self):
+        from repro.obs.analyze import telemetry_summary
+
+        snapshots = [
+            {"wall_s": 1.0, "dispatched": 1000, "events_per_s": 1000.0,
+             "peak_rss_kb": 100},
+            {"wall_s": 2.0, "dispatched": 4000, "events_per_s": 3000.0,
+             "peak_rss_kb": 150},
+        ]
+        summary = telemetry_summary(snapshots)
+        assert summary["snapshots"] == 2
+        assert summary["wall_s"] == 2.0
+        assert summary["dispatched"] == 4000
+        assert summary["events_per_s_mean"] == pytest.approx(2000.0)
+        assert summary["events_per_s_peak"] == 3000.0
+        assert summary["peak_rss_kb"] == 150
+
+    def test_summary_empty(self):
+        from repro.obs.analyze import telemetry_summary
+
+        assert telemetry_summary([]) is None

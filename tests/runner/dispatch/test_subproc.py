@@ -75,7 +75,10 @@ class TestHostWorkerLoop:
 
     def test_ping_pong(self):
         replies = self._serve({"op": wire.OP_PING})
-        assert replies == [{"op": wire.OP_PONG}]
+        assert len(replies) == 1
+        assert replies[0]["op"] == wire.OP_PONG
+        # Pongs double as heartbeats carrying advisory host telemetry.
+        assert replies[0]["telemetry"]["points_done"] == 0
 
     def test_run_returns_record(self):
         unit = WorkUnit(

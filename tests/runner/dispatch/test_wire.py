@@ -1,0 +1,101 @@
+"""Wire-protocol versioning: hello handshake, named rejections, and
+the telemetry side channel on record/pong replies."""
+
+import io
+
+import pytest
+
+from repro.runner.dispatch import wire
+from repro.runner.dispatch.hostworker import serve
+from repro.runner.dispatch.subproc import SubprocessHostPool
+from repro.runner.dispatch.wire import WIRE_VERSION, WireVersionError
+
+
+class TestHello:
+    def test_hello_round_trip(self):
+        message = wire.decode(wire.encode(wire.hello_to_wire()))
+        assert message == {"op": wire.OP_HELLO, "version": WIRE_VERSION}
+        # A matching hello passes check_hello silently.
+        wire.check_hello(message, host=0)
+
+    def test_worker_echoes_hello(self):
+        stdin = io.StringIO(wire.encode(wire.hello_to_wire()) + "\n")
+        stdout = io.StringIO()
+        serve(stdin=stdin, stdout=stdout)
+        reply = wire.decode(stdout.getvalue().splitlines()[0])
+        assert reply == {"op": wire.OP_HELLO, "version": WIRE_VERSION}
+
+    def test_version_mismatch_names_both_versions(self):
+        message = {"op": wire.OP_HELLO, "version": 99}
+        with pytest.raises(WireVersionError) as excinfo:
+            wire.check_hello(message, host=2)
+        text = str(excinfo.value)
+        assert "host 2" in text
+        assert "99" in text and str(WIRE_VERSION) in text
+
+    def test_wrong_op_is_a_version_error(self):
+        with pytest.raises(WireVersionError, match="host 1"):
+            wire.check_hello({"op": wire.OP_PONG}, host=1)
+
+    def test_pre_versioned_worker_is_named(self):
+        # An old hostworker replies to hello with an "unknown op" error;
+        # that must surface as the same named rejection, not a generic
+        # protocol failure.
+        reply = {"op": wire.OP_ERROR, "error": "unknown op 'hello'"}
+        with pytest.raises(WireVersionError, match="pre-versioned"):
+            wire.check_hello(reply, host=0)
+
+
+class TestVersionMismatchRegression:
+    def test_mismatched_hostworker_is_rejected_at_pool_construction(
+        self, monkeypatch
+    ):
+        """A dispatcher speaking a different wire version than its
+        hostworkers must fail fast with WireVersionError -- not hang,
+        not decode garbage mid-sweep."""
+        monkeypatch.setattr(wire, "WIRE_VERSION", 99)
+        with pytest.raises(WireVersionError) as excinfo:
+            SubprocessHostPool(1)
+        text = str(excinfo.value)
+        assert "99" in text  # both sides named in the error
+
+
+class TestTelemetrySideChannel:
+    def test_record_to_wire_carries_telemetry(self):
+        from repro.runner.executors import _execute_point
+
+        record = _execute_point(("echo", {"x": 1}, 7, 0, 1, False))
+        telemetry = {"points_done": 4, "rss_kb": 1000}
+        message = wire.decode(
+            wire.encode(wire.record_to_wire(record, telemetry=telemetry))
+        )
+        assert message["telemetry"] == telemetry
+        # The side channel is advisory: decoding the record ignores it.
+        restored = wire.record_from_wire(message)
+        assert restored.values == record.values
+
+    def test_record_to_wire_omits_telemetry_by_default(self):
+        from repro.runner.executors import _execute_point
+
+        record = _execute_point(("echo", {"x": 1}, 7, 0, 1, False))
+        assert "telemetry" not in wire.record_to_wire(record)
+
+    def test_worker_attaches_telemetry_to_records(self):
+        unit = wire.WorkUnit(
+            point="echo", params={"x": 5}, seed=3, index=0, attempt=1
+        )
+        stdin = io.StringIO(
+            wire.encode(unit.to_wire()) + "\n"
+            + wire.encode({"op": wire.OP_PING}) + "\n"
+        )
+        stdout = io.StringIO()
+        serve(stdin=stdin, stdout=stdout)
+        record_reply, pong = [
+            wire.decode(line) for line in stdout.getvalue().splitlines()
+        ]
+        assert record_reply["op"] == wire.OP_RECORD
+        assert record_reply["telemetry"]["points_done"] == 1
+        assert record_reply["telemetry"]["rss_kb"] > 0
+        assert pong["op"] == wire.OP_PONG
+        assert pong["telemetry"]["points_done"] == 1
+        assert pong["telemetry"]["wall_s"] >= 0.0

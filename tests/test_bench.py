@@ -138,3 +138,76 @@ class TestRenderBench:
     def test_core_keys_not_duplicated_as_extras(self):
         out = bench.render_bench(_doc(crawl=1.0))
         assert "wall_s=" not in out
+
+
+class TestCompareGuards:
+    def test_quick_vs_full_refused(self):
+        current, baseline = _doc(crawl=1.0), _doc(crawl=1.0)
+        current["quick"] = True
+        with pytest.raises(bench.BenchCompareError, match="--quick"):
+            compare_bench(current, baseline)
+
+    def test_full_vs_quick_refused(self):
+        current, baseline = _doc(crawl=1.0), _doc(crawl=1.0)
+        baseline["quick"] = True
+        with pytest.raises(bench.BenchCompareError, match="baseline"):
+            compare_bench(current, baseline)
+
+    def test_schema_family_mismatch_refused(self):
+        baseline = _doc(crawl=1.0)
+        baseline["schema"] = "other-tool/1"
+        with pytest.raises(bench.BenchCompareError, match="schema family"):
+            compare_bench(_doc(crawl=1.0), baseline)
+
+    def test_older_bench_schema_minor_still_comparable(self):
+        # v1/v2 baselines share the repro-bench family and must keep
+        # comparing against v3 documents.
+        baseline = _doc(crawl=1.0)
+        baseline["schema"] = "repro-bench/2"
+        _, regressions = compare_bench(_doc(crawl=1.0), baseline)
+        assert regressions == []
+
+    def test_regression_line_blames_subsystem(self):
+        def profiled(wall, net_s):
+            doc = _doc(crawl=wall)
+            doc["workloads"]["crawl"]["profile"] = {
+                "window_s": wall,
+                "attributed_s": net_s + 0.1,
+                "attributed_share": 1.0,
+                "subsystems": {
+                    "net": {"wall_s": net_s, "share": 0.9},
+                    "core": {"wall_s": 0.1, "share": 0.1},
+                },
+            }
+            return doc
+
+        lines, regressions = compare_bench(profiled(2.0, 1.8), profiled(1.0, 0.8))
+        assert regressions == ["crawl"]
+        blamed = [line for line in lines if "hottest subsystem delta" in line]
+        assert blamed and "net" in blamed[0]
+
+
+class TestProfiledBench:
+    def test_profile_breakdown_attached(self, stub_workload):
+        entry = run_workload(stub_workload, profile=True)
+        breakdown = entry["profile"]
+        assert set(breakdown) == {
+            "window_s", "attributed_s", "attributed_share", "subsystems"
+        }
+        assert 0.0 <= breakdown["attributed_share"] <= 1.0
+
+    def test_profile_off_by_default(self, stub_workload):
+        assert "profile" not in run_workload(stub_workload)
+
+    def test_schema_is_v3(self, stub_workload):
+        doc = run_bench([stub_workload], profile=True)
+        assert doc["schema"] == "repro-bench/3"
+        assert doc["profile"] is True
+
+    def test_quick_crawl_attribution_meets_floor(self):
+        # The acceptance bar: the subsystem breakdown explains at least
+        # 90% of measured wall time for a real workload.
+        collect = {}
+        entry = run_workload("crawl", quick=True, profile=True, collect=collect)
+        assert entry["profile"]["attributed_share"] >= 0.90
+        assert collect["tree"]["subsystems"]

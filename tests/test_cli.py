@@ -192,6 +192,109 @@ class TestObservabilityFlags:
         assert "detect.rounds" in snapshot
 
 
+class TestProfilingAndTelemetryFlags:
+    def test_crawl_profile_writes_speedscope(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "crawl.speedscope.json"
+        assert main([
+            "crawl", "--hours", "1", "--sensors", "4", "--seed", "3",
+            "--profile", str(path),
+        ]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["$schema"] == "https://www.speedscope.app/file-format-schema.json"
+        assert doc["profiles"][0]["samples"]
+
+    def test_crawl_profile_collapsed_suffix(self, tmp_path, capsys):
+        path = tmp_path / "crawl.collapsed"
+        assert main([
+            "crawl", "--hours", "1", "--sensors", "4", "--seed", "3",
+            "--profile", str(path),
+        ]) == 0
+        lines = path.read_text().splitlines()
+        assert lines and all(len(l.rsplit(" ", 1)) == 2 for l in lines)
+
+    def test_crawl_telemetry_stream_and_top(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "crawl.telemetry.jsonl"
+        assert main([
+            "crawl", "--hours", "1", "--sensors", "4", "--seed", "3",
+            "--telemetry", str(path),
+        ]) == 0
+        capsys.readouterr()
+        snapshots = [json.loads(l) for l in open(path) if l.strip()]
+        assert snapshots  # finalize guarantees at least one
+        assert snapshots[-1]["dispatched"] > 0
+        # repro top replays the stream.
+        assert main(["top", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ev/s" in out and "sim" in out
+
+    def test_top_missing_or_empty_file_is_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["top", str(empty)]) == 1
+
+    def test_crawl_output_identical_with_profiling_enabled(self, tmp_path, capsys):
+        base_args = ["crawl", "--hours", "1", "--sensors", "4", "--seed", "7"]
+        assert main(base_args) == 0
+        bare = capsys.readouterr().out
+        assert main(base_args + [
+            "--profile", str(tmp_path / "p.speedscope.json"),
+            "--telemetry", str(tmp_path / "t.jsonl"),
+        ]) == 0
+        instrumented = capsys.readouterr().out
+        assert instrumented == bare
+
+    def test_profile_subcommand_emits_speedscope(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["profile", "crawl", "--quick", "-o", "crawl.ss.json"]) == 0
+        captured = capsys.readouterr()
+        assert "workload crawl" in captured.out
+        assert "speedscope" in captured.err
+        doc = json.loads((tmp_path / "crawl.ss.json").read_text())
+        assert doc["profiles"][0]["samples"]
+
+    def test_profile_list(self, capsys):
+        assert main(["profile", "--list"]) == 0
+        assert "crawl" in capsys.readouterr().out
+
+    def test_bench_profile_flag_attaches_breakdown(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        assert main([
+            "bench", "--quick", "--profile", "--workloads", "crawl",
+            "-o", str(out_path),
+        ]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro-bench/3"
+        breakdown = doc["workloads"]["crawl"]["profile"]
+        assert breakdown["attributed_share"] >= 0.90
+
+    def test_bench_refuses_quick_vs_full_baseline(self, tmp_path, capsys):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        assert main(["bench", "--workloads", "crawl", "--quick", "-o", str(baseline)]) == 0
+        capsys.readouterr()
+        doc = json.loads(baseline.read_text())
+        doc["quick"] = False  # masquerade as a full run
+        baseline.write_text(json.dumps(doc))
+        assert main([
+            "bench", "--workloads", "crawl", "--quick", "--baseline", str(baseline),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "refusing baseline compare" in err
+
+    def test_sweep_live_requires_hosts(self, capsys):
+        assert main(["sweep", "fig2", "--live"]) == 2
+        assert "--live" in capsys.readouterr().err
+
+
 class TestTraceCommand:
     @pytest.fixture()
     def trace_file(self, tmp_path, capsys):
@@ -340,7 +443,7 @@ class TestBenchCommand:
         ]) == 0
         capsys.readouterr()
         doc = json.load(open(out_path))
-        assert doc["schema"] == "repro-bench/2"
+        assert doc["schema"] == "repro-bench/3"
         assert "stub" in doc["workloads"]
         # Same doc as baseline: no regression possible, exit 0.
         assert main([
@@ -363,6 +466,7 @@ class TestBenchCommand:
         monkeypatch.setitem(WORKLOADS, "stub", slow_stub)
         baseline = {
             "schema": "repro-bench/1",
+            "quick": True,  # older minors stay comparable when flags match
             "workloads": {
                 "stub": {"wall_s": 0.001, "events": 10,
                          "events_per_s": 1.0, "peak_rss_kb": 1},
